@@ -1,0 +1,10 @@
+// Reproduces Figure 10 of the paper: F1 vs fine-tuning epoch for the four
+// transformer architectures on the Abt-Buy dataset (averaged over
+// EMX_RUNS runs; the paper averages five). Epoch 0 is the zero-shot score.
+
+#include "bench/bench_common.h"
+
+int main() {
+  emx::bench::RunFigureBench("Figure 10", emx::data::DatasetId::kAbtBuy);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 11 of the paper: F1 vs fine-tuning epoch for the four
+// transformer architectures on the iTunes-Amazon dataset (averaged over
+// EMX_RUNS runs; the paper averages five). Epoch 0 is the zero-shot score.
+
+#include "bench/bench_common.h"
+
+int main() {
+  emx::bench::RunFigureBench("Figure 11", emx::data::DatasetId::kItunesAmazon);
+  return 0;
+}

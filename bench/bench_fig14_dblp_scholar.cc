@@ -1,0 +1,10 @@
+// Reproduces Figure 14 of the paper: F1 vs fine-tuning epoch for the four
+// transformer architectures on the DBLP-Scholar dataset (averaged over
+// EMX_RUNS runs; the paper averages five). Epoch 0 is the zero-shot score.
+
+#include "bench/bench_common.h"
+
+int main() {
+  emx::bench::RunFigureBench("Figure 14", emx::data::DatasetId::kDblpScholar);
+  return 0;
+}

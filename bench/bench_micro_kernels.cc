@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels underlying
+// the reproduction: matmul, softmax, LayerNorm, a full encoder-layer
+// forward/backward, the three subword tokenizers, and the autograd tape
+// overhead. These are the knobs that determine the Table 6 timings.
+
+#include <benchmark/benchmark.h>
+
+#include "models/encoder.h"
+#include "nn/attention.h"
+#include "pretrain/corpus.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "tokenizers/byte_bpe.h"
+#include "tokenizers/unigram.h"
+#include "tokenizers/wordpiece.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace {
+
+namespace ag = autograd;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedAttentionMatMul(benchmark::State& state) {
+  // The QK^T shape of a fine-tuning batch: [16, 2, 56, 32] x transpose.
+  Rng rng(2);
+  Tensor q = Tensor::Randn({16, 2, 56, 32}, &rng);
+  Tensor k = Tensor::Randn({16, 2, 56, 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(q, k, false, true));
+  }
+}
+BENCHMARK(BM_BatchedAttentionMatMul);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn({16 * 2 * 56, 56}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(x));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({16 * 56, 64}, &rng);
+  Tensor gamma = Tensor::Ones({64});
+  Tensor beta = Tensor::Zeros({64});
+  Tensor mean, rstd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::LayerNormForward(x, gamma, beta, 1e-5f, &mean, &rstd));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_EncoderLayerForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::TransformerEncoderLayer layer(64, 2, 256, &rng);
+  Tensor x = Tensor::Randn({16, 56, 64}, &rng);
+  for (auto _ : state) {
+    Variable v = Variable::Constant(x);
+    benchmark::DoNotOptimize(layer.Forward(v, Tensor(), 0.0f, false, &rng));
+  }
+}
+BENCHMARK(BM_EncoderLayerForward);
+
+void BM_EncoderLayerForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  nn::TransformerEncoderLayer layer(64, 2, 256, &rng);
+  Tensor x = Tensor::Randn({16, 56, 64}, &rng);
+  for (auto _ : state) {
+    layer.ZeroGrad();
+    Variable v = Variable::Constant(x);
+    Variable y = layer.Forward(v, Tensor(), 0.0f, true, &rng);
+    Variable loss = ag::MeanAll(ag::Mul(y, y));
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+}
+BENCHMARK(BM_EncoderLayerForwardBackward);
+
+/// Shared tokenizer corpus for the encode benchmarks.
+const std::vector<std::string>& TokCorpus() {
+  static auto* corpus = new std::vector<std::string>([] {
+    pretrain::CorpusOptions copts;
+    copts.num_documents = 300;
+    return pretrain::FlattenCorpus(pretrain::GenerateCorpus(copts));
+  }());
+  return *corpus;
+}
+
+void BM_WordPieceEncode(benchmark::State& state) {
+  tokenizers::WordPieceTrainerOptions opts;
+  opts.vocab_size = 800;
+  static auto* tok = new tokenizers::WordPieceTokenizer(
+      tokenizers::WordPieceTokenizer::Train(TokCorpus(), opts));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok->Encode(TokCorpus()[i++ % TokCorpus().size()]));
+  }
+}
+BENCHMARK(BM_WordPieceEncode);
+
+void BM_ByteBpeEncode(benchmark::State& state) {
+  tokenizers::ByteBpeTrainerOptions opts;
+  opts.vocab_size = 800;
+  static auto* tok = new tokenizers::ByteBpeTokenizer(
+      tokenizers::ByteBpeTokenizer::Train(TokCorpus(), opts));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok->Encode(TokCorpus()[i++ % TokCorpus().size()]));
+  }
+}
+BENCHMARK(BM_ByteBpeEncode);
+
+void BM_UnigramEncode(benchmark::State& state) {
+  tokenizers::UnigramTrainerOptions opts;
+  opts.vocab_size = 800;
+  opts.em_iterations = 2;
+  static auto* tok = new tokenizers::UnigramTokenizer(
+      tokenizers::UnigramTokenizer::Train(TokCorpus(), opts));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok->Encode(TokCorpus()[i++ % TokCorpus().size()]));
+  }
+}
+BENCHMARK(BM_UnigramEncode);
+
+void BM_AutogradTapeOverhead(benchmark::State& state) {
+  // Chain of cheap elementwise ops: measures tape bookkeeping per op.
+  Rng rng(7);
+  Tensor x = Tensor::Randn({64}, &rng);
+  for (auto _ : state) {
+    Variable v = Variable::Parameter(x);
+    for (int i = 0; i < 20; ++i) v = ag::AddScalar(v, 0.1f);
+    Backward(ag::SumAll(v));
+    benchmark::DoNotOptimize(v.value()[0]);
+  }
+}
+BENCHMARK(BM_AutogradTapeOverhead);
+
+}  // namespace
+}  // namespace emx
+
+BENCHMARK_MAIN();

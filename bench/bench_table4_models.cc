@@ -1,0 +1,64 @@
+// Reproduces Table 4 of the paper: the pre-trained models used in the
+// experiments. Prints the paper's original configurations next to this
+// reproduction's scaled-down models (which preserve the architectural
+// relations: DistilBERT = half of BERT's layers, RoBERTa = BERT body
+// without NSP, XLNet = BERT-depth with relative attention), including the
+// actual parameter counts of the instantiated models.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "models/config.h"
+#include "models/transformer.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace emx;
+  std::printf("Table 4: Pre-trained models used in our experiments.\n\n");
+  std::printf("Paper-scale originals:\n");
+  std::printf("%-12s %8s %8s %8s %8s  %s\n", "Transformer", "layers", "hidden",
+              "heads", "params", "details");
+  for (const auto& e : models::PaperScaleConfigs()) {
+    std::printf("%-12s %8lld %8lld %8lld %8s  %s\n", e.name,
+                static_cast<long long>(e.layers),
+                static_cast<long long>(e.hidden),
+                static_cast<long long>(e.heads), e.params, e.details);
+  }
+
+  std::printf("\nThis reproduction (pre-trained from scratch, cached):\n");
+  std::printf("%-12s %8s %8s %8s %10s  %s\n", "Transformer", "layers",
+              "hidden", "heads", "params", "notes");
+  Rng rng(1);
+  const int64_t vocab = 1000;
+  for (auto arch : {models::Architecture::kBert, models::Architecture::kXlnet,
+                    models::Architecture::kRoberta,
+                    models::Architecture::kDistilBert}) {
+    auto cfg = models::TransformerConfig::Scaled(arch, vocab);
+    auto model = models::CreateTransformer(cfg, &rng);
+    const char* notes = "";
+    switch (arch) {
+      case models::Architecture::kBert:
+        notes = "MLM + NSP, static masking, token-type embeddings";
+        break;
+      case models::Architecture::kXlnet:
+        notes = "permutation LM, two-stream relative attention";
+        break;
+      case models::Architecture::kRoberta:
+        notes = "MLM only, dynamic masking, byte-level BPE";
+        break;
+      case models::Architecture::kDistilBert:
+        notes = "distilled from BERT; no pooler/token types";
+        break;
+    }
+    std::printf("%-12s %8lld %8lld %8lld %10lld  %s\n",
+                models::ArchitectureName(arch),
+                static_cast<long long>(cfg.num_layers),
+                static_cast<long long>(cfg.hidden),
+                static_cast<long long>(cfg.num_heads),
+                static_cast<long long>(model->NumParameters()), notes);
+  }
+  std::printf("\nShape checks: DistilBERT has half of BERT's layers and the "
+              "fewest parameters;\nXLNet carries extra relative-attention "
+              "parameters at equal depth.\n");
+  return 0;
+}

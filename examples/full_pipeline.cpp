@@ -1,0 +1,89 @@
+// The complete entity-matching pipeline of Section 1-2 of the paper:
+//
+//   1. two heterogeneous sources (generated product catalogs),
+//   2. blocking — an inverted-token index proposes candidate pairs instead
+//      of scoring the full cross product,
+//   3. matching — the classical Magellan-style matcher classifies the
+//      candidates (swap in an EntityMatcher for the transformer version),
+//   4. persistence — the labeled dataset round-trips through CSV so it can
+//      be inspected or edited.
+//
+//   ./full_pipeline [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/magellan.h"
+#include "data/blocking.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace emx;
+
+  // 1. Source data: a Walmart-Amazon style pair workload.
+  data::GeneratorOptions gen;
+  gen.scale = 0.05;
+  auto dataset = data::GenerateDataset(data::DatasetId::kWalmartAmazon, gen);
+  std::printf("Sources: %lld labeled candidate pairs (%lld true matches), "
+              "schema {%s}\n",
+              static_cast<long long>(dataset.TotalPairs()),
+              static_cast<long long>(dataset.TotalMatches()),
+              dataset.schema.attributes.size() == 5 ? "title, category, "
+                                                      "brand, modelno, price"
+                                                    : "?");
+
+  // 2. Blocking: index the right side of the test matches, query with the
+  //    left side, and measure recall + cross-product reduction.
+  std::vector<data::Record> lefts, rights;
+  for (const auto& p : dataset.test) {
+    if (p.label == 1) {
+      lefts.push_back(p.a);
+      rights.push_back(p.b);
+    }
+  }
+  data::BlockerOptions bopts;
+  bopts.min_shared_tokens = 2;
+  bopts.max_candidates_per_record = 10;
+  data::TokenBlocker blocker(bopts);
+  blocker.IndexRight(dataset.schema, rights);
+  auto candidates = blocker.Candidates(dataset.schema, lefts);
+  int64_t recalled = 0;
+  for (const auto& [l, r] : candidates) {
+    if (l == r) ++recalled;
+  }
+  std::printf("Blocking: %zu candidates from a %zu x %zu cross product "
+              "(reduction %.3f), match recall %.0f%%\n",
+              candidates.size(), lefts.size(), rights.size(),
+              data::TokenBlocker::ReductionRatio(
+                  static_cast<int64_t>(candidates.size()),
+                  static_cast<int64_t>(lefts.size()),
+                  static_cast<int64_t>(rights.size())),
+              lefts.empty() ? 0.0
+                            : 100.0 * static_cast<double>(recalled) /
+                                  static_cast<double>(lefts.size()));
+
+  // 3. Matching on the labeled pairs.
+  baselines::MagellanMatcher matcher;
+  matcher.Fit(dataset);
+  auto scores = matcher.EvaluateTest(dataset);
+  std::printf("Matching (Magellan, %s): F1 %.1f  P %.1f  R %.1f\n",
+              matcher.selected_classifier().c_str(), scores.f1 * 100,
+              scores.precision * 100, scores.recall * 100);
+
+  // 4. Persist the dataset for inspection / editing / re-loading.
+  const std::string dir =
+      argc > 1 ? argv[1] : "/tmp/emx_pipeline_dataset";
+  if (auto st = data::SaveDataset(dataset, dir); !st.ok()) {
+    std::printf("save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = data::LoadDataset(dir);
+  std::printf("Persistence: dataset saved to %s and reloaded (%s, %lld "
+              "pairs)\n",
+              dir.c_str(), reloaded.ok() ? "ok" : "FAILED",
+              reloaded.ok()
+                  ? static_cast<long long>(reloaded.value().TotalPairs())
+                  : 0LL);
+  return 0;
+}

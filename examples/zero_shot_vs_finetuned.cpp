@@ -1,0 +1,57 @@
+// Zero-shot vs. fine-tuned: the paper's third research question — how much
+// task-specific training does a heavily pre-trained transformer need?
+// Prints the F1 trajectory epoch by epoch, starting from the zero-shot
+// (epoch 0) score, for one architecture on the tiny iTunes-Amazon dataset
+// where the paper observed the "little data" effect (Figure 11).
+//
+//   ./zero_shot_vs_finetuned [cache_dir]
+
+#include <cstdio>
+
+#include "core/entity_matcher.h"
+#include "data/generators.h"
+#include "pretrain/model_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace emx;
+
+  pretrain::ZooOptions zoo;
+  // Shares the bench cache by default so examples reuse pre-trained models.
+  zoo.cache_dir = argc > 1 ? argv[1] : "/tmp/emx_zoo_bench";
+  zoo.vocab_size = 1000;
+  zoo.corpus.num_documents = 2000;
+  zoo.pretrain.steps = 1200;
+  zoo.pretrain.batch_size = 16;
+  zoo.pretrain.data.max_seq_len = 32;
+  zoo.pretrain.learning_rate = 1e-3f;
+
+  auto bundle = pretrain::GetPretrained(models::Architecture::kRoberta, zoo);
+  if (!bundle.ok()) {
+    std::printf("error: %s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  // iTunes-Amazon at full size: 539 pairs, only 132 matches — the paper's
+  // smallest dataset, where epoch-1 results are still unstable.
+  data::GeneratorOptions gen;
+  auto dataset = data::GenerateDataset(data::DatasetId::kItunesAmazon, gen);
+
+  core::EntityMatcher matcher(std::move(bundle).value());
+  core::FineTuneOptions ft;
+  ft.epochs = 8;
+  ft.max_seq_len = 56;
+  ft.learning_rate = 1e-3f;
+
+  std::printf("%s on %s — F1 after each fine-tuning epoch\n",
+              matcher.arch_name(), dataset.name.c_str());
+  std::printf("(epoch 0 = zero-shot, i.e. pre-trained model + untrained head)\n\n");
+  auto series = matcher.FineTune(dataset, ft, /*eval_each_epoch=*/true);
+  for (const auto& r : series) {
+    std::printf("  epoch %2lld   F1 %5.1f   train-loss %.3f   %5.1fs\n",
+                static_cast<long long>(r.epoch), r.test_f1 * 100,
+                r.train_loss, r.seconds);
+  }
+  std::printf("\nThe fine-tuning effort is small: a handful of epochs on a "
+              "dataset of a few hundred pairs.\n");
+  return 0;
+}

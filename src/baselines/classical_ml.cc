@@ -1,0 +1,231 @@
+#include "baselines/classical_ml.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace baselines {
+namespace {
+
+double LeafProb(const MlDataset& data, const std::vector<int64_t>& indices) {
+  if (indices.empty()) return 0.5;
+  double positives = 0;
+  for (int64_t i : indices) positives += data.labels[static_cast<size_t>(i)];
+  // Laplace smoothing keeps probabilities off 0/1.
+  return (positives + 1.0) / (static_cast<double>(indices.size()) + 2.0);
+}
+
+double GiniOfCounts(double n_pos, double n_total) {
+  if (n_total <= 0) return 0.0;
+  const double p = n_pos / n_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree() : DecisionTree(Options(), 7) {}
+RandomForest::RandomForest() : RandomForest(Options(), 11) {}
+LogisticRegression::LogisticRegression() : LogisticRegression(Options()) {}
+
+void DecisionTree::Fit(const MlDataset& data) {
+  nodes_.clear();
+  EMX_CHECK_GT(data.size(), 0u);
+  std::vector<int64_t> indices(data.size());
+  for (size_t i = 0; i < data.size(); ++i) indices[i] = static_cast<int64_t>(i);
+  Build(data, std::move(indices), 0);
+}
+
+int64_t DecisionTree::Build(const MlDataset& data, std::vector<int64_t> indices,
+                            int64_t depth) {
+  const int64_t node_id = static_cast<int64_t>(nodes_.size());
+  nodes_.push_back(Node());
+  nodes_[static_cast<size_t>(node_id)].prob = LeafProb(data, indices);
+
+  // Stop: depth, size, or purity.
+  int64_t n_pos = 0;
+  for (int64_t i : indices) n_pos += data.labels[static_cast<size_t>(i)];
+  const bool pure = n_pos == 0 || n_pos == static_cast<int64_t>(indices.size());
+  if (depth >= options_.max_depth || pure ||
+      static_cast<int64_t>(indices.size()) < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  const int64_t num_features = static_cast<int64_t>(data.num_features());
+  std::vector<int64_t> feature_order(static_cast<size_t>(num_features));
+  for (int64_t f = 0; f < num_features; ++f) {
+    feature_order[static_cast<size_t>(f)] = f;
+  }
+  int64_t features_to_try = num_features;
+  if (options_.max_features > 0 && options_.max_features < num_features) {
+    rng_.Shuffle(&feature_order);
+    features_to_try = options_.max_features;
+  }
+
+  double best_gain = 1e-9;
+  int64_t best_feature = -1;
+  double best_threshold = 0;
+  const double parent_gini =
+      GiniOfCounts(static_cast<double>(n_pos),
+                   static_cast<double>(indices.size()));
+
+  for (int64_t fi = 0; fi < features_to_try; ++fi) {
+    const int64_t f = feature_order[static_cast<size_t>(fi)];
+    // Sort indices by this feature's value; evaluate midpoints.
+    std::vector<std::pair<double, int64_t>> vals;
+    vals.reserve(indices.size());
+    for (int64_t i : indices) {
+      vals.push_back({data.features[static_cast<size_t>(i)][static_cast<size_t>(f)],
+                      data.labels[static_cast<size_t>(i)]});
+    }
+    std::sort(vals.begin(), vals.end());
+    double left_pos = 0;
+    const double total = static_cast<double>(vals.size());
+    const double total_pos = static_cast<double>(n_pos);
+    for (size_t k = 0; k + 1 < vals.size(); ++k) {
+      left_pos += static_cast<double>(vals[k].second);
+      if (vals[k].first == vals[k + 1].first) continue;
+      const double left_n = static_cast<double>(k + 1);
+      const double right_n = total - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double gini =
+          (left_n / total) * GiniOfCounts(left_pos, left_n) +
+          (right_n / total) * GiniOfCounts(total_pos - left_pos, right_n);
+      const double gain = parent_gini - gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (vals[k].first + vals[k + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<int64_t> left_idx, right_idx;
+  for (int64_t i : indices) {
+    if (data.features[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  const int64_t left = Build(data, std::move(left_idx), depth + 1);
+  const int64_t right = Build(data, std::move(right_idx), depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProb(const std::vector<double>& features) const {
+  EMX_CHECK(!nodes_.empty()) << "Fit before Predict";
+  int64_t id = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.feature < 0) return node.prob;
+    id = features[static_cast<size_t>(node.feature)] <= node.threshold
+             ? node.left
+             : node.right;
+  }
+}
+
+void RandomForest::Fit(const MlDataset& data) {
+  trees_.clear();
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int64_t sqrt_features = std::max<int64_t>(
+      1, static_cast<int64_t>(std::sqrt(static_cast<double>(data.num_features()))));
+  for (int64_t t = 0; t < options_.num_trees; ++t) {
+    MlDataset sample;
+    sample.features.reserve(static_cast<size_t>(n));
+    sample.labels.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t pick = rng_.NextUint64(static_cast<uint64_t>(n));
+      sample.features.push_back(data.features[pick]);
+      sample.labels.push_back(data.labels[pick]);
+    }
+    DecisionTree::Options tree_opts;
+    tree_opts.max_depth = options_.max_depth;
+    tree_opts.min_samples_leaf = options_.min_samples_leaf;
+    tree_opts.max_features = sqrt_features;
+    auto tree = std::make_unique<DecisionTree>(tree_opts, rng_.Next());
+    tree->Fit(sample);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProb(const std::vector<double>& features) const {
+  EMX_CHECK(!trees_.empty()) << "Fit before Predict";
+  double sum = 0;
+  for (const auto& tree : trees_) sum += tree->PredictProb(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+void LogisticRegression::Fit(const MlDataset& data) {
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  EMX_CHECK_GT(n, 0u);
+
+  // Standardize features.
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < d; ++j) {
+      stddev_[j] += (row[j] - mean_[j]) * (row[j] - mean_[j]);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(n));
+    if (stddev_[j] < 1e-9) stddev_[j] = 1.0;
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0;
+  std::vector<double> grad(d);
+  for (int64_t it = 0; it < options_.iterations; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) {
+        z += weights_[j] * (data.features[i][j] - mean_[j]) / stddev_[j];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = p - static_cast<double>(data.labels[i]);
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] += err * (data.features[i][j] - mean_[j]) / stddev_[j];
+      }
+      grad_b += err;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options_.learning_rate *
+                     (grad[j] * inv_n + options_.l2 * weights_[j]);
+    }
+    bias_ -= options_.learning_rate * grad_b * inv_n;
+  }
+}
+
+double LogisticRegression::PredictProb(const std::vector<double>& features) const {
+  EMX_CHECK_EQ(features.size(), weights_.size());
+  double z = bias_;
+  for (size_t j = 0; j < features.size(); ++j) {
+    z += weights_[j] * (features[j] - mean_[j]) / stddev_[j];
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace baselines
+}  // namespace emx

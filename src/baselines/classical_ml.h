@@ -1,0 +1,128 @@
+#ifndef EMX_BASELINES_CLASSICAL_ML_H_
+#define EMX_BASELINES_CLASSICAL_ML_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emx {
+namespace baselines {
+
+/// Feature matrix + binary labels for the classical matchers.
+struct MlDataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int64_t> labels;
+
+  size_t size() const { return labels.size(); }
+  size_t num_features() const {
+    return features.empty() ? 0 : features[0].size();
+  }
+};
+
+/// Interface shared by the three classifiers Magellan-style systems choose
+/// from (decision tree, random forest, logistic regression).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+  virtual void Fit(const MlDataset& data) = 0;
+  /// P(label = 1 | features).
+  virtual double PredictProb(const std::vector<double>& features) const = 0;
+  virtual std::string name() const = 0;
+
+  int64_t Predict(const std::vector<double>& features) const {
+    return PredictProb(features) >= 0.5 ? 1 : 0;
+  }
+};
+
+/// CART decision tree with Gini impurity.
+class DecisionTree : public BinaryClassifier {
+ public:
+  struct Options {
+    int64_t max_depth = 10;
+    int64_t min_samples_leaf = 2;
+    /// Features considered per split; 0 = all (random forests subsample).
+    int64_t max_features = 0;
+  };
+
+  DecisionTree();
+  explicit DecisionTree(Options options, uint64_t seed = 7)
+      : options_(options), rng_(seed) {}
+
+  void Fit(const MlDataset& data) override;
+  double PredictProb(const std::vector<double>& features) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int64_t feature = -1;  // -1 = leaf
+    double threshold = 0;
+    int64_t left = -1;
+    int64_t right = -1;
+    double prob = 0.5;  // P(1) at leaf
+  };
+
+  int64_t Build(const MlDataset& data, std::vector<int64_t> indices,
+                int64_t depth);
+
+  Options options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+};
+
+/// Bagged ensemble of depth-limited trees with sqrt-feature subsampling.
+class RandomForest : public BinaryClassifier {
+ public:
+  struct Options {
+    int64_t num_trees = 25;
+    int64_t max_depth = 10;
+    int64_t min_samples_leaf = 2;
+  };
+
+  RandomForest();
+  explicit RandomForest(Options options, uint64_t seed = 11)
+      : options_(options), rng_(seed) {}
+
+  void Fit(const MlDataset& data) override;
+  double PredictProb(const std::vector<double>& features) const override;
+  std::string name() const override { return "RandomForest"; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent with feature standardization.
+class LogisticRegression : public BinaryClassifier {
+ public:
+  struct Options {
+    double learning_rate = 0.5;
+    int64_t iterations = 400;
+    double l2 = 1e-4;
+  };
+
+  LogisticRegression();
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  void Fit(const MlDataset& data) override;
+  double PredictProb(const std::vector<double>& features) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+ private:
+  Options options_;
+  std::vector<double> weights_;
+  double bias_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace baselines
+}  // namespace emx
+
+#endif  // EMX_BASELINES_CLASSICAL_ML_H_

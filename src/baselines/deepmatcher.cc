@@ -1,0 +1,200 @@
+#include "baselines/deepmatcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace baselines {
+
+namespace ag = autograd;
+
+DeepMatcherModel::DeepMatcherModel(const Word2Vec& word2vec,
+                                   DeepMatcherOptions options)
+    : word2vec_(word2vec),
+      options_(options),
+      rng_(options.seed),
+      embeddings_(word2vec.vocab_size(), word2vec.dim(), &rng_),
+      encoder_(word2vec.dim(), options.hidden, &rng_),
+      compare_(4 * word2vec.dim(), options.hidden, &rng_,
+               1.0f / std::sqrt(static_cast<float>(4 * word2vec.dim()))),
+      combine_(4 * options.hidden, options.hidden, &rng_,
+               1.0f / std::sqrt(static_cast<float>(4 * options.hidden))),
+      out_(options.hidden, 2, &rng_,
+           1.0f / std::sqrt(static_cast<float>(options.hidden))) {
+  // Initialize the embedding table from the pre-trained word2vec vectors
+  // (the only pre-trained part of DeepMatcher).
+  Tensor& table = embeddings_.Parameters()[0].var.mutable_value();
+  const Tensor& w2v = word2vec.embeddings();
+  EMX_CHECK_EQ(table.size(), w2v.size());
+  std::copy(w2v.data(), w2v.data() + w2v.size(), table.data());
+}
+
+std::vector<int64_t> DeepMatcherModel::EncodeEntity(
+    const std::string& text) const {
+  std::vector<int64_t> ids = word2vec_.Encode(text);
+  ids.resize(static_cast<size_t>(options_.max_tokens), Word2Vec::kPadId);
+  return ids;
+}
+
+Variable DeepMatcherModel::Logits(const std::vector<int64_t>& ids_a,
+                                  const std::vector<int64_t>& ids_b,
+                                  int64_t batch_size, bool train, Rng* rng) {
+  const int64_t t = options_.max_tokens;
+  Variable emb_a = embeddings_.Forward(ids_a, {batch_size, t});
+  Variable emb_b = embeddings_.Forward(ids_b, {batch_size, t});
+
+  Variable ha = encoder_.Forward(emb_a);  // [B, T, 2H]
+  Variable hb = encoder_.Forward(emb_b);
+
+  // Pad masks: 1 where padded. Keys that are padding must receive no
+  // attention; padded query positions must not contribute to the means.
+  auto pad_mask = [&](const std::vector<int64_t>& ids) {
+    Tensor m({batch_size, 1, t});
+    for (int64_t i = 0; i < batch_size * t; ++i) {
+      if (ids[static_cast<size_t>(i)] == Word2Vec::kPadId) {
+        m[(i / t) * t + (i % t)] = 1.0f;
+      }
+    }
+    return m;
+  };
+  Tensor mask_a = pad_mask(ids_a);  // [B, 1, T]
+  Tensor mask_b = pad_mask(ids_b);
+
+  // Per-query averaging weights that skip padded positions.
+  auto mean_weights = [&](const Tensor& mask) {
+    Tensor w({batch_size, 1, t});
+    for (int64_t i = 0; i < batch_size; ++i) {
+      int64_t real = 0;
+      for (int64_t j = 0; j < t; ++j) {
+        if (mask[i * t + j] == 0.0f) ++real;
+      }
+      const float inv = real > 0 ? 1.0f / static_cast<float>(real) : 0.0f;
+      for (int64_t j = 0; j < t; ++j) {
+        w[i * t + j] = mask[i * t + j] == 0.0f ? inv : 0.0f;
+      }
+    }
+    return w;
+  };
+
+  // Decomposable soft alignment: attention weights come from the
+  // contextual GRU states; the *comparison* is between raw word embeddings
+  // (as in DeepMatcher), so identical aligned tokens give a near-zero
+  // difference signal regardless of context.
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(2 * options_.hidden));
+  Variable scores = ag::MulScalar(ag::MatMul(ha, hb, false, true), scale);
+  Variable probs_a = ag::MaskedSoftmax(scores, mask_b);   // [B, Ta, Tb]
+  Variable aligned_b = ag::MatMul(probs_a, emb_b);        // [B, Ta, E]
+  Variable scores_t = ag::Permute(scores, {0, 2, 1});
+  Variable probs_b = ag::MaskedSoftmax(scores_t, mask_a);
+  Variable aligned_a = ag::MatMul(probs_b, emb_a);        // [B, Tb, E]
+
+  auto compare_side = [&](const Variable& emb, const Variable& aligned,
+                          const Tensor& own_mask) {
+    Variable diff = ag::Sub(emb, aligned);
+    Variable prod = ag::Mul(emb, aligned);
+    Variable cat = ag::Concat({emb, aligned, diff, prod}, 2);  // [B, T, 4E]
+    Variable cmp = ag::Relu(compare_.Forward(cat));            // [B, T, H]
+    cmp = ag::Dropout(cmp, options_.dropout, train, rng);
+    Variable w = Variable::Constant(mean_weights(own_mask));   // [B, 1, T]
+    Variable mean_pool = ag::Reshape(ag::MatMul(w, cmp),
+                                     {batch_size, options_.hidden});
+    // Max-pooling catches a single decisive token mismatch (e.g. the model
+    // number) that mean-pooling would wash out across the sequence.
+    Variable max_pool = nn::MaxOverTime(cmp);
+    return ag::Concat({mean_pool, max_pool}, 1);               // [B, 2H]
+  };
+
+  Variable va = compare_side(emb_a, aligned_b, mask_a);
+  Variable vb = compare_side(emb_b, aligned_a, mask_b);
+  Variable joint = ag::Relu(combine_.Forward(ag::Concat({va, vb}, 1)));
+  joint = ag::Dropout(joint, options_.dropout, train, rng);
+  return out_.Forward(joint);
+}
+
+float DeepMatcherModel::Fit(const data::EmDataset& dataset) {
+  nn::AdamOptions adam_opts;
+  adam_opts.lr = options_.learning_rate;
+  nn::Adam adam(Parameters(), adam_opts);
+
+  float last_loss = 0;
+  std::vector<size_t> order(dataset.train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options_.batch_size));
+      const int64_t bsz = static_cast<int64_t>(end - start);
+      std::vector<int64_t> ids_a, ids_b, labels;
+      for (size_t k = start; k < end; ++k) {
+        const auto& pair = dataset.train[order[k]];
+        auto ea = EncodeEntity(dataset.SerializeA(pair));
+        auto eb = EncodeEntity(dataset.SerializeB(pair));
+        ids_a.insert(ids_a.end(), ea.begin(), ea.end());
+        ids_b.insert(ids_b.end(), eb.begin(), eb.end());
+        labels.push_back(pair.label);
+      }
+      adam.ZeroGrad();
+      Variable logits = Logits(ids_a, ids_b, bsz, /*train=*/true, &rng_);
+      Variable loss = ag::CrossEntropy(logits, labels);
+      epoch_loss += loss.value()[0];
+      ++batches;
+      Backward(loss);
+      adam.Step();
+    }
+    last_loss = static_cast<float>(epoch_loss / std::max<int64_t>(1, batches));
+  }
+  return last_loss;
+}
+
+std::vector<int64_t> DeepMatcherModel::Predict(
+    const data::EmDataset& dataset,
+    const std::vector<data::RecordPair>& pairs) {
+  std::vector<int64_t> preds;
+  preds.reserve(pairs.size());
+  for (size_t start = 0; start < pairs.size();
+       start += static_cast<size_t>(options_.batch_size)) {
+    const size_t end = std::min(
+        pairs.size(), start + static_cast<size_t>(options_.batch_size));
+    const int64_t bsz = static_cast<int64_t>(end - start);
+    std::vector<int64_t> ids_a, ids_b;
+    for (size_t k = start; k < end; ++k) {
+      auto ea = EncodeEntity(dataset.SerializeA(pairs[k]));
+      auto eb = EncodeEntity(dataset.SerializeB(pairs[k]));
+      ids_a.insert(ids_a.end(), ea.begin(), ea.end());
+      ids_b.insert(ids_b.end(), eb.begin(), eb.end());
+    }
+    Variable logits = Logits(ids_a, ids_b, bsz, /*train=*/false, &rng_);
+    for (int64_t p : ops::ArgMaxLastAxis(logits.value())) preds.push_back(p);
+  }
+  return preds;
+}
+
+eval::PrfScores DeepMatcherModel::EvaluateTest(const data::EmDataset& dataset) {
+  std::vector<int64_t> labels;
+  for (const auto& p : dataset.test) labels.push_back(p.label);
+  return eval::ComputeScores(Predict(dataset, dataset.test), labels);
+}
+
+void DeepMatcherModel::CollectParameters(const std::string& prefix,
+                                         std::vector<nn::NamedParam>* out) {
+  if (options_.trainable_embeddings) {
+    embeddings_.CollectParameters(nn::JoinName(prefix, "emb"), out);
+  }
+  encoder_.CollectParameters(nn::JoinName(prefix, "encoder"), out);
+  compare_.CollectParameters(nn::JoinName(prefix, "compare"), out);
+  combine_.CollectParameters(nn::JoinName(prefix, "combine"), out);
+  out_.CollectParameters(nn::JoinName(prefix, "out"), out);
+}
+
+}  // namespace baselines
+}  // namespace emx

@@ -1,0 +1,82 @@
+#ifndef EMX_BASELINES_DEEPMATCHER_H_
+#define EMX_BASELINES_DEEPMATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/word2vec.h"
+#include "data/record.h"
+#include "eval/metrics.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "tensor/variable.h"
+
+namespace emx {
+namespace baselines {
+
+/// Options for the DeepMatcher-style baseline.
+struct DeepMatcherOptions {
+  int64_t hidden = 48;
+  int64_t max_tokens = 32;   // per entity
+  int64_t epochs = 10;
+  int64_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  float dropout = 0.1f;
+  /// DeepMatcher keeps its pre-trained word vectors frozen (fastText in the
+  /// original); training them on a few hundred pairs overfits.
+  bool trainable_embeddings = false;
+  uint64_t seed = 19;
+};
+
+/// The paper's "DeepM" baseline: DeepMatcher's hybrid model (Mudgal et al.,
+/// SIGMOD 2018) — pre-trained word embeddings, a bidirectional GRU
+/// summarizer per entity, decomposable soft-alignment attention between the
+/// two entities, and a two-layer classifier over the compared summaries.
+/// Unlike the transformers it has no language-model pre-training: only the
+/// word embeddings are pre-trained (word2vec here, fastText originally),
+/// and the network itself trains from scratch on each EM dataset.
+class DeepMatcherModel : public nn::Module {
+ public:
+  DeepMatcherModel(const Word2Vec& word2vec, DeepMatcherOptions options);
+
+  /// Match logits [B, 2] for token-id batches of the two entities
+  /// (each flattened [B, max_tokens], padded with Word2Vec::kPadId).
+  Variable Logits(const std::vector<int64_t>& ids_a,
+                  const std::vector<int64_t>& ids_b, int64_t batch_size,
+                  bool train, Rng* rng);
+
+  /// Trains on the dataset's train split (serialized entity text, word
+  /// tokens). Returns the loss of the final epoch.
+  float Fit(const data::EmDataset& dataset);
+
+  /// Predictions for an arbitrary pair list.
+  std::vector<int64_t> Predict(const data::EmDataset& dataset,
+                               const std::vector<data::RecordPair>& pairs);
+
+  /// F1 on the dataset's test split.
+  eval::PrfScores EvaluateTest(const data::EmDataset& dataset);
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) override;
+
+  /// Pads/truncates encoded text to max_tokens (exposed for tests).
+  std::vector<int64_t> EncodeEntity(const std::string& text) const;
+
+ private:
+  const Word2Vec& word2vec_;
+  DeepMatcherOptions options_;
+  Rng rng_;
+  nn::Embedding embeddings_;  // initialized from word2vec, fine-tuned
+  nn::BiGru encoder_;
+  nn::Linear compare_;   // [4E] -> H over per-token comparisons
+  nn::Linear combine_;   // [4H] -> H (mean+max pooled, both sides)
+  nn::Linear out_;       // H -> 2
+};
+
+}  // namespace baselines
+}  // namespace emx
+
+#endif  // EMX_BASELINES_DEEPMATCHER_H_

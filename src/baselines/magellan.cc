@@ -1,0 +1,104 @@
+#include "baselines/magellan.h"
+
+#include "util/logging.h"
+
+namespace emx {
+namespace baselines {
+namespace {
+
+constexpr size_t kFeaturesPerAttribute = 9;
+
+}  // namespace
+
+MagellanMatcher::MagellanMatcher() : MagellanMatcher(Options()) {}
+
+size_t MagellanMatcher::num_features() const {
+  return static_cast<size_t>(num_attributes_) * kFeaturesPerAttribute;
+}
+
+std::vector<double> MagellanMatcher::Features(const data::RecordPair& pair) const {
+  std::vector<double> out;
+  out.reserve(num_features());
+  for (int64_t i = 0; i < num_attributes_; ++i) {
+    const std::string& a = pair.a.value(i);
+    const std::string& b = pair.b.value(i);
+    out.push_back(TokenJaccard(a, b));
+    out.push_back(JaroWinklerSimilarity(a.substr(0, 48), b.substr(0, 48)));
+    out.push_back(LevenshteinSimilarity(a.substr(0, 48), b.substr(0, 48)));
+    out.push_back(TokenOverlapCoefficient(a, b));
+    out.push_back(MongeElkanSimilarity(a, b));
+    out.push_back(tfidf_.num_documents() > 0 ? tfidf_.Similarity(a, b) : 0.0);
+    out.push_back(NumericSimilarity(a, b));
+    out.push_back(ExactMatch(a, b));
+    out.push_back(!a.empty() && !b.empty() ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+void MagellanMatcher::Fit(const data::EmDataset& dataset) {
+  num_attributes_ = dataset.schema.size();
+
+  // Fit the TF-IDF model on all attribute values of the training split.
+  std::vector<std::string> docs;
+  for (const auto& p : dataset.train) {
+    for (const auto& v : p.a.values) docs.push_back(v);
+    for (const auto& v : p.b.values) docs.push_back(v);
+  }
+  tfidf_.Fit(docs);
+
+  MlDataset train;
+  for (const auto& p : dataset.train) {
+    train.features.push_back(Features(p));
+    train.labels.push_back(p.label);
+  }
+
+  // Candidate classifiers (Magellan's select_matcher over its default set).
+  std::vector<std::unique_ptr<BinaryClassifier>> candidates;
+  if (options_.try_decision_tree) {
+    candidates.push_back(
+        std::make_unique<DecisionTree>(DecisionTree::Options(), options_.seed));
+  }
+  if (options_.try_random_forest) {
+    candidates.push_back(
+        std::make_unique<RandomForest>(RandomForest::Options(), options_.seed));
+  }
+  if (options_.try_logistic_regression) {
+    candidates.push_back(std::make_unique<LogisticRegression>());
+  }
+  EMX_CHECK(!candidates.empty());
+
+  double best_f1 = -1;
+  for (auto& cand : candidates) {
+    cand->Fit(train);
+    std::vector<int64_t> preds, labels;
+    for (const auto& p : dataset.valid) {
+      preds.push_back(cand->Predict(Features(p)));
+      labels.push_back(p.label);
+    }
+    const double f1 = eval::ComputeScores(preds, labels).f1;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      classifier_ = std::move(cand);
+    }
+  }
+  selected_name_ = classifier_->name();
+}
+
+std::vector<int64_t> MagellanMatcher::Predict(
+    const std::vector<data::RecordPair>& pairs) const {
+  EMX_CHECK(classifier_ != nullptr) << "Fit before Predict";
+  std::vector<int64_t> preds;
+  preds.reserve(pairs.size());
+  for (const auto& p : pairs) preds.push_back(classifier_->Predict(Features(p)));
+  return preds;
+}
+
+eval::PrfScores MagellanMatcher::EvaluateTest(
+    const data::EmDataset& dataset) const {
+  std::vector<int64_t> labels;
+  for (const auto& p : dataset.test) labels.push_back(p.label);
+  return eval::ComputeScores(Predict(dataset.test), labels);
+}
+
+}  // namespace baselines
+}  // namespace emx

@@ -1,0 +1,197 @@
+#include "baselines/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace emx {
+namespace baselines {
+
+int64_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int64_t>(m);
+  if (m == 0) return static_cast<int64_t>(n);
+  std::vector<int64_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int64_t>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double max_len = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / max_len;
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  const int64_t window = std::max<int64_t>(std::max(n, m) / 2 - 1, 0);
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  int64_t matches = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - window);
+    const int64_t hi = std::min<int64_t>(m - 1, i + window);
+    for (int64_t j = lo; j <= hi; ++j) {
+      if (b_matched[static_cast<size_t>(j)]) continue;
+      if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(j)]) continue;
+      a_matched[static_cast<size_t>(i)] = true;
+      b_matched[static_cast<size_t>(j)] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  int64_t transpositions = 0;
+  int64_t k = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!a_matched[static_cast<size_t>(i)]) continue;
+    while (!b_matched[static_cast<size_t>(k)]) ++k;
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(k)]) ++transpositions;
+    ++k;
+  }
+  const double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::set<std::string> TokenSet(std::string_view text) {
+  auto tokens = SplitWhitespace(text);
+  return std::set<std::string>(tokens.begin(), tokens.end());
+}
+
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto sa = TokenSet(a);
+  auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  int64_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - static_cast<size_t>(inter);
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int64_t q) {
+  auto grams = [q](std::string_view s) {
+    std::set<std::string> out;
+    if (static_cast<int64_t>(s.size()) < q) {
+      if (!s.empty()) out.insert(std::string(s));
+      return out;
+    }
+    for (size_t i = 0; i + static_cast<size_t>(q) <= s.size(); ++i) {
+      out.insert(std::string(s.substr(i, static_cast<size_t>(q))));
+    }
+    return out;
+  };
+  auto sa = grams(a);
+  auto sb = grams(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  int64_t inter = 0;
+  for (const auto& g : sa) inter += sb.count(g);
+  const size_t uni = sa.size() + sb.size() - static_cast<size_t>(inter);
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TokenOverlapCoefficient(std::string_view a, std::string_view b) {
+  auto sa = TokenSet(a);
+  auto sb = TokenSet(b);
+  if (sa.empty() || sb.empty()) return sa.empty() && sb.empty() ? 1.0 : 0.0;
+  int64_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  auto ta = SplitWhitespace(a);
+  auto tb = SplitWhitespace(b);
+  if (ta.empty()) return tb.empty() ? 1.0 : 0.0;
+  if (tb.empty()) return 0.0;
+  double total = 0;
+  for (const auto& x : ta) {
+    double best = 0;
+    for (const auto& y : tb) {
+      best = std::max(best, JaroWinklerSimilarity(x, y));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+double ExactMatch(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  float x = 0, y = 0;
+  if (!ParseFloat(Strip(a), &x) || !ParseFloat(Strip(b), &y)) return 0.0;
+  const double mx = std::max(std::abs(x), std::abs(y));
+  if (mx == 0.0) return 1.0;
+  return std::max(0.0, 1.0 - std::abs(static_cast<double>(x) - y) / mx);
+}
+
+void TfIdfCosine::Fit(const std::vector<std::string>& documents) {
+  document_frequency_.clear();
+  num_documents_ = static_cast<int64_t>(documents.size());
+  for (const auto& doc : documents) {
+    for (const auto& tok : TokenSet(doc)) ++document_frequency_[tok];
+  }
+}
+
+double TfIdfCosine::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  const double df = it == document_frequency_.end() ? 0.0
+                                                    : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) + 1.0;
+}
+
+double TfIdfCosine::Similarity(std::string_view a, std::string_view b) const {
+  std::unordered_map<std::string, double> va, vb;
+  for (const auto& t : SplitWhitespace(a)) va[t] += 1.0;
+  for (const auto& t : SplitWhitespace(b)) vb[t] += 1.0;
+  if (va.empty() || vb.empty()) return va.empty() && vb.empty() ? 1.0 : 0.0;
+  double dot = 0, na = 0, nb = 0;
+  for (auto& [t, tf] : va) {
+    tf *= Idf(t);
+    na += tf * tf;
+  }
+  for (auto& [t, tf] : vb) {
+    tf *= Idf(t);
+    nb += tf * tf;
+  }
+  for (const auto& [t, wa] : va) {
+    auto it = vb.find(t);
+    if (it != vb.end()) dot += wa * it->second;
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace baselines
+}  // namespace emx

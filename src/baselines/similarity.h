@@ -1,0 +1,70 @@
+#ifndef EMX_BASELINES_SIMILARITY_H_
+#define EMX_BASELINES_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace emx {
+namespace baselines {
+
+// The classical string-similarity library behind the Magellan-style
+// baseline (Christen, "Data Matching", 2012). All functions return values
+// in [0, 1] where 1 means identical.
+
+/// Levenshtein edit distance (unit costs).
+int64_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); 1 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity (Jaro 1989 — the paper's record-linkage reference).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common prefix (up to 4 chars, p = 0.1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard over whitespace tokens.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard over character q-grams (default trigram).
+double QGramJaccard(std::string_view a, std::string_view b, int64_t q = 3);
+
+/// Overlap coefficient over whitespace tokens: |A∩B| / min(|A|, |B|).
+double TokenOverlapCoefficient(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b` (asymmetric; callers usually average both directions).
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Exact string equality as a 0/1 feature.
+double ExactMatch(std::string_view a, std::string_view b);
+
+/// Relative numeric similarity: 1 - |x-y| / max(|x|, |y|); 0 if either
+/// side does not parse as a number.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// TF-IDF cosine similarity with document frequencies learned from a
+/// corpus of strings (Fit), then applied to pairs (Similarity).
+class TfIdfCosine {
+ public:
+  /// Learns token document frequencies.
+  void Fit(const std::vector<std::string>& documents);
+
+  /// Cosine similarity of the TF-IDF vectors of `a` and `b`.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  int64_t num_documents() const { return num_documents_; }
+
+ private:
+  double Idf(const std::string& token) const;
+
+  std::unordered_map<std::string, int64_t> document_frequency_;
+  int64_t num_documents_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace emx
+
+#endif  // EMX_BASELINES_SIMILARITY_H_

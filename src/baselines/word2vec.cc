@@ -1,0 +1,163 @@
+#include "baselines/word2vec.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace baselines {
+
+Word2Vec Word2Vec::Train(const std::vector<std::string>& corpus,
+                         const Word2VecOptions& options) {
+  Word2Vec model;
+  model.options_ = options;
+
+  // 1. Vocabulary.
+  std::map<std::string, int64_t> counts;
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(corpus.size());
+  for (const auto& doc : corpus) {
+    docs.push_back(SplitWhitespace(ToLower(doc)));
+    for (const auto& w : docs.back()) ++counts[w];
+  }
+  model.words_ = {"<pad>", "<unk>"};
+  for (const auto& [w, c] : counts) {
+    if (c >= options.min_count) model.words_.push_back(w);
+  }
+  for (size_t i = 0; i < model.words_.size(); ++i) {
+    model.word_to_id_[model.words_[i]] = static_cast<int64_t>(i);
+  }
+  const int64_t v = model.num_learned_words();
+
+  // 2. Parameters: input and output embeddings.
+  Rng rng(options.seed);
+  Tensor w_in = Tensor::RandUniform({v, options.dim}, &rng,
+                                    -0.5f / options.dim, 0.5f / options.dim);
+  Tensor w_out = Tensor::Zeros({v, options.dim});
+
+  // 3. Negative-sampling table (unigram^0.75).
+  std::vector<double> sampling_weights(static_cast<size_t>(v), 0.0);
+  for (const auto& [w, c] : counts) {
+    auto it = model.word_to_id_.find(w);
+    if (it != model.word_to_id_.end()) {
+      sampling_weights[static_cast<size_t>(it->second)] =
+          std::pow(static_cast<double>(c), 0.75);
+    }
+  }
+
+  // 4. SGNS training.
+  const float lr = static_cast<float>(options.learning_rate);
+  std::vector<float> grad_center(static_cast<size_t>(options.dim));
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& doc : docs) {
+      std::vector<int64_t> ids;
+      for (const auto& w : doc) {
+        auto it = model.word_to_id_.find(w);
+        if (it != model.word_to_id_.end()) ids.push_back(it->second);
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int64_t center = ids[i];
+        const int64_t win = 1 + static_cast<int64_t>(
+                                    rng.NextUint64(static_cast<uint64_t>(options.window)));
+        for (int64_t off = -win; off <= win; ++off) {
+          if (off == 0) continue;
+          const int64_t j = static_cast<int64_t>(i) + off;
+          if (j < 0 || j >= static_cast<int64_t>(ids.size())) continue;
+          const int64_t context = ids[static_cast<size_t>(j)];
+
+          float* vc = w_in.data() + center * options.dim;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+
+          // One positive + `negatives` sampled updates.
+          for (int64_t n = 0; n <= options.negatives; ++n) {
+            int64_t target;
+            float label;
+            if (n == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = static_cast<int64_t>(rng.NextDiscrete(sampling_weights));
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* vo = w_out.data() + target * options.dim;
+            float dot = 0;
+            for (int64_t d = 0; d < options.dim; ++d) dot += vc[d] * vo[d];
+            const float pred = 1.0f / (1.0f + std::exp(-dot));
+            const float g = (pred - label) * lr;
+            for (int64_t d = 0; d < options.dim; ++d) {
+              grad_center[static_cast<size_t>(d)] += g * vo[d];
+              vo[d] -= g * vc[d];
+            }
+          }
+          for (int64_t d = 0; d < options.dim; ++d) {
+            vc[d] -= grad_center[static_cast<size_t>(d)];
+          }
+        }
+      }
+    }
+  }
+
+  // <pad> stays zero.
+  for (int64_t d = 0; d < options.dim; ++d) w_in[kPadId * options.dim + d] = 0;
+
+  // Append the OOV hash-bucket rows: random but deterministic vectors so
+  // that an unseen token always maps to the same embedding and two
+  // different unseen tokens usually map to different ones (fastText-like).
+  Rng bucket_rng(options.seed ^ 0xfeedbeefULL);
+  Tensor full({v + options.hash_buckets, options.dim});
+  std::copy(w_in.data(), w_in.data() + w_in.size(), full.data());
+  for (int64_t b = 0; b < options.hash_buckets; ++b) {
+    for (int64_t d = 0; d < options.dim; ++d) {
+      // Scale comparable to trained vectors so OOV-identity signals are
+      // not drowned out by in-vocabulary dimensions.
+      full[(v + b) * options.dim + d] =
+          static_cast<float>(bucket_rng.NextGaussian()) * 0.3f;
+    }
+  }
+  model.embeddings_ = std::move(full);
+  return model;
+}
+
+int64_t Word2Vec::WordId(const std::string& word) const {
+  const std::string lower = ToLower(word);
+  auto it = word_to_id_.find(lower);
+  if (it != word_to_id_.end()) return it->second;
+  if (options_.hash_buckets <= 0) return kUnkId;
+  // FNV-1a hash into the bucket range.
+  uint64_t hash = 1469598103934665603ULL;
+  for (char ch : lower) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ULL;
+  }
+  return num_learned_words() +
+         static_cast<int64_t>(hash % static_cast<uint64_t>(options_.hash_buckets));
+}
+
+std::vector<int64_t> Word2Vec::Encode(const std::string& text) const {
+  std::vector<int64_t> ids;
+  for (const auto& w : SplitWhitespace(ToLower(text))) ids.push_back(WordId(w));
+  return ids;
+}
+
+double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
+  const int64_t ia = WordId(a);
+  const int64_t ib = WordId(b);
+  if (ia == kUnkId || ib == kUnkId) return 0.0;
+  // Note: OOV bucket vectors participate like any other row.
+  const float* va = embeddings_.data() + ia * options_.dim;
+  const float* vb = embeddings_.data() + ib * options_.dim;
+  double dot = 0, na = 0, nb = 0;
+  for (int64_t d = 0; d < options_.dim; ++d) {
+    dot += va[d] * vb[d];
+    na += va[d] * va[d];
+    nb += vb[d] * vb[d];
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace baselines
+}  // namespace emx

@@ -1,0 +1,78 @@
+#ifndef EMX_BASELINES_WORD2VEC_H_
+#define EMX_BASELINES_WORD2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace baselines {
+
+/// Options for skip-gram-with-negative-sampling training.
+struct Word2VecOptions {
+  int64_t dim = 64;
+  int64_t window = 4;
+  int64_t negatives = 5;
+  int64_t epochs = 3;
+  double learning_rate = 0.05;
+  int64_t min_count = 2;
+  /// Out-of-vocabulary words map to one of this many hash buckets with
+  /// random (but deterministic per string) vectors — mimicking fastText's
+  /// property that unseen tokens still get distinct, stable embeddings.
+  /// The discriminative tokens in EM data (model numbers, track times) are
+  /// precisely the rare ones, so collapsing them to one <unk> vector would
+  /// destroy the signal.
+  int64_t hash_buckets = 512;
+  uint64_t seed = 17;
+};
+
+/// Skip-gram word2vec (Mikolov et al. 2013) trained with negative sampling.
+/// DeepMatcher loads pre-trained word embeddings (fastText in the original);
+/// this corpus-trained equivalent plays that role here.
+///
+/// Ids 0 and 1 are reserved for <pad> and <unk>.
+class Word2Vec {
+ public:
+  static Word2Vec Train(const std::vector<std::string>& corpus,
+                        const Word2VecOptions& options);
+
+  /// Word id or the <unk> id for unknown words (input is lower-cased).
+  int64_t WordId(const std::string& word) const;
+
+  /// Encodes whitespace-split, lower-cased text to ids.
+  std::vector<int64_t> Encode(const std::string& text) const;
+
+  /// Input-embedding matrix [vocab + hash_buckets, dim]; row 0 (<pad>) is
+  /// zero. Bucket rows live after the learned vocabulary.
+  const Tensor& embeddings() const { return embeddings_; }
+
+  /// Learned words plus OOV hash buckets (the embedding row count).
+  int64_t vocab_size() const {
+    return static_cast<int64_t>(words_.size()) + options_.hash_buckets;
+  }
+  int64_t num_learned_words() const {
+    return static_cast<int64_t>(words_.size());
+  }
+  int64_t dim() const { return options_.dim; }
+
+  static constexpr int64_t kPadId = 0;
+  static constexpr int64_t kUnkId = 1;
+
+  /// Cosine similarity between two words' vectors (0 when either unknown).
+  double Similarity(const std::string& a, const std::string& b) const;
+
+ private:
+  Word2VecOptions options_;
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int64_t> word_to_id_;
+  Tensor embeddings_;
+};
+
+}  // namespace baselines
+}  // namespace emx
+
+#endif  // EMX_BASELINES_WORD2VEC_H_

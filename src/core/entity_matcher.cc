@@ -1,0 +1,195 @@
+#include "core/entity_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace emx {
+namespace core {
+
+namespace ag = autograd;
+
+EntityMatcher::EntityMatcher(pretrain::PretrainedBundle bundle,
+                             uint64_t head_seed)
+    : tokenizer_(std::move(bundle.tokenizer)), rng_(head_seed) {
+  Rng head_rng(head_seed);
+  classifier_ = std::make_unique<models::SequencePairClassifier>(
+      std::move(bundle.model), &head_rng);
+}
+
+models::Batch EntityMatcher::BuildBatch(const std::vector<std::string>& texts_a,
+                                        const std::vector<std::string>& texts_b,
+                                        int64_t max_seq_len) const {
+  EMX_CHECK_EQ(texts_a.size(), texts_b.size());
+  const int64_t b = static_cast<int64_t>(texts_a.size());
+  models::Batch batch;
+  batch.batch_size = b;
+  batch.seq_len = max_seq_len;
+  std::vector<float> pad_flags;
+  pad_flags.reserve(static_cast<size_t>(b * max_seq_len));
+  for (int64_t i = 0; i < b; ++i) {
+    tokenizers::EncodedPair enc = tokenizer_->EncodePair(
+        texts_a[static_cast<size_t>(i)], texts_b[static_cast<size_t>(i)],
+        max_seq_len);
+    batch.ids.insert(batch.ids.end(), enc.ids.begin(), enc.ids.end());
+    batch.segment_ids.insert(batch.segment_ids.end(), enc.segment_ids.begin(),
+                             enc.segment_ids.end());
+    pad_flags.insert(pad_flags.end(), enc.attention_mask.begin(),
+                     enc.attention_mask.end());
+  }
+  batch.attention_mask = models::Batch::MakeMask(pad_flags, b, max_seq_len);
+  return batch;
+}
+
+std::vector<EpochRecord> EntityMatcher::FineTune(const data::EmDataset& dataset,
+                                                 const FineTuneOptions& options,
+                                                 bool eval_each_epoch) {
+  eval_max_seq_len_ = options.max_seq_len;
+  rng_.Seed(options.seed);
+  if (options.dropout >= 0.0f) {
+    classifier_->backbone()->set_dropout(options.dropout);
+  }
+
+  nn::AdamOptions adam_opts;
+  adam_opts.lr = options.learning_rate;
+  nn::Adam adam(classifier_->Parameters(), adam_opts);
+
+  // Computed after the (possibly oversampled) order is built, below.
+  int64_t steps_per_epoch = 0;
+  std::vector<EpochRecord> series;
+  if (eval_each_epoch) {
+    // Epoch 0: zero-shot performance of the pre-trained model + untrained
+    // head (the paper's "before fine tuning" data point).
+    EpochRecord zero;
+    zero.epoch = 0;
+    zero.test_f1 = Evaluate(dataset, dataset.test).f1;
+    series.push_back(zero);
+  }
+
+  // Epoch ordering; with balance_classes each positive pair appears
+  // ~neg/pos times per epoch so the loss is not dominated by the majority
+  // class (equivalent to DeepMatcher's positive-class weighting).
+  std::vector<size_t> order;
+  {
+    size_t positives = 0;
+    for (const auto& p : dataset.train) positives += p.label == 1 ? 1 : 0;
+    const size_t negatives = dataset.train.size() - positives;
+    const size_t repeat =
+        options.balance_classes && positives > 0
+            ? std::max<size_t>(1, (negatives + positives / 2) / positives)
+            : 1;
+    for (size_t i = 0; i < dataset.train.size(); ++i) {
+      const size_t copies = dataset.train[i].label == 1 ? repeat : 1;
+      for (size_t c2 = 0; c2 < copies; ++c2) order.push_back(i);
+    }
+  }
+
+  steps_per_epoch = std::max<int64_t>(
+      1, (static_cast<int64_t>(order.size()) + options.batch_size - 1) /
+             options.batch_size);
+  const int64_t total_steps = steps_per_epoch * options.epochs;
+  nn::LinearWarmupSchedule schedule(
+      options.learning_rate,
+      std::max<int64_t>(
+          1, static_cast<int64_t>(total_steps * options.warmup_fraction)),
+      total_steps);
+
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Timer epoch_timer;
+    rng_.Shuffle(&order);
+    double epoch_loss = 0;
+    int64_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options.batch_size));
+      std::vector<std::string> texts_a, texts_b;
+      std::vector<int64_t> labels;
+      for (size_t k = start; k < end; ++k) {
+        const auto& pair = dataset.train[order[k]];
+        texts_a.push_back(dataset.SerializeA(pair));
+        texts_b.push_back(dataset.SerializeB(pair));
+        labels.push_back(pair.label);
+      }
+      models::Batch batch = BuildBatch(texts_a, texts_b, options.max_seq_len);
+      adam.ZeroGrad();
+      Variable logits = classifier_->Logits(batch, /*train=*/true, &rng_);
+      Variable loss = ag::CrossEntropy(logits, labels);
+      epoch_loss += loss.value()[0];
+      ++batches;
+      Backward(loss);
+      adam.Step(schedule.LearningRate(step++));
+    }
+    const double train_seconds = epoch_timer.ElapsedSeconds();
+
+    EpochRecord rec;
+    rec.epoch = epoch + 1;
+    rec.train_loss = epoch_loss / std::max<int64_t>(1, batches);
+    rec.seconds = train_seconds;
+    if (eval_each_epoch || epoch + 1 == options.epochs) {
+      rec.test_f1 = Evaluate(dataset, dataset.test).f1;
+      series.push_back(rec);
+    }
+  }
+  return series;
+}
+
+std::vector<int64_t> EntityMatcher::Predict(
+    const data::EmDataset& dataset,
+    const std::vector<data::RecordPair>& pairs) {
+  std::vector<int64_t> preds;
+  preds.reserve(pairs.size());
+  constexpr int64_t kEvalBatch = 32;
+  for (size_t start = 0; start < pairs.size();
+       start += static_cast<size_t>(kEvalBatch)) {
+    const size_t end =
+        std::min(pairs.size(), start + static_cast<size_t>(kEvalBatch));
+    std::vector<std::string> texts_a, texts_b;
+    for (size_t k = start; k < end; ++k) {
+      texts_a.push_back(dataset.SerializeA(pairs[k]));
+      texts_b.push_back(dataset.SerializeB(pairs[k]));
+    }
+    models::Batch batch = BuildBatch(texts_a, texts_b, eval_max_seq_len_);
+    for (int64_t p : classifier_->Predict(batch, &rng_)) preds.push_back(p);
+  }
+  return preds;
+}
+
+eval::PrfScores EntityMatcher::Evaluate(
+    const data::EmDataset& dataset,
+    const std::vector<data::RecordPair>& pairs) {
+  std::vector<int64_t> labels;
+  labels.reserve(pairs.size());
+  for (const auto& p : pairs) labels.push_back(p.label);
+  return eval::ComputeScores(Predict(dataset, pairs), labels);
+}
+
+double EntityMatcher::MatchProbability(std::string_view text_a,
+                                       std::string_view text_b) {
+  models::Batch batch = BuildBatch({std::string(text_a)},
+                                   {std::string(text_b)}, eval_max_seq_len_);
+  Variable logits = classifier_->Logits(batch, /*train=*/false, &rng_);
+  Tensor probs = ops::Softmax(logits.value());
+  return probs[1];
+}
+
+bool EntityMatcher::Match(std::string_view text_a, std::string_view text_b) {
+  return MatchProbability(text_a, text_b) >= 0.5;
+}
+
+Status EntityMatcher::Save(const std::string& path) {
+  return nn::SaveParameters(path, classifier_->Parameters());
+}
+
+Status EntityMatcher::Load(const std::string& path) {
+  return nn::LoadParameters(path, classifier_->Parameters());
+}
+
+}  // namespace core
+}  // namespace emx

@@ -1,0 +1,82 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace core {
+
+ArchSeries RunFineTuneSeries(models::Architecture arch, data::DatasetId dataset,
+                             const ExperimentOptions& options) {
+  data::EmDataset ds = data::GenerateDataset(dataset, options.dataset);
+
+  // One F1 trajectory per run: [epochs + 1] (epoch 0 = zero-shot).
+  std::vector<std::vector<double>> trajectories;
+  std::vector<double> epoch_seconds;
+
+  for (int64_t run = 0; run < options.runs; ++run) {
+    auto bundle = pretrain::GetPretrained(arch, options.zoo);
+    EMX_CHECK(bundle.ok()) << bundle.status().ToString();
+    EntityMatcher matcher(std::move(bundle).value(),
+                          options.run_seed_base + static_cast<uint64_t>(run));
+    FineTuneOptions ft = options.fine_tune;
+    ft.seed = options.run_seed_base + static_cast<uint64_t>(run) * 7919;
+    auto records = matcher.FineTune(ds, ft, /*eval_each_epoch=*/true);
+
+    std::vector<double> f1s;
+    for (const auto& r : records) {
+      f1s.push_back(r.test_f1);
+      if (r.epoch > 0) epoch_seconds.push_back(r.seconds);
+    }
+    trajectories.push_back(std::move(f1s));
+  }
+
+  ArchSeries out;
+  out.arch = arch;
+  const size_t epochs = trajectories[0].size();
+  for (size_t e = 0; e < epochs; ++e) {
+    std::vector<double> vals;
+    for (const auto& t : trajectories) vals.push_back(t[e]);
+    auto stats = eval::MeanStddev(vals);
+    out.f1_mean.push_back(stats.mean);
+    out.f1_stddev.push_back(stats.stddev);
+  }
+  out.seconds_per_epoch = eval::MeanStddev(epoch_seconds).mean;
+  out.best_f1 = *std::max_element(out.f1_mean.begin(), out.f1_mean.end());
+  return out;
+}
+
+std::vector<ArchSeries> RunAllArchitectures(data::DatasetId dataset,
+                                            const ExperimentOptions& options) {
+  std::vector<ArchSeries> all;
+  for (auto arch : {models::Architecture::kBert, models::Architecture::kDistilBert,
+                    models::Architecture::kRoberta, models::Architecture::kXlnet}) {
+    all.push_back(RunFineTuneSeries(arch, dataset, options));
+  }
+  return all;
+}
+
+std::string FormatFigure(const std::string& title,
+                         const std::vector<ArchSeries>& series) {
+  std::string out = title + "\n";
+  out += StrFormat("%-7s", "epoch");
+  for (const auto& s : series) {
+    out += StrFormat("%12s", models::ArchitectureName(s.arch));
+  }
+  out += "\n";
+  const size_t epochs = series.empty() ? 0 : series[0].f1_mean.size();
+  for (size_t e = 0; e < epochs; ++e) {
+    out += StrFormat("%-7zu", e);
+    for (const auto& s : series) {
+      out += StrFormat("%12.1f", s.f1_mean[e] * 100.0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace emx

@@ -1,0 +1,59 @@
+#ifndef EMX_CORE_EXPERIMENT_H_
+#define EMX_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "data/generators.h"
+#include "models/config.h"
+#include "pretrain/model_zoo.h"
+
+namespace emx {
+namespace core {
+
+/// Configuration of one paper experiment: which dataset (and at what
+/// generation scale), the model-zoo settings, the fine-tuning recipe, and
+/// how many runs to average (the paper averages five).
+struct ExperimentOptions {
+  data::GeneratorOptions dataset;
+  pretrain::ZooOptions zoo;
+  FineTuneOptions fine_tune;
+  int64_t runs = 1;
+  uint64_t run_seed_base = 1000;
+};
+
+/// Per-architecture averaged fine-tuning trajectory — the data behind the
+/// paper's Figures 10-14 (F1 vs epoch) and Table 6 (seconds per epoch).
+struct ArchSeries {
+  models::Architecture arch;
+  /// f1_mean[e] is the test-set F1 after e epochs (index 0 = zero-shot),
+  /// averaged over `runs`.
+  std::vector<double> f1_mean;
+  std::vector<double> f1_stddev;
+  /// Mean wall-clock seconds per fine-tuning epoch.
+  double seconds_per_epoch = 0;
+  /// Best (peak) mean F1 across epochs.
+  double best_f1 = 0;
+};
+
+/// Fine-tunes one architecture on one dataset `runs` times and averages
+/// the per-epoch F1 series. The pre-trained starting point comes from the
+/// zoo cache, so every run starts from the same checkpoint with a
+/// different fine-tuning seed — matching the paper's protocol.
+ArchSeries RunFineTuneSeries(models::Architecture arch, data::DatasetId dataset,
+                             const ExperimentOptions& options);
+
+/// Runs all four architectures (the head-to-head of Section 5.4).
+std::vector<ArchSeries> RunAllArchitectures(data::DatasetId dataset,
+                                            const ExperimentOptions& options);
+
+/// Formats an aligned text table of F1-vs-epoch series (one column per
+/// architecture) — the textual rendering of a paper figure.
+std::string FormatFigure(const std::string& title,
+                         const std::vector<ArchSeries>& series);
+
+}  // namespace core
+}  // namespace emx
+
+#endif  // EMX_CORE_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+#include "data/blocking.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace emx {
+namespace data {
+
+std::vector<std::string> TokenBlocker::IndexTokens(const Schema& schema,
+                                                   const Record& r,
+                                                   int64_t only_attribute) const {
+  const std::string text = SerializeRecord(schema, r, only_attribute);
+  auto tokens = SplitWhitespace(ToLower(text));
+  std::set<std::string> unique(tokens.begin(), tokens.end());
+  return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+void TokenBlocker::IndexRight(const Schema& schema,
+                              const std::vector<Record>& right,
+                              int64_t only_attribute) {
+  inverted_.clear();
+  token_df_.clear();
+  num_right_ = static_cast<int64_t>(right.size());
+  for (int64_t i = 0; i < num_right_; ++i) {
+    for (const auto& tok :
+         IndexTokens(schema, right[static_cast<size_t>(i)], only_attribute)) {
+      inverted_[tok].push_back(i);
+      ++token_df_[tok];
+    }
+  }
+  // Drop overly common tokens from the index entirely.
+  const int64_t df_cutoff = static_cast<int64_t>(
+      static_cast<double>(num_right_) * options_.max_token_frequency);
+  for (auto it = inverted_.begin(); it != inverted_.end();) {
+    if (token_df_[it->first] > std::max<int64_t>(1, df_cutoff)) {
+      it = inverted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> TokenBlocker::Candidates(
+    const Schema& schema, const std::vector<Record>& left,
+    int64_t only_attribute) const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  std::unordered_map<int64_t, int64_t> shared;  // right index -> count
+  for (int64_t li = 0; li < static_cast<int64_t>(left.size()); ++li) {
+    shared.clear();
+    for (const auto& tok :
+         IndexTokens(schema, left[static_cast<size_t>(li)], only_attribute)) {
+      auto it = inverted_.find(tok);
+      if (it == inverted_.end()) continue;
+      for (int64_t ri : it->second) ++shared[ri];
+    }
+    std::vector<std::pair<int64_t, int64_t>> scored;  // (count, right idx)
+    for (const auto& [ri, count] : shared) {
+      if (count >= options_.min_shared_tokens) scored.push_back({count, ri});
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    int64_t kept = 0;
+    for (const auto& [count, ri] : scored) {
+      if (options_.max_candidates_per_record > 0 &&
+          kept >= options_.max_candidates_per_record) {
+        break;
+      }
+      out.push_back({li, ri});
+      ++kept;
+    }
+  }
+  return out;
+}
+
+double TokenBlocker::ReductionRatio(int64_t num_candidates, int64_t num_left,
+                                    int64_t num_right) {
+  const double total = static_cast<double>(num_left) * static_cast<double>(num_right);
+  return total <= 0 ? 0.0 : static_cast<double>(num_candidates) / total;
+}
+
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,70 @@
+#ifndef EMX_DATA_BLOCKING_H_
+#define EMX_DATA_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/record.h"
+
+namespace emx {
+namespace data {
+
+/// Candidate generation ("blocking") — the step of the EM pipeline that
+/// precedes pair classification (Christen 2012, Konda et al. 2016): instead
+/// of scoring all |A| x |B| pairs, an inverted token index proposes only
+/// pairs that share enough rare tokens. The matchers in this library then
+/// classify the surviving candidates.
+struct BlockerOptions {
+  /// Minimum number of shared index tokens for a pair to become a
+  /// candidate.
+  int64_t min_shared_tokens = 2;
+  /// Tokens appearing in more than this fraction of records are too common
+  /// to block on (stop-word style cutoff).
+  double max_token_frequency = 0.25;
+  /// Upper bound on candidates returned per left record (best-first by
+  /// shared-token count; 0 = unlimited).
+  int64_t max_candidates_per_record = 20;
+};
+
+/// Token-overlap blocker over two record collections with a shared schema.
+class TokenBlocker {
+ public:
+  explicit TokenBlocker(BlockerOptions options = BlockerOptions{})
+      : options_(options) {}
+
+  /// Indexes the right-hand collection. Serialization uses all attributes
+  /// (or `only_attribute` when >= 0, matching EmDataset semantics).
+  void IndexRight(const Schema& schema, const std::vector<Record>& right,
+                  int64_t only_attribute = -1);
+
+  /// Candidate (left_index, right_index) pairs for the given left records,
+  /// sorted by decreasing shared-token count within each left record.
+  std::vector<std::pair<int64_t, int64_t>> Candidates(
+      const Schema& schema, const std::vector<Record>& left,
+      int64_t only_attribute = -1) const;
+
+  /// Fraction of the full cross product that survived blocking (after a
+  /// Candidates call): |candidates| / (|left| * |right|).
+  static double ReductionRatio(int64_t num_candidates, int64_t num_left,
+                               int64_t num_right);
+
+  int64_t indexed_size() const { return num_right_; }
+
+ private:
+  std::vector<std::string> IndexTokens(const Schema& schema, const Record& r,
+                                       int64_t only_attribute) const;
+
+  BlockerOptions options_;
+  int64_t num_right_ = 0;
+  std::unordered_map<std::string, std::vector<int64_t>> inverted_;
+  /// Document frequency per token over the indexed collection.
+  std::unordered_map<std::string, int64_t> token_df_;
+};
+
+}  // namespace data
+}  // namespace emx
+
+#endif  // EMX_DATA_BLOCKING_H_

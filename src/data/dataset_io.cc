@@ -1,0 +1,114 @@
+#include "data/dataset_io.h"
+
+#include <filesystem>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace data {
+namespace {
+
+constexpr const char* kMetadataFile = "metadata.csv";
+
+CsvTable PairsToCsv(const Schema& schema,
+                    const std::vector<RecordPair>& pairs) {
+  CsvTable table;
+  table.header.push_back("label");
+  for (const auto& a : schema.attributes) table.header.push_back("left_" + a);
+  for (const auto& a : schema.attributes) table.header.push_back("right_" + a);
+  for (const auto& p : pairs) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(p.label));
+    for (const auto& v : p.a.values) row.push_back(v);
+    for (const auto& v : p.b.values) row.push_back(v);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<std::vector<RecordPair>> CsvToPairs(const CsvTable& table,
+                                           int64_t num_attrs) {
+  if (static_cast<int64_t>(table.header.size()) != 1 + 2 * num_attrs) {
+    return Status::InvalidArgument("pair CSV width does not match schema");
+  }
+  std::vector<RecordPair> pairs;
+  pairs.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    RecordPair p;
+    int64_t label = 0;
+    if (!ParseInt(row[0], &label) || (label != 0 && label != 1)) {
+      return Status::InvalidArgument("bad label '" + row[0] + "'");
+    }
+    p.label = label;
+    for (int64_t i = 0; i < num_attrs; ++i) {
+      p.a.values.push_back(row[static_cast<size_t>(1 + i)]);
+    }
+    for (int64_t i = 0; i < num_attrs; ++i) {
+      p.b.values.push_back(row[static_cast<size_t>(1 + num_attrs + i)]);
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Status SaveDataset(const EmDataset& dataset, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IoError("cannot create directory " + directory);
+
+  CsvTable meta;
+  meta.header = {"name", "dataset_id", "serialize_only_attribute"};
+  meta.rows.push_back({dataset.name,
+                       std::to_string(static_cast<int>(dataset.id)),
+                       std::to_string(dataset.serialize_only_attribute)});
+  EMX_RETURN_IF_ERROR(WriteCsv(directory + "/" + kMetadataFile, meta));
+
+  EMX_RETURN_IF_ERROR(WriteCsv(directory + "/train.csv",
+                               PairsToCsv(dataset.schema, dataset.train)));
+  EMX_RETURN_IF_ERROR(WriteCsv(directory + "/valid.csv",
+                               PairsToCsv(dataset.schema, dataset.valid)));
+  EMX_RETURN_IF_ERROR(WriteCsv(directory + "/test.csv",
+                               PairsToCsv(dataset.schema, dataset.test)));
+  return Status::OK();
+}
+
+Result<EmDataset> LoadDataset(const std::string& directory) {
+  EMX_ASSIGN_OR_RETURN(CsvTable meta,
+                       ReadCsv(directory + "/" + kMetadataFile));
+  if (meta.rows.size() != 1 || meta.header.size() < 3) {
+    return Status::InvalidArgument("bad metadata file in " + directory);
+  }
+  EmDataset ds;
+  ds.name = meta.rows[0][0];
+  int64_t id = 0;
+  int64_t only_attr = -1;
+  if (!ParseInt(meta.rows[0][1], &id) || !ParseInt(meta.rows[0][2], &only_attr)) {
+    return Status::InvalidArgument("bad metadata values in " + directory);
+  }
+  ds.id = static_cast<DatasetId>(id);
+  ds.serialize_only_attribute = only_attr;
+
+  EMX_ASSIGN_OR_RETURN(CsvTable train_csv, ReadCsv(directory + "/train.csv"));
+  // Reconstruct the schema from left_ columns.
+  for (const auto& col : train_csv.header) {
+    if (StartsWith(col, "left_")) {
+      ds.schema.attributes.push_back(col.substr(5));
+    }
+  }
+  if (ds.schema.attributes.empty()) {
+    return Status::InvalidArgument("no left_ columns in " + directory);
+  }
+  const int64_t k = ds.schema.size();
+  EMX_ASSIGN_OR_RETURN(ds.train, CsvToPairs(train_csv, k));
+  EMX_ASSIGN_OR_RETURN(CsvTable valid_csv, ReadCsv(directory + "/valid.csv"));
+  EMX_ASSIGN_OR_RETURN(ds.valid, CsvToPairs(valid_csv, k));
+  EMX_ASSIGN_OR_RETURN(CsvTable test_csv, ReadCsv(directory + "/test.csv"));
+  EMX_ASSIGN_OR_RETURN(ds.test, CsvToPairs(test_csv, k));
+  return ds;
+}
+
+}  // namespace data
+}  // namespace emx

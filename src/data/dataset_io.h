@@ -1,0 +1,30 @@
+#ifndef EMX_DATA_DATASET_IO_H_
+#define EMX_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/record.h"
+#include "util/status.h"
+
+namespace emx {
+namespace data {
+
+/// Persists an EmDataset as three CSV files (train/valid/test) in the
+/// Magellan pair format: for a schema {a1, ..., ak} the header is
+///   label, left_a1, ..., left_ak, right_a1, ..., right_ak
+/// plus a small metadata file recording the dataset name and the
+/// serialize-only attribute. Lets users inspect the generated data, edit
+/// it, or feed their own labeled pairs into the matchers.
+///
+/// Files written under `directory`:
+///   metadata.csv  train.csv  valid.csv  test.csv
+Status SaveDataset(const EmDataset& dataset, const std::string& directory);
+
+/// Loads a dataset written by SaveDataset (or hand-authored in the same
+/// format). The schema is reconstructed from the header's left_ columns.
+Result<EmDataset> LoadDataset(const std::string& directory);
+
+}  // namespace data
+}  // namespace emx
+
+#endif  // EMX_DATA_DATASET_IO_H_

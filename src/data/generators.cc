@@ -1,0 +1,547 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+
+#include "data/noise.h"
+#include "data/pools.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace data {
+namespace {
+
+template <typename T>
+const T& Pick(const std::vector<T>& pool, Rng* rng) {
+  return pool[rng->NextUint64(pool.size())];
+}
+
+// =====================================================================
+// Products (Abt-Buy, Walmart-Amazon)
+// =====================================================================
+
+/// Renders a model number the way a second data source might: sometimes a
+/// dash at the letter/digit boundary, sometimes split into two tokens,
+/// sometimes with a typo. Exact-string features degrade on these variants
+/// while subword models still align them.
+std::string FormatModelVariant(const std::string& model, Rng* rng) {
+  const double roll = rng->NextDouble();
+  if (roll < 0.18) {
+    // Insert '-' at the first letter->digit boundary.
+    for (size_t i = 1; i < model.size(); ++i) {
+      const bool boundary = (std::isalpha(static_cast<unsigned char>(model[i - 1])) &&
+                             std::isdigit(static_cast<unsigned char>(model[i])));
+      if (boundary) {
+        return model.substr(0, i) + "-" + model.substr(i);
+      }
+    }
+    return model;
+  }
+  if (roll < 0.28) {
+    // Split into two tokens at the same boundary.
+    for (size_t i = 1; i < model.size(); ++i) {
+      const bool boundary = (std::isalpha(static_cast<unsigned char>(model[i - 1])) &&
+                             std::isdigit(static_cast<unsigned char>(model[i])));
+      if (boundary) {
+        return model.substr(0, i) + " " + model.substr(i);
+      }
+    }
+    return model;
+  }
+  if (roll < 0.34) return Typo(model, rng);
+  return model;
+}
+
+struct ProductEntity {
+  std::string brand;
+  std::string series;  // marketing word, e.g. "zen"
+  std::string model;   // the discriminating token, e.g. "zs551kl"
+  std::string type;
+  std::string color;
+  int64_t storage_gb;
+  int64_t size_tenths;  // display size * 10
+  double price;
+  std::vector<std::string> adjectives;
+  std::vector<std::string> features;
+  std::string category;
+};
+
+std::string SeriesWord(Rng* rng) {
+  static const char* kSeries[] = {"zen",  "pro",  "max",  "air",  "neo",
+                                  "plus", "lite", "prime", "core", "edge"};
+  return kSeries[rng->NextUint64(10)];
+}
+
+ProductEntity MakeProduct(Rng* rng) {
+  ProductEntity e;
+  e.brand = Pick(BrandPool(), rng);
+  e.series = SeriesWord(rng);
+  e.model = RandomModelNumber(rng);
+  e.type = Pick(ProductTypePool(), rng);
+  e.color = Pick(ColorPool(), rng);
+  e.storage_gb = 16 << rng->NextUint64(5);  // 16..256
+  e.size_tenths = 40 + static_cast<int64_t>(rng->NextUint64(300));
+  e.price = 40.0 + rng->NextDouble() * 1200.0;
+  for (int i = 0; i < 3; ++i) e.adjectives.push_back(Pick(AdjectivePool(), rng));
+  for (int i = 0; i < 3; ++i) e.features.push_back(Pick(FeaturePool(), rng));
+  e.category = Pick(CategoryPool(), rng);
+  return e;
+}
+
+/// A hard sibling: same brand/series/type family, different model & specs.
+ProductEntity MakeProductSibling(const ProductEntity& base, Rng* rng) {
+  ProductEntity e = base;
+  e.model = SimilarModelNumber(base.model, rng);
+  // Same family, but siblings routinely differ in line or form factor too.
+  if (rng->NextBernoulli(0.35)) e.type = Pick(ProductTypePool(), rng);
+  if (rng->NextBernoulli(0.35)) e.series = SeriesWord(rng);
+  e.size_tenths = 40 + static_cast<int64_t>(rng->NextUint64(300));
+  e.color = Pick(ColorPool(), rng);
+  e.storage_gb = 16 << rng->NextUint64(5);
+  e.price = base.price * (0.85 + rng->NextDouble() * 0.3);
+  e.adjectives.clear();
+  e.features.clear();
+  for (int i = 0; i < 3; ++i) e.adjectives.push_back(Pick(AdjectivePool(), rng));
+  for (int i = 0; i < 3; ++i) e.features.push_back(Pick(FeaturePool(), rng));
+  return e;
+}
+
+std::string ProductSize(const ProductEntity& e) {
+  return StrFormat("%lld.%lld", static_cast<long long>(e.size_tenths / 10),
+                   static_cast<long long>(e.size_tenths % 10));
+}
+
+/// Long textual description, Abt.com style (view A).
+std::string ProductDescriptionA(const ProductEntity& e, Rng* rng) {
+  std::string model = rng->NextBernoulli(0.08) ? "" : FormatModelVariant(e.model, rng);
+  std::string s = StrFormat(
+      "the %s %s %s %s . %s and %s , it features %s and %s . %s - inch "
+      "display , %lld gb , %s finish . %s .",
+      e.brand.c_str(), e.series.c_str(), model.c_str(), e.type.c_str(),
+      e.adjectives[0].c_str(), e.adjectives[1].c_str(), e.features[0].c_str(),
+      e.features[1].c_str(), ProductSize(e).c_str(),
+      static_cast<long long>(e.storage_gb), e.color.c_str(),
+      Pick(FillerPhrasePool(), rng).c_str());
+  if (rng->NextBernoulli(0.3)) s = ShuffleTokensLightly(s, rng);
+  return DropTokens(s, 0.05, rng);
+}
+
+/// Long textual description, Buy.com style (view B): different template,
+/// some shared and some different facts.
+std::string ProductDescriptionB(const ProductEntity& e, Rng* rng) {
+  std::string model = rng->NextBernoulli(0.08) ? "" : FormatModelVariant(e.model, rng);
+  std::string s = StrFormat(
+      "%s 's %s %s %s - %s , a %s - inch model in %s with %lld gb storage . "
+      "%s . a %s choice priced around %s dollars .",
+      e.brand.c_str(), model.c_str(), e.series.c_str(), e.type.c_str(),
+      e.features[2].c_str(), ProductSize(e).c_str(), e.color.c_str(),
+      static_cast<long long>(e.storage_gb), Pick(FillerPhrasePool(), rng).c_str(),
+      e.adjectives[2].c_str(), PerturbPrice(e.price, 0.3, rng).c_str());
+  if (rng->NextBernoulli(0.3)) s = ShuffleTokensLightly(s, rng);
+  return DropTokens(s, 0.05, rng);
+}
+
+/// Abt-Buy record: [name, description, price]; only description is used by
+/// the transformers (the paper ignores the informative title).
+Record AbtBuyRecordA(const ProductEntity& e, Rng* rng) {
+  Record r;
+  r.values.push_back(StrFormat("%s %s %s", e.brand.c_str(), e.series.c_str(),
+                               e.type.c_str()));
+  r.values.push_back(ProductDescriptionA(e, rng));
+  r.values.push_back(rng->NextBernoulli(0.15) ? ""
+                                              : PerturbPrice(e.price, 0.25, rng));
+  return r;
+}
+
+Record AbtBuyRecordB(const ProductEntity& e, Rng* rng) {
+  Record r;
+  r.values.push_back(StrFormat("%s %s", e.brand.c_str(), e.type.c_str()));
+  r.values.push_back(ProductDescriptionB(e, rng));
+  r.values.push_back(rng->NextBernoulli(0.15) ? ""
+                                              : PerturbPrice(e.price, 0.25, rng));
+  return r;
+}
+
+/// Walmart-Amazon record: [title, category, brand, modelno, price].
+Record WalmartRecord(const ProductEntity& e, Rng* rng) {
+  Record r;
+  std::string title = StrFormat("%s %s %s %s", e.brand.c_str(),
+                                e.series.c_str(),
+                                FormatModelVariant(e.model, rng).c_str(),
+                                e.type.c_str());
+  if (rng->NextBernoulli(0.15)) title = DropTokens(title, 0.2, rng);
+  r.values.push_back(title);
+  r.values.push_back(e.category);
+  r.values.push_back(e.brand);
+  r.values.push_back(FormatModelVariant(e.model, rng));
+  r.values.push_back(PerturbPrice(e.price, 0.25, rng));
+  return r;
+}
+
+Record AmazonRecord(const ProductEntity& e, Rng* rng) {
+  Record r;
+  std::string title =
+      StrFormat("%s %s %s , %s %s with %s", e.brand.c_str(),
+                FormatModelVariant(e.model, rng).c_str(), e.type.c_str(),
+                e.adjectives[0].c_str(), e.color.c_str(),
+                e.features[0].c_str());
+  if (rng->NextBernoulli(0.2)) title = ShuffleTokensLightly(title, rng);
+  r.values.push_back(title);
+  r.values.push_back(rng->NextBernoulli(0.2) ? Pick(CategoryPool(), rng)
+                                             : e.category);
+  r.values.push_back(e.brand);
+  r.values.push_back(rng->NextBernoulli(0.2)
+                         ? ""
+                         : FormatModelVariant(e.model, rng));
+  r.values.push_back(PerturbPrice(e.price, 0.25, rng));
+  return r;
+}
+
+// =====================================================================
+// Music (iTunes-Amazon)
+// =====================================================================
+
+struct SongEntity {
+  std::string song;
+  std::string artist;
+  std::string album;
+  std::string genre;
+  std::string label;
+  int64_t seconds;
+  int64_t year;
+  double price;
+};
+
+SongEntity MakeSong(Rng* rng) {
+  SongEntity e;
+  const int words = 2 + static_cast<int>(rng->NextUint64(2));
+  std::vector<std::string> w;
+  for (int i = 0; i < words; ++i) w.push_back(Pick(SongWordPool(), rng));
+  e.song = Join(w, " ");
+  e.artist = Pick(FirstNamePool(), rng) + " " + Pick(LastNamePool(), rng);
+  e.album = Pick(SongWordPool(), rng) + " " + Pick(SongWordPool(), rng);
+  e.genre = Pick(GenrePool(), rng);
+  e.label = Pick(LabelPool(), rng);
+  e.seconds = 150 + static_cast<int64_t>(rng->NextUint64(180));
+  e.year = 1995 + static_cast<int64_t>(rng->NextUint64(25));
+  e.price = rng->NextBernoulli(0.5) ? 0.99 : 1.29;
+  return e;
+}
+
+SongEntity MakeSongSibling(const SongEntity& base, Rng* rng) {
+  // A different track by the same artist: the fields differ in several
+  // correlated ways (album, duration, year, price), as real hard negatives
+  // from blocking do — matches are distinguished by agreeing on *most*
+  // fields, not by a single adversarial token.
+  SongEntity e = base;
+  auto base_words = SplitWhitespace(base.song);
+  std::vector<std::string> w;
+  if (!base_words.empty() && rng->NextBernoulli(0.3)) {
+    w.push_back(base_words[rng->NextUint64(base_words.size())]);
+  }
+  const int words = 2 + static_cast<int>(rng->NextUint64(2));
+  while (static_cast<int>(w.size()) < words) {
+    w.push_back(Pick(SongWordPool(), rng));
+  }
+  e.song = Join(w, " ");
+  if (rng->NextBernoulli(0.7)) {
+    e.album = Pick(SongWordPool(), rng) + " " + Pick(SongWordPool(), rng);
+  }
+  e.seconds = 150 + static_cast<int64_t>(rng->NextUint64(180));
+  e.year = base.year + rng->NextInt(-3, 3);
+  if (rng->NextBernoulli(0.5)) e.label = Pick(LabelPool(), rng);
+  e.price = rng->NextBernoulli(0.5) ? 0.99 : 1.29;
+  return e;
+}
+
+std::string FormatTime(int64_t seconds) {
+  return StrFormat("%lld:%02lld", static_cast<long long>(seconds / 60),
+                   static_cast<long long>(seconds % 60));
+}
+
+/// iTunes-Amazon schema: [song_name, artist_name, album_name, genre, price,
+/// copyright, time, released].
+Record ItunesRecord(const SongEntity& e, Rng* rng) {
+  Record r;
+  std::string song = e.song;
+  if (rng->NextBernoulli(0.2)) song += " ( album version )";
+  r.values.push_back(song);
+  r.values.push_back(e.artist);
+  r.values.push_back(e.album);
+  r.values.push_back(e.genre);
+  r.values.push_back(StrFormat("$ %.2f", e.price));
+  r.values.push_back(StrFormat("%lld %s", static_cast<long long>(e.year),
+                               e.label.c_str()));
+  r.values.push_back(FormatTime(e.seconds));
+  r.values.push_back(StrFormat("%lld", static_cast<long long>(e.year)));
+  return r;
+}
+
+Record AmazonMusicRecord(const SongEntity& e, Rng* rng) {
+  Record r;
+  std::string song = e.song;
+  if (rng->NextBernoulli(0.15)) song = TypoTokens(song, 0.3, rng);
+  if (rng->NextBernoulli(0.25)) {
+    song += " [ explicit ]";
+  } else if (rng->NextBernoulli(0.2)) {
+    song += " ( feat . " + Pick(FirstNamePool(), rng) + " )";
+  }
+  r.values.push_back(song);
+  r.values.push_back(rng->NextBernoulli(0.3) ? AbbreviateName(e.artist)
+                                             : e.artist);
+  r.values.push_back(rng->NextBernoulli(0.15) ? "" : e.album);
+  r.values.push_back(e.genre);
+  r.values.push_back(StrFormat("$ %.2f", e.price));
+  r.values.push_back(StrFormat("( c ) %lld %s",
+                               static_cast<long long>(e.year), e.label.c_str()));
+  // Amazon renders the duration verbosely ("3 min 42 sec" vs iTunes'
+  // "3:42"): subword models still align the digits, whole-token and
+  // per-attribute similarity features largely cannot.
+  const int64_t secs = e.seconds + (rng->NextBernoulli(0.3)
+                                        ? rng->NextInt(-1, 1)
+                                        : 0);
+  r.values.push_back(StrFormat("%lld min %lld sec",
+                               static_cast<long long>(secs / 60),
+                               static_cast<long long>(secs % 60)));
+  r.values.push_back(StrFormat("%lld", static_cast<long long>(e.year)));
+  return r;
+}
+
+// =====================================================================
+// Citations (DBLP-ACM, DBLP-Scholar)
+// =====================================================================
+
+struct PaperEntity {
+  std::string title;
+  std::vector<std::string> authors;
+  std::string venue_abbrev;
+  std::string venue_full;
+  int64_t year;
+};
+
+PaperEntity MakePaper(Rng* rng) {
+  PaperEntity e;
+  e.title = Pick(ResearchVerbPool(), rng) + " " + Pick(ResearchTopicPool(), rng) +
+            " " + Pick(ResearchObjectPool(), rng);
+  const int n_authors = 2 + static_cast<int>(rng->NextUint64(3));
+  for (int i = 0; i < n_authors; ++i) {
+    e.authors.push_back(Pick(FirstNamePool(), rng) + " " +
+                        Pick(LastNamePool(), rng));
+  }
+  auto venue = Split(Pick(VenuePool(), rng), '|');
+  e.venue_abbrev = venue[0];
+  e.venue_full = venue[1];
+  e.year = 1998 + static_cast<int64_t>(rng->NextUint64(22));
+  return e;
+}
+
+PaperEntity MakePaperSibling(const PaperEntity& base, Rng* rng) {
+  PaperEntity e = base;  // same group: shared authors, related title
+  e.title = Pick(ResearchVerbPool(), rng) + " " +
+            SplitWhitespace(base.title)[1] + " " +
+            Pick(ResearchObjectPool(), rng);
+  // Rebuild the title topic from the base so the hard negative shares
+  // topic words; append a distinct object.
+  const size_t keep = std::min<size_t>(base.authors.size(), 2);
+  e.authors.assign(base.authors.begin(),
+                   base.authors.begin() + static_cast<int64_t>(keep));
+  e.authors.push_back(Pick(FirstNamePool(), rng) + " " +
+                      Pick(LastNamePool(), rng));
+  e.year = base.year + rng->NextInt(-2, 2);
+  return e;
+}
+
+std::string AuthorsToString(const std::vector<std::string>& authors,
+                            bool abbreviate, Rng* rng, double drop_p = 0.0) {
+  std::vector<std::string> parts;
+  for (const auto& a : authors) {
+    if (drop_p > 0 && rng->NextBernoulli(drop_p)) continue;
+    parts.push_back(abbreviate ? AbbreviateName(a) : a);
+  }
+  if (parts.empty() && !authors.empty()) parts.push_back(authors[0]);
+  return Join(parts, " , ");
+}
+
+/// Citation schema: [title, authors, venue, year].
+Record DblpRecord(const PaperEntity& e, Rng* rng) {
+  Record r;
+  r.values.push_back(e.title);
+  r.values.push_back(AuthorsToString(e.authors, false, rng));
+  r.values.push_back(e.venue_abbrev);
+  r.values.push_back(StrFormat("%lld", static_cast<long long>(e.year)));
+  return r;
+}
+
+Record AcmRecord(const PaperEntity& e, Rng* rng) {
+  Record r;
+  std::string title = e.title;
+  if (rng->NextBernoulli(0.1)) title = TypoTokens(title, 0.1, rng);
+  r.values.push_back(title);
+  r.values.push_back(AuthorsToString(e.authors, rng->NextBernoulli(0.5), rng));
+  r.values.push_back(e.venue_full);
+  r.values.push_back(StrFormat("%lld", static_cast<long long>(e.year)));
+  return r;
+}
+
+Record ScholarRecord(const PaperEntity& e, Rng* rng) {
+  Record r;
+  std::string title = e.title;
+  if (rng->NextBernoulli(0.3)) title = DropTokens(title, 0.15, rng);
+  if (rng->NextBernoulli(0.2)) title = TypoTokens(title, 0.1, rng);
+  r.values.push_back(title);
+  r.values.push_back(AuthorsToString(e.authors, true, rng, /*drop_p=*/0.25));
+  r.values.push_back(rng->NextBernoulli(0.25)
+                         ? ""
+                         : (rng->NextBernoulli(0.5) ? e.venue_abbrev
+                                                    : e.venue_full));
+  const int64_t year = e.year + (rng->NextBernoulli(0.15)
+                                     ? rng->NextInt(-1, 1)
+                                     : 0);
+  r.values.push_back(rng->NextBernoulli(0.1)
+                         ? ""
+                         : StrFormat("%lld", static_cast<long long>(year)));
+  return r;
+}
+
+// =====================================================================
+// Assembly
+// =====================================================================
+
+/// Builds the pair list for one dataset from per-domain callbacks:
+/// `make_entity` creates a fresh entity, `make_sibling` a hard negative of
+/// an existing one, and `render_a`/`render_b` produce the two views.
+template <typename Entity>
+std::vector<RecordPair> BuildPairs(
+    int64_t n_pairs, int64_t n_matches, double hard_fraction, Rng* rng,
+    const std::function<Entity(Rng*)>& make_entity,
+    const std::function<Entity(const Entity&, Rng*)>& make_sibling,
+    const std::function<Record(const Entity&, Rng*)>& render_a,
+    const std::function<Record(const Entity&, Rng*)>& render_b) {
+  std::vector<RecordPair> pairs;
+  pairs.reserve(static_cast<size_t>(n_pairs));
+
+  // Matches.
+  std::vector<Entity> entities;
+  for (int64_t i = 0; i < n_matches; ++i) {
+    Entity e = make_entity(rng);
+    RecordPair p;
+    p.a = render_a(e, rng);
+    p.b = render_b(e, rng);
+    p.label = 1;
+    pairs.push_back(std::move(p));
+    entities.push_back(std::move(e));
+  }
+
+  // Negatives.
+  const int64_t n_neg = n_pairs - n_matches;
+  for (int64_t i = 0; i < n_neg; ++i) {
+    RecordPair p;
+    p.label = 0;
+    if (!entities.empty() && rng->NextBernoulli(hard_fraction)) {
+      // Hard negative: sibling of a matched entity on the B side.
+      const Entity& base = entities[rng->NextUint64(entities.size())];
+      Entity sib = make_sibling(base, rng);
+      p.a = render_a(base, rng);
+      p.b = render_b(sib, rng);
+    } else {
+      // Random negative: two unrelated entities.
+      Entity e1 = make_entity(rng);
+      Entity e2 = make_entity(rng);
+      p.a = render_a(e1, rng);
+      p.b = render_b(e2, rng);
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+void ApplyDirtyTransform(Record* record, int64_t title_index, double p,
+                         Rng* rng) {
+  for (size_t i = 0; i < record->values.size(); ++i) {
+    if (static_cast<int64_t>(i) == title_index) continue;
+    if (record->values[i].empty()) continue;
+    if (rng->NextBernoulli(p)) {
+      std::string& title = record->values[static_cast<size_t>(title_index)];
+      if (!title.empty()) title += " ";
+      title += record->values[i];
+      record->values[i].clear();
+    }
+  }
+}
+
+EmDataset GenerateDataset(DatasetId id, const GeneratorOptions& options) {
+  const DatasetSpec& spec = SpecFor(id);
+  EmDataset ds;
+  ds.id = id;
+  ds.name = spec.name;
+
+  const int64_t n_pairs = std::max<int64_t>(
+      10, static_cast<int64_t>(std::llround(spec.size * options.scale)));
+  const int64_t n_matches = std::max<int64_t>(
+      3, static_cast<int64_t>(std::llround(spec.num_matches * options.scale)));
+
+  Rng rng(options.seed ^ (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL));
+  std::vector<RecordPair> pairs;
+
+  switch (id) {
+    case DatasetId::kAbtBuy: {
+      ds.schema.attributes = {"name", "description", "price"};
+      ds.serialize_only_attribute = 1;  // paper: only the noisy description
+      pairs = BuildPairs<ProductEntity>(
+          n_pairs, n_matches, options.hard_negative_fraction, &rng,
+          MakeProduct, MakeProductSibling, AbtBuyRecordA, AbtBuyRecordB);
+      break;
+    }
+    case DatasetId::kWalmartAmazon: {
+      ds.schema.attributes = {"title", "category", "brand", "modelno", "price"};
+      pairs = BuildPairs<ProductEntity>(
+          n_pairs, n_matches, options.hard_negative_fraction, &rng,
+          MakeProduct, MakeProductSibling, WalmartRecord, AmazonRecord);
+      break;
+    }
+    case DatasetId::kItunesAmazon: {
+      ds.schema.attributes = {"song_name", "artist_name", "album_name",
+                              "genre",     "price",       "copyright",
+                              "time",      "released"};
+      pairs = BuildPairs<SongEntity>(
+          n_pairs, n_matches, options.hard_negative_fraction, &rng, MakeSong,
+          MakeSongSibling, ItunesRecord, AmazonMusicRecord);
+      break;
+    }
+    case DatasetId::kDblpAcm: {
+      ds.schema.attributes = {"title", "authors", "venue", "year"};
+      pairs = BuildPairs<PaperEntity>(
+          n_pairs, n_matches, options.hard_negative_fraction, &rng, MakePaper,
+          MakePaperSibling, DblpRecord, AcmRecord);
+      break;
+    }
+    case DatasetId::kDblpScholar: {
+      ds.schema.attributes = {"title", "authors", "venue", "year"};
+      pairs = BuildPairs<PaperEntity>(
+          n_pairs, n_matches, options.hard_negative_fraction, &rng, MakePaper,
+          MakePaperSibling, DblpRecord, ScholarRecord);
+      break;
+    }
+  }
+
+  // The paper's dirty transform on the four structured datasets.
+  if (spec.dirty && options.apply_dirty) {
+    for (auto& p : pairs) {
+      ApplyDirtyTransform(&p.a, /*title_index=*/0, 0.5, &rng);
+      ApplyDirtyTransform(&p.b, /*title_index=*/0, 0.5, &rng);
+    }
+  }
+
+  SplitPairs(std::move(pairs), options.seed + 1, &ds.train, &ds.valid,
+             &ds.test);
+  return ds;
+}
+
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,110 @@
+#include "data/noise.h"
+
+#include "util/string_util.h"
+
+namespace emx {
+namespace data {
+
+std::string Typo(const std::string& word, Rng* rng) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  const size_t pos = 1 + rng->NextUint64(out.size() - 2);
+  switch (rng->NextUint64(3)) {
+    case 0:  // swap adjacent
+      std::swap(out[pos], out[pos - 1]);
+      break;
+    case 1:  // drop
+      out.erase(pos, 1);
+      break;
+    default:  // duplicate
+      out.insert(pos, 1, out[pos]);
+      break;
+  }
+  return out;
+}
+
+std::string AbbreviateName(const std::string& full_name) {
+  auto parts = SplitWhitespace(full_name);
+  if (parts.size() < 2) return full_name;
+  std::string out;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    out += parts[i].substr(0, 1) + ".";
+    out += " ";
+  }
+  out += parts.back();
+  return out;
+}
+
+std::string DropTokens(const std::string& text, double p, Rng* rng) {
+  auto tokens = SplitWhitespace(text);
+  if (tokens.empty()) return text;
+  std::vector<std::string> kept;
+  for (auto& t : tokens) {
+    if (!rng->NextBernoulli(p)) kept.push_back(t);
+  }
+  if (kept.empty()) kept.push_back(tokens[rng->NextUint64(tokens.size())]);
+  return Join(kept, " ");
+}
+
+std::string ShuffleTokensLightly(const std::string& text, Rng* rng) {
+  auto tokens = SplitWhitespace(text);
+  if (tokens.size() < 3) return text;
+  const size_t swaps = 1 + rng->NextUint64(2);
+  for (size_t s = 0; s < swaps; ++s) {
+    const size_t i = rng->NextUint64(tokens.size() - 1);
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  return Join(tokens, " ");
+}
+
+std::string TypoTokens(const std::string& text, double p, Rng* rng) {
+  auto tokens = SplitWhitespace(text);
+  for (auto& t : tokens) {
+    if (rng->NextBernoulli(p)) t = Typo(t, rng);
+  }
+  return Join(tokens, " ");
+}
+
+std::string PerturbPrice(double price, double fraction, Rng* rng) {
+  const double factor = 1.0 + (rng->NextDouble() * 2.0 - 1.0) * fraction;
+  return StrFormat("%.2f", price * factor);
+}
+
+std::string RandomModelNumber(Rng* rng) {
+  std::string out;
+  const size_t letters = 1 + rng->NextUint64(2);
+  for (size_t i = 0; i < letters; ++i) {
+    out.push_back(static_cast<char>('a' + rng->NextUint64(26)));
+  }
+  const size_t digits = 3 + rng->NextUint64(2);
+  for (size_t i = 0; i < digits; ++i) {
+    out.push_back(static_cast<char>('0' + rng->NextUint64(10)));
+  }
+  if (rng->NextBernoulli(0.4)) {
+    out.push_back(static_cast<char>('a' + rng->NextUint64(26)));
+    if (rng->NextBernoulli(0.5)) {
+      out.push_back(static_cast<char>('a' + rng->NextUint64(26)));
+    }
+  }
+  return out;
+}
+
+std::string SimilarModelNumber(const std::string& model, Rng* rng) {
+  std::string out = model;
+  const size_t edits = 1 + rng->NextUint64(2);
+  for (size_t e = 0; e < edits; ++e) {
+    if (out.empty()) break;
+    const size_t pos = rng->NextUint64(out.size());
+    char& c = out[pos];
+    if (c >= '0' && c <= '9') {
+      c = static_cast<char>('0' + (c - '0' + 1 + rng->NextUint64(8)) % 10);
+    } else {
+      c = static_cast<char>('a' + (c - 'a' + 1 + rng->NextUint64(24)) % 26);
+    }
+  }
+  if (out == model) out.push_back('x');
+  return out;
+}
+
+}  // namespace data
+}  // namespace emx

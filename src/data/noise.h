@@ -1,0 +1,45 @@
+#ifndef EMX_DATA_NOISE_H_
+#define EMX_DATA_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emx {
+namespace data {
+
+// Realistic value-noise primitives used by the dataset generators to make
+// the two views of an entity differ the way real product/citation feeds do.
+
+/// Introduces one random character-level typo (swap, drop, or duplicate).
+/// Words shorter than 3 characters are returned unchanged.
+std::string Typo(const std::string& word, Rng* rng);
+
+/// "john smith" -> "j. smith" (abbreviates all but the last token).
+std::string AbbreviateName(const std::string& full_name);
+
+/// Drops each whitespace token independently with probability `p`
+/// (always keeps at least one token).
+std::string DropTokens(const std::string& text, double p, Rng* rng);
+
+/// Randomly swaps a few adjacent tokens (light reordering).
+std::string ShuffleTokensLightly(const std::string& text, Rng* rng);
+
+/// Applies Typo to each token independently with probability `p`.
+std::string TypoTokens(const std::string& text, double p, Rng* rng);
+
+/// Perturbs a price by up to +-`fraction`, formatted with two decimals.
+std::string PerturbPrice(double price, double fraction, Rng* rng);
+
+/// Generates a model number like "zs551kl" or "a1523" (letters+digits).
+std::string RandomModelNumber(Rng* rng);
+
+/// Returns a model number that differs from `model` by one or two
+/// characters — a hard negative for entity matching.
+std::string SimilarModelNumber(const std::string& model, Rng* rng);
+
+}  // namespace data
+}  // namespace emx
+
+#endif  // EMX_DATA_NOISE_H_

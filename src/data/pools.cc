@@ -1,0 +1,184 @@
+#include "data/pools.h"
+
+namespace emx {
+namespace data {
+namespace {
+
+// Function-local static pointers (never destroyed) per the style guide's
+// static-storage-duration rules.
+const std::vector<std::string>* Make(std::initializer_list<const char*> items) {
+  auto* v = new std::vector<std::string>();
+  for (const char* s : items) v->push_back(s);
+  return v;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BrandPool() {
+  static const auto* pool = Make(
+      {"apple",   "asus",    "nokia",   "samsung", "sony",    "dell",
+       "lenovo",  "canon",   "nikon",   "garmin",  "philips", "panasonic",
+       "toshiba", "logitech", "netgear", "belkin",  "sandisk", "kingston",
+       "epson",   "brother", "sharp",   "haier",   "vizio",   "jvc",
+       "pioneer", "kenwood", "olympus", "casio",   "fujitsu", "acer"});
+  return *pool;
+}
+
+const std::vector<std::string>& ProductTypePool() {
+  static const auto* pool = Make(
+      {"phone",     "laptop",    "camera",   "tablet",   "monitor",
+       "printer",   "router",    "headphones", "speaker", "keyboard",
+       "mouse",     "projector", "scanner",  "television", "camcorder",
+       "receiver",  "subwoofer", "microwave", "refrigerator", "dishwasher",
+       "vacuum",    "blender",   "toaster",  "dryer",    "washer"});
+  return *pool;
+}
+
+const std::vector<std::string>& AdjectivePool() {
+  static const auto* pool = Make(
+      {"wireless",  "portable",  "compact",  "professional", "digital",
+       "smart",     "ultra",     "premium",  "lightweight",  "rugged",
+       "advanced",  "efficient", "powerful", "sleek",        "versatile",
+       "durable",   "ergonomic", "quiet",    "fast",         "reliable",
+       "expansive", "brilliant", "stunning", "incredible",   "robust"});
+  return *pool;
+}
+
+const std::vector<std::string>& FeaturePool() {
+  static const auto* pool = Make(
+      {"bluetooth connectivity", "hd display",        "long battery life",
+       "touch screen",           "fast charging",     "noise cancellation",
+       "surround sound",         "optical zoom",      "image stabilization",
+       "dual band wifi",         "backlit keys",      "usb charging port",
+       "voice control",          "energy efficient design",
+       "water resistant body",   "expandable memory", "stereo speakers",
+       "remote control",         "automatic shutoff", "led indicators"});
+  return *pool;
+}
+
+const std::vector<std::string>& ColorPool() {
+  static const auto* pool = Make({"black", "white", "silver", "red", "blue",
+                                  "gray", "gold", "green"});
+  return *pool;
+}
+
+const std::vector<std::string>& FillerPhrasePool() {
+  static const auto* pool = Make(
+      {"perfect for everyday use",
+       "a great gift for the holidays",
+       "backed by a one year warranty",
+       "designed with the user in mind",
+       "now available at a decent price",
+       "the ideal companion for work and play",
+       "trusted by professionals worldwide",
+       "you will love it from day one",
+       "engineered for performance and comfort",
+       "an excellent choice for home or office",
+       "built to last with quality materials",
+       "easy to set up and simple to use"});
+  return *pool;
+}
+
+const std::vector<std::string>& CategoryPool() {
+  static const auto* pool = Make(
+      {"electronics", "computers", "home audio", "appliances", "photography",
+       "office equipment", "networking", "accessories", "kitchen", "mobile"});
+  return *pool;
+}
+
+const std::vector<std::string>& FirstNamePool() {
+  static const auto* pool = Make(
+      {"james",  "mary",    "robert", "linda",  "michael", "susan",
+       "david",  "karen",   "thomas", "lisa",   "daniel",  "nancy",
+       "carlos", "wei",     "yuki",   "anna",   "peter",   "elena",
+       "rajiv",  "fatima",  "lars",   "ingrid", "paulo",   "chen",
+       "marco",  "sofia",   "ahmed",  "julia",  "viktor",  "amara"});
+  return *pool;
+}
+
+const std::vector<std::string>& LastNamePool() {
+  static const auto* pool = Make(
+      {"smith",   "johnson",  "williams", "brown",   "jones",    "garcia",
+       "miller",  "davis",    "martinez", "lopez",   "wilson",   "anderson",
+       "taylor",  "thomas",   "moore",    "jackson", "lee",      "chen",
+       "wang",    "kumar",    "singh",    "tanaka",  "mueller",  "schmidt",
+       "rossi",   "ferrari",  "novak",    "petrov",  "andersson", "okafor"});
+  return *pool;
+}
+
+const std::vector<std::string>& SongWordPool() {
+  static const auto* pool = Make(
+      {"love",    "night",  "heart",  "fire",   "dream",  "summer",
+       "dance",   "light",  "river",  "moon",   "golden", "midnight",
+       "forever", "crazy",  "wild",   "blue",   "rain",   "shadow",
+       "electric", "broken", "sweet",  "lonely", "silver", "thunder",
+       "ocean",   "city",   "highway", "angel",  "diamond", "echo"});
+  return *pool;
+}
+
+const std::vector<std::string>& GenrePool() {
+  static const auto* pool = Make({"pop", "rock", "jazz", "country", "hip hop",
+                                  "electronic", "folk", "blues", "classical",
+                                  "reggae"});
+  return *pool;
+}
+
+const std::vector<std::string>& LabelPool() {
+  static const auto* pool = Make(
+      {"sunrise records", "bluebird music", "northern lights audio",
+       "harbor lane records", "velvet sound", "crescent city music",
+       "redwood recordings", "silverline studios"});
+  return *pool;
+}
+
+const std::vector<std::string>& ResearchTopicPool() {
+  static const auto* pool = Make(
+      {"query optimization",       "entity matching",
+       "data integration",         "transaction processing",
+       "index structures",         "stream processing",
+       "distributed databases",    "schema mapping",
+       "data cleaning",            "approximate query answering",
+       "graph databases",          "columnar storage",
+       "concurrency control",      "materialized views",
+       "similarity joins",         "record linkage",
+       "workload forecasting",     "adaptive indexing",
+       "spatial databases",        "temporal data management",
+       "data provenance",          "crowdsourced data curation",
+       "main memory databases",    "secure data outsourcing"});
+  return *pool;
+}
+
+const std::vector<std::string>& ResearchVerbPool() {
+  static const auto* pool = Make(
+      {"towards", "rethinking", "optimizing", "scaling", "accelerating",
+       "evaluating", "automating", "improving", "revisiting", "profiling",
+       "a survey of", "a study of", "benchmarking", "learning"});
+  return *pool;
+}
+
+const std::vector<std::string>& ResearchObjectPool() {
+  static const auto* pool = Make(
+      {"in the cloud",          "for modern hardware",
+       "at scale",              "with machine learning",
+       "on multicore systems",  "under skewed workloads",
+       "for heterogeneous data", "with limited memory",
+       "in practice",           "using deep models",
+       "over encrypted data",   "for real time analytics"});
+  return *pool;
+}
+
+const std::vector<std::string>& VenuePool() {
+  static const auto* pool = Make(
+      {"sigmod|international conference on management of data",
+       "vldb|very large data bases",
+       "icde|international conference on data engineering",
+       "edbt|extending database technology",
+       "cidr|conference on innovative data systems research",
+       "kdd|knowledge discovery and data mining",
+       "cikm|conference on information and knowledge management",
+       "sigir|research and development in information retrieval"});
+  return *pool;
+}
+
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,39 @@
+#ifndef EMX_DATA_POOLS_H_
+#define EMX_DATA_POOLS_H_
+
+#include <string>
+#include <vector>
+
+namespace emx {
+namespace data {
+
+// Word pools shared by the dataset generators and the pre-training corpus
+// generator. Keeping them in one place guarantees the synthetic
+// pre-training corpus covers the fine-tuning domain vocabulary, exactly as
+// the paper's models were pre-trained on text covering everyday English.
+
+const std::vector<std::string>& BrandPool();
+const std::vector<std::string>& ProductTypePool();
+const std::vector<std::string>& AdjectivePool();
+const std::vector<std::string>& FeaturePool();
+const std::vector<std::string>& ColorPool();
+const std::vector<std::string>& FillerPhrasePool();
+const std::vector<std::string>& CategoryPool();
+
+const std::vector<std::string>& FirstNamePool();
+const std::vector<std::string>& LastNamePool();
+
+const std::vector<std::string>& SongWordPool();
+const std::vector<std::string>& GenrePool();
+const std::vector<std::string>& LabelPool();
+
+const std::vector<std::string>& ResearchTopicPool();
+const std::vector<std::string>& ResearchVerbPool();
+const std::vector<std::string>& ResearchObjectPool();
+/// Venue pool entries are "abbrev|full name" pairs separated by '|'.
+const std::vector<std::string>& VenuePool();
+
+}  // namespace data
+}  // namespace emx
+
+#endif  // EMX_DATA_POOLS_H_

@@ -1,0 +1,82 @@
+#include "data/record.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace data {
+
+int64_t Schema::Index(const std::string& name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i] == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+std::string SerializeRecord(const Schema& schema, const Record& record,
+                            int64_t only_attribute) {
+  EMX_CHECK_EQ(schema.size(), static_cast<int64_t>(record.values.size()));
+  std::string out;
+  if (only_attribute >= 0) {
+    EMX_CHECK_LT(only_attribute, schema.size());
+    return record.value(only_attribute);
+  }
+  for (int64_t i = 0; i < schema.size(); ++i) {
+    const std::string& v = record.value(i);
+    if (v.empty()) continue;
+    if (!out.empty()) out += " ";
+    out += v;
+  }
+  return out;
+}
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  // Table 3 of the paper.
+  static const std::vector<DatasetSpec>* specs = new std::vector<DatasetSpec>{
+      {DatasetId::kAbtBuy, "Abt-Buy", "Products", 9575, 1028, 3, true, false},
+      {DatasetId::kItunesAmazon, "iTunes-Amazon", "Music", 539, 132, 8, false,
+       true},
+      {DatasetId::kWalmartAmazon, "Walmart-Amazon", "Products", 10242, 962, 5,
+       false, true},
+      {DatasetId::kDblpAcm, "DBLP-ACM", "Citation", 12363, 2220, 4, false,
+       true},
+      {DatasetId::kDblpScholar, "DBLP-Scholar", "Citation", 28707, 5347, 4,
+       false, true},
+  };
+  return *specs;
+}
+
+const DatasetSpec& SpecFor(DatasetId id) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (spec.id == id) return spec;
+  }
+  EMX_CHECK(false) << "unknown dataset id";
+  return AllDatasetSpecs()[0];
+}
+
+int64_t EmDataset::TotalMatches() const {
+  int64_t n = 0;
+  for (const auto& p : train) n += p.label;
+  for (const auto& p : valid) n += p.label;
+  for (const auto& p : test) n += p.label;
+  return n;
+}
+
+void SplitPairs(std::vector<RecordPair> pairs, uint64_t seed,
+                std::vector<RecordPair>* train, std::vector<RecordPair>* valid,
+                std::vector<RecordPair>* test) {
+  Rng rng(seed);
+  rng.Shuffle(&pairs);
+  // 3:1:1 split as in the paper (60% / 20% / 20%).
+  const size_t n = pairs.size();
+  const size_t n_train = n * 3 / 5;
+  const size_t n_valid = n / 5;
+  train->assign(pairs.begin(), pairs.begin() + static_cast<int64_t>(n_train));
+  valid->assign(pairs.begin() + static_cast<int64_t>(n_train),
+                pairs.begin() + static_cast<int64_t>(n_train + n_valid));
+  test->assign(pairs.begin() + static_cast<int64_t>(n_train + n_valid),
+               pairs.end());
+}
+
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,109 @@
+#ifndef EMX_DATA_RECORD_H_
+#define EMX_DATA_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emx {
+namespace data {
+
+/// Ordered attribute names shared by all records of a table.
+struct Schema {
+  std::vector<std::string> attributes;
+
+  int64_t size() const { return static_cast<int64_t>(attributes.size()); }
+  /// Index of `name` or -1.
+  int64_t Index(const std::string& name) const;
+};
+
+/// One data instance: attribute values aligned with a Schema. Missing
+/// values are empty strings.
+struct Record {
+  std::vector<std::string> values;
+
+  const std::string& value(int64_t i) const { return values[static_cast<size_t>(i)]; }
+};
+
+/// A labeled candidate pair: two records (one from each source) plus the
+/// ground-truth match label.
+struct RecordPair {
+  Record a;
+  Record b;
+  int64_t label = 0;  // 1 = same real-world entity
+};
+
+/// Serializes a record into the single text blob fed to a transformer:
+/// all attribute values concatenated in schema order (the paper's "[name +
+/// brand + description + price]"), skipping empty values. When
+/// `only_attribute` >= 0, only that attribute is used (Abt-Buy uses only
+/// the noisy `description`).
+std::string SerializeRecord(const Schema& schema, const Record& record,
+                            int64_t only_attribute = -1);
+
+/// Identifiers for the paper's five evaluation datasets (Table 3).
+enum class DatasetId {
+  kAbtBuy,
+  kItunesAmazon,
+  kWalmartAmazon,
+  kDblpAcm,
+  kDblpScholar,
+};
+
+/// Static description of one dataset: the paper's Table 3 row.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;
+  const char* domain;
+  int64_t size;        // labeled candidate pairs
+  int64_t num_matches; // positive pairs
+  int64_t num_attrs;
+  bool textual;        // Abt-Buy: single long text attribute
+  bool dirty;          // the other four use the dirty transform
+};
+
+/// All five specs in the paper's order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Spec for one dataset.
+const DatasetSpec& SpecFor(DatasetId id);
+
+/// A fully materialized EM dataset with the paper's 3:1:1 split.
+struct EmDataset {
+  DatasetId id;
+  std::string name;
+  Schema schema;
+  /// Index of the attribute transformers should serialize exclusively
+  /// (-1 = all attributes). Abt-Buy sets this to its description column.
+  int64_t serialize_only_attribute = -1;
+  std::vector<RecordPair> train;
+  std::vector<RecordPair> valid;
+  std::vector<RecordPair> test;
+
+  int64_t TotalPairs() const {
+    return static_cast<int64_t>(train.size() + valid.size() + test.size());
+  }
+  int64_t TotalMatches() const;
+
+  /// Serialized view of one side of a pair, honoring
+  /// serialize_only_attribute.
+  std::string SerializeA(const RecordPair& pair) const {
+    return SerializeRecord(schema, pair.a, serialize_only_attribute);
+  }
+  std::string SerializeB(const RecordPair& pair) const {
+    return SerializeRecord(schema, pair.b, serialize_only_attribute);
+  }
+};
+
+/// Splits `pairs` into 3:1:1 train/valid/test deterministically (shuffled
+/// with `seed`), preserving the overall match ratio approximately.
+void SplitPairs(std::vector<RecordPair> pairs, uint64_t seed,
+                std::vector<RecordPair>* train, std::vector<RecordPair>* valid,
+                std::vector<RecordPair>* test);
+
+}  // namespace data
+}  // namespace emx
+
+#endif  // EMX_DATA_RECORD_H_

@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace eval {
+
+void ConfusionMatrix::Add(int64_t predicted, int64_t actual) {
+  if (actual == 1) {
+    if (predicted == 1) {
+      ++true_positive;
+    } else {
+      ++false_negative;
+    }
+  } else {
+    if (predicted == 1) {
+      ++false_positive;
+    } else {
+      ++true_negative;
+    }
+  }
+}
+
+PrfScores ComputeScores(const ConfusionMatrix& cm) {
+  PrfScores s;
+  const double tp = static_cast<double>(cm.true_positive);
+  const double fp = static_cast<double>(cm.false_positive);
+  const double fn = static_cast<double>(cm.false_negative);
+  if (tp + fp > 0) s.precision = tp / (tp + fp);
+  if (tp + fn > 0) s.recall = tp / (tp + fn);
+  if (s.precision + s.recall > 0) {
+    s.f1 = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  if (cm.total() > 0) {
+    s.accuracy = static_cast<double>(cm.true_positive + cm.true_negative) /
+                 static_cast<double>(cm.total());
+  }
+  return s;
+}
+
+PrfScores ComputeScores(const std::vector<int64_t>& predictions,
+                        const std::vector<int64_t>& labels) {
+  EMX_CHECK_EQ(predictions.size(), labels.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    cm.Add(predictions[i], labels[i]);
+  }
+  return ComputeScores(cm);
+}
+
+SeriesStats MeanStddev(const std::vector<double>& values) {
+  SeriesStats s;
+  if (values.empty()) return s;
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace eval
+}  // namespace emx

@@ -1,0 +1,51 @@
+#ifndef EMX_EVAL_METRICS_H_
+#define EMX_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emx {
+namespace eval {
+
+/// Binary-classification counts for the match/no-match task.
+struct ConfusionMatrix {
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t true_negative = 0;
+  int64_t false_negative = 0;
+
+  void Add(int64_t predicted, int64_t actual);
+
+  int64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+/// Precision / recall / F1 as the paper reports them: recall is the ratio
+/// of true matches predicted vs. all true matches; F1 the harmonic mean.
+/// All values in [0, 1]; zero denominators yield 0.
+struct PrfScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  double accuracy = 0;
+};
+
+PrfScores ComputeScores(const ConfusionMatrix& cm);
+
+/// Convenience: scores directly from prediction/label vectors.
+PrfScores ComputeScores(const std::vector<int64_t>& predictions,
+                        const std::vector<int64_t>& labels);
+
+/// Mean and sample standard deviation of a series (for 5-run averaging).
+struct SeriesStats {
+  double mean = 0;
+  double stddev = 0;
+};
+SeriesStats MeanStddev(const std::vector<double>& values);
+
+}  // namespace eval
+}  // namespace emx
+
+#endif  // EMX_EVAL_METRICS_H_

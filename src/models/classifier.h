@@ -1,0 +1,50 @@
+#ifndef EMX_MODELS_CLASSIFIER_H_
+#define EMX_MODELS_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+#include "models/transformer.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace emx {
+namespace models {
+
+/// The paper's entity-matching head (Section 5.2.2): the transformer's
+/// CLS representation is fed through "a fully connected layer with 768
+/// neurons plus two output neurons" — here hidden-sized — producing the
+/// match / no-match logits. The head is the only part of the model that is
+/// not pre-trained.
+class SequencePairClassifier : public nn::Module {
+ public:
+  /// Takes ownership of the (typically pre-trained) backbone.
+  SequencePairClassifier(std::unique_ptr<TransformerModel> backbone, Rng* rng);
+
+  /// Match logits [B, 2] for a tokenized entity-pair batch.
+  Variable Logits(const Batch& batch, bool train, Rng* rng);
+
+  /// Predicted class (0 = no match, 1 = match) per pair.
+  std::vector<int64_t> Predict(const Batch& batch, Rng* rng);
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) override;
+
+  TransformerModel* backbone() { return backbone_.get(); }
+  const TransformerConfig& config() const { return backbone_->config(); }
+  /// Head layers (exposed for the warm-start tests).
+  const nn::Linear& dense_layer() const { return dense_; }
+  const nn::Linear& out_layer() const { return out_; }
+
+ private:
+  std::unique_ptr<TransformerModel> backbone_;
+  nn::Linear dense_;
+  nn::Linear out_;
+};
+
+}  // namespace models
+}  // namespace emx
+
+#endif  // EMX_MODELS_CLASSIFIER_H_

@@ -1,0 +1,81 @@
+#include "models/config.h"
+
+#include "util/logging.h"
+
+namespace emx {
+namespace models {
+
+const char* ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kBert:
+      return "BERT";
+    case Architecture::kRoberta:
+      return "RoBERTa";
+    case Architecture::kDistilBert:
+      return "DistilBERT";
+    case Architecture::kXlnet:
+      return "XLNet";
+  }
+  return "?";
+}
+
+TransformerConfig TransformerConfig::Scaled(Architecture arch,
+                                            int64_t vocab_size) {
+  TransformerConfig cfg;
+  cfg.arch = arch;
+  cfg.vocab_size = vocab_size;
+  cfg.hidden = 64;
+  cfg.num_heads = 2;
+  cfg.intermediate = 256;
+  cfg.max_seq_len = 64;
+  switch (arch) {
+    case Architecture::kBert:
+      cfg.num_layers = 2;
+      cfg.use_pooler = true;
+      cfg.use_nsp_head = true;
+      cfg.dynamic_masking = false;
+      break;
+    case Architecture::kRoberta:
+      cfg.num_layers = 2;
+      cfg.use_pooler = true;
+      cfg.use_nsp_head = false;      // RoBERTa drops NSP
+      cfg.dynamic_masking = true;    // and masks dynamically
+      cfg.type_vocab_size = 0;       // no token-type embeddings
+      break;
+    case Architecture::kDistilBert:
+      cfg.num_layers = 1;            // half of BERT
+      cfg.use_pooler = false;        // pooler removed
+      cfg.use_nsp_head = false;
+      cfg.type_vocab_size = 0;       // token-type embeddings removed
+      cfg.dynamic_masking = false;
+      break;
+    case Architecture::kXlnet:
+      cfg.num_layers = 2;
+      cfg.use_pooler = true;
+      cfg.use_nsp_head = false;
+      cfg.dynamic_masking = false;
+      break;
+  }
+  return cfg;
+}
+
+std::vector<PaperScaleEntry> PaperScaleConfigs() {
+  return {
+      {"BERT", 12, 768, 12, "110M",
+       "BERT-base model, trained on lower-cased English text"},
+      {"XLNet", 12, 768, 12, "110M", "XLNet English model"},
+      {"RoBERTa", 12, 768, 12, "125M", "RoBERTa using the BERT-base architecture"},
+      {"DistilBERT", 6, 768, 12, "66M", "distilled from the BERT-base model"},
+  };
+}
+
+Tensor Batch::MakeMask(const std::vector<float>& flat_mask, int64_t b,
+                       int64_t t) {
+  EMX_CHECK_EQ(static_cast<int64_t>(flat_mask.size()), b * t);
+  Tensor mask({b, 1, 1, t});
+  std::copy(flat_mask.begin(), flat_mask.end(), mask.data());
+  return mask;
+}
+
+}  // namespace models
+}  // namespace emx

@@ -1,0 +1,90 @@
+#ifndef EMX_MODELS_CONFIG_H_
+#define EMX_MODELS_CONFIG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace emx {
+namespace models {
+
+/// Which of the paper's four architectures a model instantiates.
+enum class Architecture { kBert, kRoberta, kDistilBert, kXlnet };
+
+/// Human-readable name ("BERT", "XLNet", ...).
+const char* ArchitectureName(Architecture arch);
+
+/// Hyper-parameters of a transformer encoder. Defaults are the laptop-scale
+/// configuration this reproduction pre-trains from scratch; the paper-scale
+/// values (Table 4 of the paper) are listed alongside by PaperScaleConfig.
+struct TransformerConfig {
+  Architecture arch = Architecture::kBert;
+  int64_t vocab_size = 2000;
+  int64_t hidden = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 2;
+  int64_t intermediate = 256;
+  int64_t max_seq_len = 64;
+  /// Segment (token-type) vocabulary; 0 disables segment embeddings
+  /// (RoBERTa effectively ignores them; DistilBERT removes them).
+  int64_t type_vocab_size = 2;
+  float dropout = 0.1f;
+  nn::Activation activation = nn::Activation::kGelu;
+  /// Weight init stddev. BERT's 0.02 is tuned for hidden = 768; narrower
+  /// models need proportionally larger init or the attention/FFN outputs
+  /// are negligible against the residual stream and learning stalls
+  /// (0.02 ~ 0.55/sqrt(768); this keeps the same relative scale).
+  float InitStddev() const {
+    return 0.55f / std::sqrt(static_cast<float>(hidden));
+  }
+  /// BERT has a pooler (Linear+tanh over CLS); DistilBERT removes it.
+  bool use_pooler = true;
+  /// BERT pre-trains with next-sentence prediction; RoBERTa drops it.
+  bool use_nsp_head = true;
+  /// RoBERTa masks each sample dynamically at batch time; BERT's masking
+  /// is static (fixed when the pre-training data is built).
+  bool dynamic_masking = false;
+
+  /// Scaled-down config for each architecture, mirroring the relative
+  /// differences of the originals (DistilBERT = half the layers of BERT,
+  /// XLNet = same depth as BERT but with the heavier relative-attention
+  /// machinery, RoBERTa = BERT body without NSP, with dynamic masking).
+  static TransformerConfig Scaled(Architecture arch, int64_t vocab_size);
+};
+
+/// One row of the paper's Table 4 (the original pre-trained models).
+struct PaperScaleEntry {
+  const char* name;
+  int64_t layers;
+  int64_t hidden;
+  int64_t heads;
+  const char* params;
+  const char* details;
+};
+
+/// The four pre-trained models the paper used (Table 4).
+std::vector<PaperScaleEntry> PaperScaleConfigs();
+
+/// A tokenized batch ready for a transformer forward pass. `ids` and
+/// `segment_ids` are row-major [B, T] flattened; `attention_mask` is a
+/// [B, 1, 1, T] tensor with 1.0 marking padding (blocked) positions.
+struct Batch {
+  int64_t batch_size = 0;
+  int64_t seq_len = 0;
+  std::vector<int64_t> ids;
+  std::vector<int64_t> segment_ids;
+  Tensor attention_mask;
+
+  /// Builds the [B,1,1,T] mask tensor from per-position pad flags.
+  static Tensor MakeMask(const std::vector<float>& flat_mask, int64_t b,
+                         int64_t t);
+};
+
+}  // namespace models
+}  // namespace emx
+
+#endif  // EMX_MODELS_CONFIG_H_

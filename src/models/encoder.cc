@@ -1,0 +1,126 @@
+#include "models/encoder.h"
+
+#include "tensor/autograd_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace models {
+
+namespace ag = autograd;
+
+EncoderModel::EncoderModel(const TransformerConfig& config, Rng* rng)
+    : config_(config),
+      token_embeddings_(config.vocab_size, config.hidden, rng,
+                        config.InitStddev()),
+      position_embeddings_(config.max_seq_len, config.hidden, rng,
+                           config.InitStddev()),
+      embedding_ln_(config.hidden),
+      mlm_transform_(config.hidden, config.hidden, rng, config.InitStddev()),
+      mlm_ln_(config.hidden),
+      mlm_decoder_(config.hidden, config.vocab_size, rng, config.InitStddev()),
+      pair_head_(config.hidden, 2, rng, config.InitStddev()) {
+  if (config.type_vocab_size > 0) {
+    segment_embeddings_ = std::make_unique<nn::Embedding>(
+        config.type_vocab_size, config.hidden, rng, config.InitStddev());
+  }
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        config.hidden, config.num_heads, config.intermediate, rng,
+        config.activation, config.InitStddev()));
+  }
+  if (config.use_pooler) {
+    pooler_ = std::make_unique<nn::Linear>(config.hidden, config.hidden, rng,
+                                           config.InitStddev());
+  }
+  if (config.use_nsp_head) {
+    nsp_head_ = std::make_unique<nn::Linear>(config.hidden, 2, rng,
+                                             config.InitStddev());
+  }
+}
+
+Variable EncoderModel::Embed(const Batch& batch, bool train, Rng* rng) {
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.seq_len;
+  EMX_CHECK_LE(t, config_.max_seq_len)
+      << "sequence length exceeds max_seq_len";
+  EMX_CHECK_EQ(static_cast<int64_t>(batch.ids.size()), b * t);
+
+  Variable x = token_embeddings_.Forward(batch.ids, {b, t});
+
+  std::vector<int64_t> positions(static_cast<size_t>(b * t));
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      positions[static_cast<size_t>(i * t + j)] = j;
+    }
+  }
+  x = ag::Add(x, position_embeddings_.Forward(positions, {b, t}));
+
+  if (segment_embeddings_) {
+    EMX_CHECK_EQ(static_cast<int64_t>(batch.segment_ids.size()), b * t);
+    x = ag::Add(x, segment_embeddings_->Forward(batch.segment_ids, {b, t}));
+  }
+  x = embedding_ln_.Forward(x);
+  return ag::Dropout(x, config_.dropout, train, rng);
+}
+
+Variable EncoderModel::EncodeBatch(const Batch& batch, bool train, Rng* rng) {
+  Variable x = Embed(batch, train, rng);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, batch.attention_mask, config_.dropout, train, rng);
+  }
+  return x;
+}
+
+Variable EncoderModel::PooledOutput(const Variable& hidden, bool train,
+                                    Rng* rng) {
+  Variable cls = ag::SelectTimeStep(hidden, 0);
+  if (!pooler_) return ag::Dropout(cls, config_.dropout, train, rng);
+  Variable pooled = ag::Tanh(pooler_->Forward(cls));
+  return ag::Dropout(pooled, config_.dropout, train, rng);
+}
+
+Variable EncoderModel::MlmLogits(const Variable& hidden, bool train, Rng* rng) {
+  Variable flat = ag::Reshape(hidden, {-1, config_.hidden});
+  Variable h = nn::ApplyActivation(mlm_transform_.Forward(flat),
+                                   config_.activation);
+  h = mlm_ln_.Forward(h);
+  h = ag::Dropout(h, config_.dropout, train, rng);
+  return mlm_decoder_.Forward(h);
+}
+
+Variable EncoderModel::PairLogits(const Variable& pooled, bool train,
+                                  Rng* rng) {
+  Variable h = ag::Dropout(pooled, config_.dropout, train, rng);
+  return pair_head_.Forward(h);
+}
+
+Variable EncoderModel::NspLogits(const Variable& pooled, bool train, Rng* rng) {
+  EMX_CHECK(nsp_head_ != nullptr) << "NSP head disabled for this config";
+  Variable h = ag::Dropout(pooled, config_.dropout, train, rng);
+  return nsp_head_->Forward(h);
+}
+
+void EncoderModel::CollectParameters(const std::string& prefix,
+                                     std::vector<nn::NamedParam>* out) {
+  token_embeddings_.CollectParameters(nn::JoinName(prefix, "tok_emb"), out);
+  position_embeddings_.CollectParameters(nn::JoinName(prefix, "pos_emb"), out);
+  if (segment_embeddings_) {
+    segment_embeddings_->CollectParameters(nn::JoinName(prefix, "seg_emb"), out);
+  }
+  embedding_ln_.CollectParameters(nn::JoinName(prefix, "emb_ln"), out);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectParameters(
+        nn::JoinName(prefix, "layer" + std::to_string(i)), out);
+  }
+  if (pooler_) pooler_->CollectParameters(nn::JoinName(prefix, "pooler"), out);
+  mlm_transform_.CollectParameters(nn::JoinName(prefix, "mlm_transform"), out);
+  mlm_ln_.CollectParameters(nn::JoinName(prefix, "mlm_ln"), out);
+  mlm_decoder_.CollectParameters(nn::JoinName(prefix, "mlm_decoder"), out);
+  if (nsp_head_) {
+    nsp_head_->CollectParameters(nn::JoinName(prefix, "nsp_head"), out);
+  }
+  pair_head_.CollectParameters(nn::JoinName(prefix, "pair_head"), out);
+}
+
+}  // namespace models
+}  // namespace emx

@@ -1,0 +1,73 @@
+#ifndef EMX_MODELS_ENCODER_H_
+#define EMX_MODELS_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+#include "models/transformer.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace emx {
+namespace models {
+
+/// The BERT-family encoder covering three of the paper's architectures:
+///
+/// - BERT: token + learned-position + segment embeddings, post-LN encoder
+///   stack, CLS pooler (Linear+tanh), MLM and NSP heads.
+/// - RoBERTa: identical body configured without segment embeddings and
+///   without the NSP head (cfg.type_vocab_size = 0, cfg.use_nsp_head =
+///   false); dynamic masking is a property of the pre-training driver.
+/// - DistilBERT: half the layers, no segment embeddings, no pooler.
+///
+/// The architectural switches live in TransformerConfig so the paper's
+/// "BERT and friends" really are one body with the documented deltas.
+class EncoderModel : public TransformerModel {
+ public:
+  EncoderModel(const TransformerConfig& config, Rng* rng);
+
+  Variable EncodeBatch(const Batch& batch, bool train, Rng* rng) override;
+
+  Variable PooledOutput(const Variable& hidden, bool train, Rng* rng) override;
+
+  Variable MlmLogits(const Variable& hidden, bool train, Rng* rng) override;
+
+  /// Next-sentence-prediction logits [B, 2] from the pooled output.
+  /// Pre-condition: config().use_nsp_head.
+  Variable NspLogits(const Variable& pooled, bool train, Rng* rng);
+
+  Variable PairLogits(const Variable& pooled, bool train, Rng* rng) override;
+  const nn::Linear* pair_head() const override { return &pair_head_; }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) override;
+
+  const TransformerConfig& config() const override { return config_; }
+  void set_dropout(float p) override { config_.dropout = p; }
+
+  /// Embedding sum (token [+ position] [+ segment]) then LN + dropout;
+  /// exposed for the distillation trainer.
+  Variable Embed(const Batch& batch, bool train, Rng* rng);
+
+ private:
+  TransformerConfig config_;
+  nn::Embedding token_embeddings_;
+  nn::Embedding position_embeddings_;
+  std::unique_ptr<nn::Embedding> segment_embeddings_;  // null when disabled
+  nn::LayerNorm embedding_ln_;
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> layers_;
+  std::unique_ptr<nn::Linear> pooler_;  // null when disabled
+  // MLM head: transform (Linear + activation + LN) then decode to vocab.
+  nn::Linear mlm_transform_;
+  nn::LayerNorm mlm_ln_;
+  nn::Linear mlm_decoder_;
+  std::unique_ptr<nn::Linear> nsp_head_;  // null when disabled
+  nn::Linear pair_head_;
+};
+
+}  // namespace models
+}  // namespace emx
+
+#endif  // EMX_MODELS_ENCODER_H_

@@ -1,0 +1,18 @@
+#include "models/transformer.h"
+
+#include "models/encoder.h"
+#include "models/xlnet.h"
+
+namespace emx {
+namespace models {
+
+std::unique_ptr<TransformerModel> CreateTransformer(
+    const TransformerConfig& config, Rng* rng) {
+  if (config.arch == Architecture::kXlnet) {
+    return std::make_unique<XlnetModel>(config, rng);
+  }
+  return std::make_unique<EncoderModel>(config, rng);
+}
+
+}  // namespace models
+}  // namespace emx

@@ -1,0 +1,58 @@
+#ifndef EMX_MODELS_TRANSFORMER_H_
+#define EMX_MODELS_TRANSFORMER_H_
+
+#include <memory>
+
+#include "models/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace models {
+
+/// Interface every transformer backbone in this library implements. The
+/// fine-tuning classifier and the pre-training drivers only depend on this.
+class TransformerModel : public nn::Module {
+ public:
+  ~TransformerModel() override = default;
+
+  /// Runs the encoder and returns the final hidden states [B, T, H].
+  virtual Variable EncodeBatch(const Batch& batch, bool train, Rng* rng) = 0;
+
+  /// A sequence-level representation for classification: the hidden state
+  /// at the CLS position, optionally passed through the model's pooler.
+  virtual Variable PooledOutput(const Variable& hidden, bool train,
+                                Rng* rng) = 0;
+
+  /// Token-level vocabulary logits for masked-LM style objectives,
+  /// flattened to [B*T, V].
+  virtual Variable MlmLogits(const Variable& hidden, bool train, Rng* rng) = 0;
+
+  /// Copy-discrimination logits [B, 2] from the pooled output — the
+  /// auxiliary pre-training head that builds cross-segment comparison
+  /// circuits at this reproduction's scale (see DESIGN.md). Not used at
+  /// fine-tuning time (the EM head is trained fresh).
+  virtual Variable PairLogits(const Variable& pooled, bool train, Rng* rng) = 0;
+
+  /// The pre-trained copy-discrimination head (null if the architecture
+  /// has none). The fine-tuning classifier warm-starts from it.
+  virtual const nn::Linear* pair_head() const = 0;
+
+  virtual const TransformerConfig& config() const = 0;
+
+  /// Adjusts the dropout probability (fine-tuning may use a different rate
+  /// than pre-training).
+  virtual void set_dropout(float p) = 0;
+};
+
+/// Builds the architecture named by `config.arch` (factory used by the
+/// EntityMatcher and the pre-trainer).
+std::unique_ptr<TransformerModel> CreateTransformer(
+    const TransformerConfig& config, Rng* rng);
+
+}  // namespace models
+}  // namespace emx
+
+#endif  // EMX_MODELS_TRANSFORMER_H_

@@ -1,0 +1,291 @@
+#include "models/xlnet.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace models {
+
+namespace ag = autograd;
+
+Variable RelativeShift(const Variable& bd, int64_t seq_len) {
+  const int64_t b = bd.dim(0);
+  const int64_t h = bd.dim(1);
+  const int64_t t = bd.dim(2);
+  const int64_t l = bd.dim(3);
+  EMX_CHECK_EQ(t, seq_len);
+  EMX_CHECK_EQ(l, 2 * seq_len - 1);
+
+  // Forward: gather out[b,h,i,j] = bd[b,h,i, t-1-i+j].
+  Tensor out_value({b, h, t, t});
+  {
+    const float* src = bd.value().data();
+    float* dst = out_value.data();
+    for (int64_t bi = 0; bi < b * h; ++bi) {
+      const float* s = src + bi * t * l;
+      float* d = dst + bi * t * t;
+      for (int64_t i = 0; i < t; ++i) {
+        for (int64_t j = 0; j < t; ++j) {
+          d[i * t + j] = s[i * l + (t - 1 - i + j)];
+        }
+      }
+    }
+  }
+  const Shape in_shape = bd.value().shape();
+  return Variable::MakeOpResult(
+      std::move(out_value), {bd}, [bd, in_shape, b, h, t, l](const Tensor& g) {
+        if (!bd.requires_grad()) return;
+        Tensor dx(in_shape);
+        const float* gs = g.data();
+        float* dd = dx.data();
+        for (int64_t bi = 0; bi < b * h; ++bi) {
+          const float* gg = gs + bi * t * t;
+          float* d = dd + bi * t * l;
+          for (int64_t i = 0; i < t; ++i) {
+            for (int64_t j = 0; j < t; ++j) {
+              d[i * l + (t - 1 - i + j)] += gg[i * t + j];
+            }
+          }
+        }
+        bd.node()->EnsureGrad().AddInPlace(dx);
+      });
+}
+
+XlnetLayer::XlnetLayer(int64_t hidden, int64_t num_heads, int64_t intermediate,
+                       Rng* rng, float init_stddev)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads),
+      wq_(hidden, hidden, rng, init_stddev),
+      wk_(hidden, hidden, rng, init_stddev),
+      wv_(hidden, hidden, rng, init_stddev),
+      wo_(hidden, hidden, rng, init_stddev),
+      wr_(hidden, hidden, rng, init_stddev),
+      u_bias_(Variable::Parameter(Tensor::Randn({hidden}, rng, init_stddev))),
+      v_bias_(Variable::Parameter(Tensor::Randn({hidden}, rng, init_stddev))),
+      ffn_(hidden, intermediate, rng, nn::Activation::kGelu, init_stddev),
+      ln_attn_(hidden),
+      ln_ffn_(hidden) {
+  EMX_CHECK_EQ(head_dim_ * num_heads_, hidden_);
+}
+
+Variable XlnetLayer::ProjectRelative(const Variable& sinusoid) const {
+  // sinusoid: [L, H] -> project -> [L, H] -> [L, heads, dh] -> [heads, L, dh].
+  Variable r = wr_.Forward(sinusoid);
+  const int64_t l = sinusoid.dim(0);
+  r = ag::Reshape(r, {l, num_heads_, head_dim_});
+  return ag::Permute(r, {1, 0, 2});
+}
+
+Variable XlnetLayer::Attend(const Variable& q_in, const Variable& kv,
+                            const Variable& rel, const Tensor& mask,
+                            float dropout_p, bool train, Rng* rng) const {
+  const int64_t b = q_in.dim(0);
+  const int64_t t = q_in.dim(1);
+
+  Variable qh = wq_.Forward(q_in);  // [B, T, H]
+  Variable q_u = ag::AddBias(qh, u_bias_);
+  Variable q_v = ag::AddBias(qh, v_bias_);
+
+  auto split = [&](const Variable& x) {
+    Variable r = ag::Reshape(x, {b, t, num_heads_, head_dim_});
+    return ag::Permute(r, {0, 2, 1, 3});  // [B, heads, T, dh]
+  };
+
+  Variable k = split(wk_.Forward(kv));
+  Variable v = split(wv_.Forward(kv));
+  Variable qu = split(q_u);
+  Variable qv = split(q_v);
+
+  // Content term AC = (q+u) k^T: [B, heads, T, T].
+  Variable ac = ag::MatMul(qu, k, false, true);
+
+  // Position term BD = (q+v) r^T over all 2T-1 distances, then shifted.
+  // qv: [B, heads, T, dh] -> [heads, B*T, dh]; rel: [heads, L, dh].
+  Variable qv_h = ag::Permute(qv, {1, 0, 2, 3});           // [heads, B, T, dh]
+  qv_h = ag::Reshape(qv_h, {num_heads_, b * t, head_dim_});
+  Variable bd_flat = ag::MatMul(qv_h, rel, false, true);   // [heads, B*T, L]
+  const int64_t l = rel.dim(1);
+  Variable bd = ag::Reshape(bd_flat, {num_heads_, b, t, l});
+  bd = ag::Permute(bd, {1, 0, 2, 3});                      // [B, heads, T, L]
+  bd = RelativeShift(bd, t);                               // [B, heads, T, T]
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Variable scores = ag::MulScalar(ag::Add(ac, bd), scale);
+
+  Variable probs = mask.size() > 0 ? ag::MaskedSoftmax(scores, mask)
+                                   : ag::Softmax(scores);
+  probs = ag::Dropout(probs, dropout_p, train, rng);
+
+  Variable context = ag::MatMul(probs, v);  // [B, heads, T, dh]
+  context = ag::Permute(context, {0, 2, 1, 3});
+  context = ag::Reshape(context, {b, t, hidden_});
+  return wo_.Forward(context);
+}
+
+Variable XlnetLayer::Forward(const Variable& q_in, const Variable& kv,
+                             const Variable& rel, const Tensor& mask,
+                             float dropout_p, bool train, Rng* rng) const {
+  Variable attn = Attend(q_in, kv, rel, mask, dropout_p, train, rng);
+  attn = ag::Dropout(attn, dropout_p, train, rng);
+  Variable h = ln_attn_.Forward(ag::Add(q_in, attn));
+  Variable f = ffn_.Forward(h, dropout_p, train, rng);
+  f = ag::Dropout(f, dropout_p, train, rng);
+  return ln_ffn_.Forward(ag::Add(h, f));
+}
+
+void XlnetLayer::CollectParameters(const std::string& prefix,
+                                   std::vector<nn::NamedParam>* out) {
+  wq_.CollectParameters(nn::JoinName(prefix, "wq"), out);
+  wk_.CollectParameters(nn::JoinName(prefix, "wk"), out);
+  wv_.CollectParameters(nn::JoinName(prefix, "wv"), out);
+  wo_.CollectParameters(nn::JoinName(prefix, "wo"), out);
+  wr_.CollectParameters(nn::JoinName(prefix, "wr"), out);
+  out->push_back({nn::JoinName(prefix, "u_bias"), u_bias_});
+  out->push_back({nn::JoinName(prefix, "v_bias"), v_bias_});
+  ffn_.CollectParameters(nn::JoinName(prefix, "ffn"), out);
+  ln_attn_.CollectParameters(nn::JoinName(prefix, "ln_attn"), out);
+  ln_ffn_.CollectParameters(nn::JoinName(prefix, "ln_ffn"), out);
+}
+
+Tensor XlnetModel::RelativeSinusoid(int64_t seq_len, int64_t hidden) {
+  const int64_t l = 2 * seq_len - 1;
+  Tensor out({l, hidden});
+  for (int64_t p = 0; p < l; ++p) {
+    const double dist = static_cast<double>(seq_len - 1 - p);
+    for (int64_t i = 0; i < hidden; i += 2) {
+      const double freq =
+          std::pow(10000.0, -static_cast<double>(i) / static_cast<double>(hidden));
+      out.At({p, i}) = static_cast<float>(std::sin(dist * freq));
+      if (i + 1 < hidden) {
+        out.At({p, i + 1}) = static_cast<float>(std::cos(dist * freq));
+      }
+    }
+  }
+  return out;
+}
+
+XlnetModel::XlnetModel(const TransformerConfig& config, Rng* rng)
+    : config_(config),
+      token_embeddings_(config.vocab_size, config.hidden, rng,
+                        config.InitStddev()),
+      embedding_ln_(config.hidden),
+      mask_emb_(Variable::Parameter(
+          Tensor::Randn({config.hidden}, rng, config.InitStddev()))),
+      lm_transform_(config.hidden, config.hidden, rng, config.InitStddev()),
+      lm_ln_(config.hidden),
+      lm_decoder_(config.hidden, config.vocab_size, rng, config.InitStddev()),
+      pair_head_(config.hidden, 2, rng, config.InitStddev()) {
+  if (config.type_vocab_size > 0) {
+    segment_embeddings_ = std::make_unique<nn::Embedding>(
+        config.type_vocab_size, config.hidden, rng, config.InitStddev());
+  }
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<XlnetLayer>(
+        config.hidden, config.num_heads, config.intermediate, rng,
+        config.InitStddev()));
+  }
+  if (config.use_pooler) {
+    pooler_ = std::make_unique<nn::Linear>(config.hidden, config.hidden, rng,
+                                           config.InitStddev());
+  }
+}
+
+Variable XlnetModel::EncodeBatch(const Batch& batch, bool train, Rng* rng) {
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.seq_len;
+  Variable x = token_embeddings_.Forward(batch.ids, {b, t});
+  if (segment_embeddings_) {
+    x = ag::Add(x, segment_embeddings_->Forward(batch.segment_ids, {b, t}));
+  }
+  x = embedding_ln_.Forward(x);
+  x = ag::Dropout(x, config_.dropout, train, rng);
+
+  Variable sinusoid =
+      Variable::Constant(RelativeSinusoid(t, config_.hidden));
+  for (const auto& layer : layers_) {
+    Variable rel = layer->ProjectRelative(sinusoid);
+    x = layer->Forward(x, x, rel, batch.attention_mask, config_.dropout, train,
+                       rng);
+  }
+  return x;
+}
+
+TwoStreamOutput XlnetModel::TwoStreamForward(const Batch& batch,
+                                             const Tensor& content_mask,
+                                             const Tensor& query_mask,
+                                             bool train, Rng* rng) {
+  const int64_t b = batch.batch_size;
+  const int64_t t = batch.seq_len;
+  Variable h = token_embeddings_.Forward(batch.ids, {b, t});
+  if (segment_embeddings_) {
+    h = ag::Add(h, segment_embeddings_->Forward(batch.segment_ids, {b, t}));
+  }
+  h = embedding_ln_.Forward(h);
+  h = ag::Dropout(h, config_.dropout, train, rng);
+
+  // The query stream starts from the learned mask embedding at every
+  // position (it must not see its own content).
+  Variable zeros = Variable::Constant(Tensor::Zeros({b, t, config_.hidden}));
+  Variable g = ag::AddBias(zeros, mask_emb_);
+
+  Variable sinusoid = Variable::Constant(RelativeSinusoid(t, config_.hidden));
+  for (const auto& layer : layers_) {
+    Variable rel = layer->ProjectRelative(sinusoid);
+    // Query stream attends to the *current* content stream.
+    Variable g_next =
+        layer->Forward(g, h, rel, query_mask, config_.dropout, train, rng);
+    Variable h_next =
+        layer->Forward(h, h, rel, content_mask, config_.dropout, train, rng);
+    g = g_next;
+    h = h_next;
+  }
+  return {h, g};
+}
+
+Variable XlnetModel::PooledOutput(const Variable& hidden, bool train,
+                                  Rng* rng) {
+  Variable cls = ag::SelectTimeStep(hidden, 0);
+  if (!pooler_) return ag::Dropout(cls, config_.dropout, train, rng);
+  Variable pooled = ag::Tanh(pooler_->Forward(cls));
+  return ag::Dropout(pooled, config_.dropout, train, rng);
+}
+
+Variable XlnetModel::MlmLogits(const Variable& hidden, bool train, Rng* rng) {
+  Variable flat = ag::Reshape(hidden, {-1, config_.hidden});
+  Variable h = nn::ApplyActivation(lm_transform_.Forward(flat),
+                                   config_.activation);
+  h = lm_ln_.Forward(h);
+  h = ag::Dropout(h, config_.dropout, train, rng);
+  return lm_decoder_.Forward(h);
+}
+
+Variable XlnetModel::PairLogits(const Variable& pooled, bool train, Rng* rng) {
+  Variable h = ag::Dropout(pooled, config_.dropout, train, rng);
+  return pair_head_.Forward(h);
+}
+
+void XlnetModel::CollectParameters(const std::string& prefix,
+                                   std::vector<nn::NamedParam>* out) {
+  token_embeddings_.CollectParameters(nn::JoinName(prefix, "tok_emb"), out);
+  if (segment_embeddings_) {
+    segment_embeddings_->CollectParameters(nn::JoinName(prefix, "seg_emb"), out);
+  }
+  embedding_ln_.CollectParameters(nn::JoinName(prefix, "emb_ln"), out);
+  out->push_back({nn::JoinName(prefix, "mask_emb"), mask_emb_});
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectParameters(
+        nn::JoinName(prefix, "layer" + std::to_string(i)), out);
+  }
+  if (pooler_) pooler_->CollectParameters(nn::JoinName(prefix, "pooler"), out);
+  lm_transform_.CollectParameters(nn::JoinName(prefix, "lm_transform"), out);
+  lm_ln_.CollectParameters(nn::JoinName(prefix, "lm_ln"), out);
+  lm_decoder_.CollectParameters(nn::JoinName(prefix, "lm_decoder"), out);
+  pair_head_.CollectParameters(nn::JoinName(prefix, "pair_head"), out);
+}
+
+}  // namespace models
+}  // namespace emx

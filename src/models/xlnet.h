@@ -1,0 +1,130 @@
+#ifndef EMX_MODELS_XLNET_H_
+#define EMX_MODELS_XLNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+#include "models/transformer.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace emx {
+namespace models {
+
+/// One XLNet layer: Transformer-XL relative-position multi-head attention
+/// followed by a position-wise FFN, both with post-LayerNorm residuals.
+///
+/// Attention scores follow Dai et al.:
+///   score(i,j) = (q_i + u)·k_j + (q_i + v)·r_{i-j}
+/// where r is a sinusoidal encoding of the relative distance projected by
+/// W_r, and u, v are learned per-dimension biases. The (q+v)·r term is
+/// computed against all 2T-1 distances and re-indexed per query position
+/// ("relative shift").
+class XlnetLayer : public nn::Module {
+ public:
+  XlnetLayer(int64_t hidden, int64_t num_heads, int64_t intermediate, Rng* rng,
+             float init_stddev = 0.02f);
+
+  /// Relative-position attention with query input `q_in` ([B, T, H]) and
+  /// content input `kv` ([B, T, H]); `rel` is the projected relative
+  /// encoding [heads, 2T-1, dh] (from ProjectRelative). The residual is
+  /// added around `q_in`.
+  Variable Attend(const Variable& q_in, const Variable& kv, const Variable& rel,
+                  const Tensor& mask, float dropout_p, bool train,
+                  Rng* rng) const;
+
+  /// Full layer for one stream: attention + FFN.
+  Variable Forward(const Variable& q_in, const Variable& kv,
+                   const Variable& rel, const Tensor& mask, float dropout_p,
+                   bool train, Rng* rng) const;
+
+  /// Projects the sinusoidal relative encodings [2T-1, H] to per-head keys
+  /// [heads, 2T-1, dh].
+  Variable ProjectRelative(const Variable& sinusoid) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) override;
+
+ private:
+  int64_t hidden_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  nn::Linear wq_;
+  nn::Linear wk_;
+  nn::Linear wv_;
+  nn::Linear wo_;
+  nn::Linear wr_;        // projects relative sinusoids
+  Variable u_bias_;      // [H], content bias (added to q for the AC term)
+  Variable v_bias_;      // [H], position bias (added to q for the BD term)
+  nn::FeedForward ffn_;
+  nn::LayerNorm ln_attn_;
+  nn::LayerNorm ln_ffn_;
+};
+
+/// Result of a two-stream forward pass (permutation-LM pre-training).
+struct TwoStreamOutput {
+  Variable content;  // h stream, [B, T, H]
+  Variable query;    // g stream, [B, T, H] — predicts token content
+};
+
+/// XLNet: an autoregressive transformer with relative positional attention
+/// (Transformer-XL) and a two-stream mechanism for permutation language
+/// modeling. Fine-tuning uses the content stream only with a plain padding
+/// mask, exactly like the other architectures.
+class XlnetModel : public TransformerModel {
+ public:
+  XlnetModel(const TransformerConfig& config, Rng* rng);
+
+  Variable EncodeBatch(const Batch& batch, bool train, Rng* rng) override;
+
+  /// Two-stream pass for permutation-LM pre-training. `content_mask` and
+  /// `query_mask` are [B, 1, T, T] tensors built from a sampled
+  /// factorization order (1 = blocked): content allows perm-earlier-or-self,
+  /// query allows strictly perm-earlier positions.
+  TwoStreamOutput TwoStreamForward(const Batch& batch,
+                                   const Tensor& content_mask,
+                                   const Tensor& query_mask, bool train,
+                                   Rng* rng);
+
+  Variable PooledOutput(const Variable& hidden, bool train, Rng* rng) override;
+
+  Variable MlmLogits(const Variable& hidden, bool train, Rng* rng) override;
+
+  Variable PairLogits(const Variable& pooled, bool train, Rng* rng) override;
+  const nn::Linear* pair_head() const override { return &pair_head_; }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) override;
+
+  const TransformerConfig& config() const override { return config_; }
+  void set_dropout(float p) override { config_.dropout = p; }
+
+  /// Sinusoidal encodings for relative distances T-1 .. -(T-1), shape
+  /// [2T-1, H]; row p encodes distance (T-1) - p.
+  static Tensor RelativeSinusoid(int64_t seq_len, int64_t hidden);
+
+ private:
+  TransformerConfig config_;
+  nn::Embedding token_embeddings_;
+  std::unique_ptr<nn::Embedding> segment_embeddings_;
+  nn::LayerNorm embedding_ln_;
+  Variable mask_emb_;  // [H], the g-stream initialization vector
+  std::vector<std::unique_ptr<XlnetLayer>> layers_;
+  std::unique_ptr<nn::Linear> pooler_;
+  nn::Linear lm_transform_;
+  nn::LayerNorm lm_ln_;
+  nn::Linear lm_decoder_;
+  nn::Linear pair_head_;
+};
+
+/// Differentiable relative shift: given scores over distances
+/// bd[B, H, T, 2T-1] (row p = distance (T-1)-p), returns [B, H, T, T] with
+/// out[b,h,i,j] = bd[b,h,i, (T-1) - i + j].
+Variable RelativeShift(const Variable& bd, int64_t seq_len);
+
+}  // namespace models
+}  // namespace emx
+
+#endif  // EMX_MODELS_XLNET_H_

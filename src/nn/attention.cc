@@ -1,0 +1,98 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace nn {
+
+namespace ag = autograd;
+
+MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t num_heads,
+                                       Rng* rng, float init_stddev)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads),
+      wq_(hidden, hidden, rng, init_stddev),
+      wk_(hidden, hidden, rng, init_stddev),
+      wv_(hidden, hidden, rng, init_stddev),
+      wo_(hidden, hidden, rng, init_stddev) {
+  EMX_CHECK_EQ(head_dim_ * num_heads_, hidden_)
+      << "hidden must be divisible by num_heads";
+}
+
+Variable MultiHeadAttention::SplitHeads(const Variable& x) const {
+  const int64_t b = x.dim(0);
+  const int64_t t = x.dim(1);
+  Variable r = ag::Reshape(x, {b, t, num_heads_, head_dim_});
+  return ag::Permute(r, {0, 2, 1, 3});  // [B, heads, T, dh]
+}
+
+Variable MultiHeadAttention::MergeHeads(const Variable& x) const {
+  const int64_t b = x.dim(0);
+  const int64_t t = x.dim(2);
+  Variable p = ag::Permute(x, {0, 2, 1, 3});  // [B, T, heads, dh]
+  return ag::Reshape(p, {b, t, hidden_});
+}
+
+Variable MultiHeadAttention::Forward(const Variable& query, const Variable& kv,
+                                     const Tensor& mask, float dropout_p,
+                                     bool train, Rng* rng) const {
+  Variable q = SplitHeads(wq_.Forward(query));  // [B, h, Tq, dh]
+  Variable k = SplitHeads(wk_.Forward(kv));     // [B, h, Tk, dh]
+  Variable v = SplitHeads(wv_.Forward(kv));     // [B, h, Tk, dh]
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Variable scores =
+      ag::MulScalar(ag::MatMul(q, k, false, true), scale);  // [B, h, Tq, Tk]
+
+  Variable probs = mask.size() > 0 ? ag::MaskedSoftmax(scores, mask)
+                                   : ag::Softmax(scores);
+  probs = ag::Dropout(probs, dropout_p, train, rng);
+
+  Variable context = ag::MatMul(probs, v);  // [B, h, Tq, dh]
+  return wo_.Forward(MergeHeads(context));
+}
+
+void MultiHeadAttention::CollectParameters(const std::string& prefix,
+                                           std::vector<NamedParam>* out) {
+  wq_.CollectParameters(JoinName(prefix, "wq"), out);
+  wk_.CollectParameters(JoinName(prefix, "wk"), out);
+  wv_.CollectParameters(JoinName(prefix, "wv"), out);
+  wo_.CollectParameters(JoinName(prefix, "wo"), out);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t hidden,
+                                                 int64_t num_heads,
+                                                 int64_t intermediate, Rng* rng,
+                                                 Activation activation,
+                                                 float init_stddev)
+    : attention_(hidden, num_heads, rng, init_stddev),
+      ffn_(hidden, intermediate, rng, activation, init_stddev),
+      ln_attn_(hidden),
+      ln_ffn_(hidden) {}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x, const Tensor& mask,
+                                          float dropout_p, bool train,
+                                          Rng* rng) const {
+  Variable attn = attention_.Forward(x, x, mask, dropout_p, train, rng);
+  attn = ag::Dropout(attn, dropout_p, train, rng);
+  Variable h = ln_attn_.Forward(ag::Add(x, attn));
+
+  Variable ffn = ffn_.Forward(h, dropout_p, train, rng);
+  ffn = ag::Dropout(ffn, dropout_p, train, rng);
+  return ln_ffn_.Forward(ag::Add(h, ffn));
+}
+
+void TransformerEncoderLayer::CollectParameters(const std::string& prefix,
+                                                std::vector<NamedParam>* out) {
+  attention_.CollectParameters(JoinName(prefix, "attn"), out);
+  ffn_.CollectParameters(JoinName(prefix, "ffn"), out);
+  ln_attn_.CollectParameters(JoinName(prefix, "ln_attn"), out);
+  ln_ffn_.CollectParameters(JoinName(prefix, "ln_ffn"), out);
+}
+
+}  // namespace nn
+}  // namespace emx

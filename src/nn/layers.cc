@@ -1,0 +1,110 @@
+#include "nn/layers.h"
+
+#include "util/logging.h"
+
+namespace emx {
+namespace nn {
+
+namespace ag = autograd;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               float init_stddev)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Variable::Parameter(
+          Tensor::Randn({in_features, out_features}, rng, init_stddev))),
+      bias_(Variable::Parameter(Tensor::Zeros({out_features}))) {}
+
+Variable Linear::Forward(const Variable& x) const {
+  const Shape& in_shape = x.shape();
+  EMX_CHECK_EQ(in_shape.back(), in_features_)
+      << "Linear: input last dim " << in_shape.back() << " != in_features "
+      << in_features_;
+  if (x.value().ndim() == 2) {
+    return ag::AddBias(ag::MatMul(x, weight_), bias_);
+  }
+  // Flatten leading dims, multiply, restore.
+  Shape out_shape(in_shape.begin(), in_shape.end() - 1);
+  out_shape.push_back(out_features_);
+  Variable flat = ag::Reshape(x, {-1, in_features_});
+  Variable y = ag::AddBias(ag::MatMul(flat, weight_), bias_);
+  return ag::Reshape(y, out_shape);
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParam>* out) {
+  out->push_back({JoinName(prefix, "weight"), weight_});
+  out->push_back({JoinName(prefix, "bias"), bias_});
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng* rng,
+                     float init_stddev)
+    : num_embeddings_(num_embeddings),
+      dim_(dim),
+      table_(Variable::Parameter(
+          Tensor::Randn({num_embeddings, dim}, rng, init_stddev))) {}
+
+Variable Embedding::Forward(const std::vector<int64_t>& ids,
+                            Shape out_shape) const {
+  EMX_CHECK_EQ(NumElements(out_shape), static_cast<int64_t>(ids.size()));
+  Variable flat = ag::EmbeddingLookup(table_, ids);
+  out_shape.push_back(dim_);
+  return ag::Reshape(flat, out_shape);
+}
+
+void Embedding::CollectParameters(const std::string& prefix,
+                                  std::vector<NamedParam>* out) {
+  out->push_back({JoinName(prefix, "table"), table_});
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_(Variable::Parameter(Tensor::Ones({dim}))),
+      beta_(Variable::Parameter(Tensor::Zeros({dim}))) {}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  EMX_CHECK_EQ(x.shape().back(), dim_);
+  return ag::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+void LayerNorm::CollectParameters(const std::string& prefix,
+                                  std::vector<NamedParam>* out) {
+  out->push_back({JoinName(prefix, "gamma"), gamma_});
+  out->push_back({JoinName(prefix, "beta"), beta_});
+}
+
+Variable ApplyActivation(const Variable& x, Activation activation) {
+  switch (activation) {
+    case Activation::kGelu:
+      return ag::Gelu(x);
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+  }
+  EMX_CHECK(false) << "unknown activation";
+  return x;
+}
+
+FeedForward::FeedForward(int64_t hidden, int64_t intermediate, Rng* rng,
+                         Activation activation, float init_stddev)
+    : fc1_(hidden, intermediate, rng, init_stddev),
+      fc2_(intermediate, hidden, rng, init_stddev),
+      activation_(activation) {}
+
+Variable FeedForward::Forward(const Variable& x, float dropout_p, bool train,
+                              Rng* rng) const {
+  Variable h = ApplyActivation(fc1_.Forward(x), activation_);
+  h = ag::Dropout(h, dropout_p, train, rng);
+  return fc2_.Forward(h);
+}
+
+void FeedForward::CollectParameters(const std::string& prefix,
+                                    std::vector<NamedParam>* out) {
+  fc1_.CollectParameters(JoinName(prefix, "fc1"), out);
+  fc2_.CollectParameters(JoinName(prefix, "fc2"), out);
+}
+
+}  // namespace nn
+}  // namespace emx

@@ -1,0 +1,112 @@
+#ifndef EMX_NN_LAYERS_H_
+#define EMX_NN_LAYERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace nn {
+
+/// Affine layer y = x @ W + b with W of shape [in, out].
+/// Accepts inputs of shape [..., in]; leading dims are flattened and
+/// restored, so callers can pass [B, T, in] directly.
+class Linear : public Module {
+ public:
+  /// Initializes W ~ N(0, init_stddev^2) (BERT uses 0.02), b = 0.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         float init_stddev = 0.02f);
+
+  Variable Forward(const Variable& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out]
+};
+
+/// Token/positional/segment embedding table of shape [num_embeddings, dim].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng* rng,
+            float init_stddev = 0.02f);
+
+  /// Looks up `ids` (flattened) and reshapes to `out_shape` + [dim].
+  /// E.g. ids of a [B, T] batch passed flat with out_shape {B, T} give
+  /// a [B, T, dim] result.
+  Variable Forward(const std::vector<int64_t>& ids, Shape out_shape) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+  const Variable& table() const { return table_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  Variable table_;  // [V, dim]
+};
+
+/// Layer normalization over the last axis with learned gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+ private:
+  int64_t dim_;
+  float eps_;
+  Variable gamma_;  // [dim], init 1
+  Variable beta_;   // [dim], init 0
+};
+
+/// Which nonlinearity a FeedForward uses.
+enum class Activation { kGelu, kRelu, kTanh };
+
+/// Position-wise feed-forward block: Linear -> activation -> Linear.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t hidden, int64_t intermediate, Rng* rng,
+              Activation activation = Activation::kGelu,
+              float init_stddev = 0.02f);
+
+  /// `train`/`rng` control the dropout after the activation.
+  Variable Forward(const Variable& x, float dropout_p, bool train,
+                   Rng* rng) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Activation activation_;
+};
+
+/// Applies the configured activation.
+Variable ApplyActivation(const Variable& x, Activation activation);
+
+}  // namespace nn
+}  // namespace emx
+
+#endif  // EMX_NN_LAYERS_H_

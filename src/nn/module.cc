@@ -1,0 +1,118 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x454d5850;  // "EMXP"
+
+}  // namespace
+
+std::string JoinName(const std::string& prefix, const std::string& leaf) {
+  if (prefix.empty()) return leaf;
+  return prefix + "." + leaf;
+}
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<NamedParam>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const uint32_t magic = kMagic;
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const uint64_t name_len = p.name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
+    const Tensor& t = p.var.value();
+    const uint64_t ndim = static_cast<uint64_t>(t.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : t.shape()) {
+      const int64_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<NamedParam>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::InvalidArgument(path + " is not an emx parameter file");
+  }
+  std::map<std::string, Tensor> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > (1u << 20)) {
+      return Status::InvalidArgument("corrupt parameter file " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 8) {
+      return Status::InvalidArgument("corrupt parameter file " + path);
+    }
+    Shape shape(ndim);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated parameter file " + path);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+  for (const auto& p : params) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return Status::NotFound("parameter '" + p.name + "' missing in " + path);
+    }
+    if (it->second.shape() != p.var.value().shape()) {
+      return Status::InvalidArgument(
+          "parameter '" + p.name + "' shape mismatch: file has " +
+          ShapeToString(it->second.shape()) + ", model expects " +
+          ShapeToString(p.var.value().shape()));
+    }
+    // Copy into the existing buffer so optimizer state stays attached.
+    Tensor& dst = const_cast<Variable&>(p.var).mutable_value();
+    std::copy(it->second.data(), it->second.data() + it->second.size(),
+              dst.data());
+  }
+  return Status::OK();
+}
+
+int64_t CopyMatchingParameters(const std::vector<NamedParam>& src,
+                               const std::vector<NamedParam>& dst) {
+  std::map<std::string, const NamedParam*> index;
+  for (const auto& p : src) index[p.name] = &p;
+  int64_t copied = 0;
+  for (const auto& d : dst) {
+    auto it = index.find(d.name);
+    if (it == index.end()) continue;
+    const Tensor& s = it->second->var.value();
+    if (s.shape() != d.var.value().shape()) continue;
+    Tensor& t = const_cast<Variable&>(d.var).mutable_value();
+    std::copy(s.data(), s.data() + s.size(), t.data());
+    ++copied;
+  }
+  return copied;
+}
+
+}  // namespace nn
+}  // namespace emx

@@ -1,0 +1,73 @@
+#ifndef EMX_NN_MODULE_H_
+#define EMX_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/variable.h"
+#include "util/status.h"
+
+namespace emx {
+namespace nn {
+
+/// A named trainable parameter. The Variable is a shared handle, so copies
+/// refer to the same underlying storage and gradient.
+struct NamedParam {
+  std::string name;
+  Variable var;
+};
+
+/// Base class for trainable components. A Module owns parameter Variables
+/// and reports them via CollectParameters so optimizers and serialization
+/// can reach every tensor without knowing the concrete type.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends all parameters, with names prefixed by `prefix` (e.g.
+  /// "encoder.layer0.attn.wq").
+  virtual void CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParam>* out) = 0;
+
+  /// Convenience: all parameters with an empty prefix.
+  std::vector<NamedParam> Parameters() {
+    std::vector<NamedParam> out;
+    CollectParameters("", &out);
+    return out;
+  }
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.var.ZeroGrad();
+  }
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() {
+    int64_t n = 0;
+    for (auto& p : Parameters()) n += p.var.size();
+    return n;
+  }
+};
+
+/// Joins a prefix and a leaf name with '.' (no leading dot for empty prefix).
+std::string JoinName(const std::string& prefix, const std::string& leaf);
+
+/// Saves parameters to a binary file (name-indexed).
+Status SaveParameters(const std::string& path,
+                      const std::vector<NamedParam>& params);
+
+/// Loads parameters by name into existing Variables; shapes must match.
+/// Fails if any parameter is missing from the file.
+Status LoadParameters(const std::string& path,
+                      const std::vector<NamedParam>& params);
+
+/// Copies parameter values from `src` into `dst`, matching by name for all
+/// names present in both (used to initialize a student from a teacher).
+/// Returns the number of tensors copied.
+int64_t CopyMatchingParameters(const std::vector<NamedParam>& src,
+                               const std::vector<NamedParam>& dst);
+
+}  // namespace nn
+}  // namespace emx
+
+#endif  // EMX_NN_MODULE_H_

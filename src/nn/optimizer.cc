@@ -1,0 +1,100 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace nn {
+
+LinearWarmupSchedule::LinearWarmupSchedule(float base_lr, int64_t warmup_steps,
+                                           int64_t total_steps)
+    : base_lr_(base_lr), warmup_steps_(warmup_steps), total_steps_(total_steps) {
+  EMX_CHECK_GE(warmup_steps, 0);
+  EMX_CHECK_GT(total_steps, warmup_steps);
+}
+
+float LinearWarmupSchedule::LearningRate(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const float remaining = static_cast<float>(total_steps_ - step) /
+                          static_cast<float>(total_steps_ - warmup_steps_);
+  return base_lr_ * std::max(0.0f, remaining);
+}
+
+namespace {
+
+bool IsDecayExempt(const std::string& name) {
+  return EndsWith(name, ".bias") || EndsWith(name, ".gamma") ||
+         EndsWith(name, ".beta") || name == "bias" || name == "gamma" ||
+         name == "beta";
+}
+
+}  // namespace
+
+Adam::Adam(std::vector<NamedParam> params, AdamOptions options)
+    : options_(options) {
+  slots_.reserve(params.size());
+  for (auto& p : params) {
+    Slot slot;
+    slot.m = Tensor(p.var.value().shape());
+    slot.v = Tensor(p.var.value().shape());
+    slot.decay = options_.weight_decay > 0.0f && !IsDecayExempt(p.name);
+    slot.param = std::move(p);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& s : slots_) s.param.var.ZeroGrad();
+}
+
+float Adam::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& s : slots_) {
+    const Tensor& g = s.param.var.grad();
+    const float* p = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) total += static_cast<double>(p[i]) * p[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (max_norm > 0.0f && norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (auto& s : slots_) {
+      s.param.var.mutable_grad().ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+void Adam::Step(float lr_override) {
+  if (options_.clip_norm > 0.0f) ClipGradNorm(options_.clip_norm);
+  ++step_count_;
+  const float lr = lr_override >= 0.0f ? lr_override : options_.lr;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+
+  for (auto& s : slots_) {
+    Tensor& value = s.param.var.mutable_value();
+    const Tensor& grad = s.param.var.grad();
+    float* w = value.data();
+    const float* g = grad.data();
+    float* m = s.m.data();
+    float* v = s.v.data();
+    const int64_t n = value.size();
+    for (int64_t i = 0; i < n; ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      float update = m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (s.decay) update += options_.weight_decay * w[i];
+      w[i] -= lr * update;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace emx

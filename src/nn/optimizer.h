@@ -1,0 +1,78 @@
+#ifndef EMX_NN_OPTIMIZER_H_
+#define EMX_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "tensor/variable.h"
+
+namespace emx {
+namespace nn {
+
+/// Learning-rate schedule with linear warmup followed by linear decay to
+/// zero — the standard BERT fine-tuning schedule used by the paper ("Adam
+/// ... in combination with a linear learning rate").
+class LinearWarmupSchedule {
+ public:
+  /// `warmup_steps` may be 0 (pure decay). `total_steps` > warmup.
+  LinearWarmupSchedule(float base_lr, int64_t warmup_steps, int64_t total_steps);
+
+  /// Learning rate at `step` (0-based).
+  float LearningRate(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+/// Options for Adam (defaults follow Devlin et al. fine-tuning practice).
+struct AdamOptions {
+  float lr = 2e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  /// Decoupled weight decay (0 disables). Not applied to biases, LayerNorm
+  /// parameters, or any parameter whose name ends in ".bias"/".gamma"/".beta".
+  float weight_decay = 0.0f;
+  /// Global gradient-norm clip (0 disables).
+  float clip_norm = 1.0f;
+};
+
+/// Adam optimizer with bias correction, optional decoupled weight decay,
+/// and global-norm gradient clipping.
+class Adam {
+ public:
+  Adam(std::vector<NamedParam> params, AdamOptions options);
+
+  /// Applies one update using the current gradients at learning rate
+  /// `lr_override` if >= 0, else options.lr.
+  void Step(float lr_override = -1.0f);
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so the global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  struct Slot {
+    NamedParam param;
+    Tensor m;
+    Tensor v;
+    bool decay;
+  };
+  std::vector<Slot> slots_;
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace nn
+}  // namespace emx
+
+#endif  // EMX_NN_OPTIMIZER_H_

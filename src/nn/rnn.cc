@@ -1,0 +1,145 @@
+#include "nn/rnn.h"
+
+#include <cmath>
+
+#include "tensor/autograd_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace nn {
+
+namespace ag = autograd;
+
+namespace {
+
+// Recurrent nets have no LayerNorm to rescale activations, so they need
+// Xavier-scale init rather than the transformer family's 0.02.
+float XavierStddev(int64_t fan_in) {
+  return 1.0f / std::sqrt(static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      xz_(input_dim, hidden_dim, rng, XavierStddev(input_dim)),
+      hz_(hidden_dim, hidden_dim, rng, XavierStddev(hidden_dim)),
+      xr_(input_dim, hidden_dim, rng, XavierStddev(input_dim)),
+      hr_(hidden_dim, hidden_dim, rng, XavierStddev(hidden_dim)),
+      xh_(input_dim, hidden_dim, rng, XavierStddev(input_dim)),
+      hh_(hidden_dim, hidden_dim, rng, XavierStddev(hidden_dim)) {}
+
+Variable GruCell::Step(const Variable& x, const Variable& h) const {
+  Variable z = ag::Sigmoid(ag::Add(xz_.Forward(x), hz_.Forward(h)));
+  Variable r = ag::Sigmoid(ag::Add(xr_.Forward(x), hr_.Forward(h)));
+  Variable candidate =
+      ag::Tanh(ag::Add(xh_.Forward(x), hh_.Forward(ag::Mul(r, h))));
+  // h' = (1 - z) * h + z * candidate.
+  Variable one_minus_z = ag::AddScalar(ag::MulScalar(z, -1.0f), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, candidate));
+}
+
+void GruCell::CollectParameters(const std::string& prefix,
+                                std::vector<NamedParam>* out) {
+  xz_.CollectParameters(JoinName(prefix, "xz"), out);
+  hz_.CollectParameters(JoinName(prefix, "hz"), out);
+  xr_.CollectParameters(JoinName(prefix, "xr"), out);
+  hr_.CollectParameters(JoinName(prefix, "hr"), out);
+  xh_.CollectParameters(JoinName(prefix, "xh"), out);
+  hh_.CollectParameters(JoinName(prefix, "hh"), out);
+}
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : cell_(input_dim, hidden_dim, rng) {}
+
+Variable Gru::Forward(const Variable& x, bool reverse) const {
+  EMX_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t b = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t h_dim = cell_.hidden_dim();
+
+  Variable h = Variable::Constant(Tensor::Zeros({b, h_dim}));
+  std::vector<Variable> states(static_cast<size_t>(t));
+  for (int64_t step = 0; step < t; ++step) {
+    const int64_t pos = reverse ? t - 1 - step : step;
+    Variable x_t = ag::SelectTimeStep(x, pos);
+    h = cell_.Step(x_t, h);
+    states[static_cast<size_t>(pos)] = ag::Reshape(h, {b, 1, h_dim});
+  }
+  return ag::Concat(states, 1);
+}
+
+void Gru::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParam>* out) {
+  cell_.CollectParameters(JoinName(prefix, "cell"), out);
+}
+
+BiGru::BiGru(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      forward_(input_dim, hidden_dim, rng),
+      backward_(input_dim, hidden_dim, rng) {}
+
+Variable BiGru::Forward(const Variable& x) const {
+  Variable fwd = forward_.Forward(x, /*reverse=*/false);
+  Variable bwd = backward_.Forward(x, /*reverse=*/true);
+  return ag::Concat({fwd, bwd}, 2);
+}
+
+void BiGru::CollectParameters(const std::string& prefix,
+                              std::vector<NamedParam>* out) {
+  forward_.CollectParameters(JoinName(prefix, "fwd"), out);
+  backward_.CollectParameters(JoinName(prefix, "bwd"), out);
+}
+
+Variable MaxOverTime(const Variable& x) {
+  EMX_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t b = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t h = x.dim(2);
+  Tensor value({b, h});
+  std::vector<int64_t> argmax(static_cast<size_t>(b * h), 0);
+  const float* px = x.value().data();
+  float* pv = value.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < h; ++j) {
+      float best = px[(i * t) * h + j];
+      int64_t best_t = 0;
+      for (int64_t s = 1; s < t; ++s) {
+        const float v = px[(i * t + s) * h + j];
+        if (v > best) {
+          best = v;
+          best_t = s;
+        }
+      }
+      pv[i * h + j] = best;
+      argmax[static_cast<size_t>(i * h + j)] = best_t;
+    }
+  }
+  return Variable::MakeOpResult(
+      std::move(value), {x}, [x, argmax, b, t, h](const Tensor& g) {
+        if (!x.requires_grad()) return;
+        Tensor& grad = x.node()->EnsureGrad();
+        float* pg = grad.data();
+        const float* pup = g.data();
+        for (int64_t i = 0; i < b; ++i) {
+          for (int64_t j = 0; j < h; ++j) {
+            const int64_t s = argmax[static_cast<size_t>(i * h + j)];
+            pg[(i * t + s) * h + j] += pup[i * h + j];
+          }
+        }
+      });
+}
+
+Variable MeanOverTime(const Variable& x) {
+  EMX_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t b = x.dim(0);
+  const int64_t t = x.dim(1);
+  const int64_t h = x.dim(2);
+  Tensor avg({b, 1, t});
+  avg.Fill(1.0f / static_cast<float>(t));
+  Variable pooled = ag::MatMul(Variable::Constant(avg), x);  // [B, 1, H]
+  return ag::Reshape(pooled, {b, h});
+}
+
+}  // namespace nn
+}  // namespace emx

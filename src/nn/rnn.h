@@ -1,0 +1,82 @@
+#ifndef EMX_NN_RNN_H_
+#define EMX_NN_RNN_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/variable.h"
+
+namespace emx {
+namespace nn {
+
+/// A gated recurrent unit cell (Cho et al. 2014) — the recurrent building
+/// block of the DeepMatcher baseline. Update/reset gates and candidate
+/// state use separate input and recurrent projections.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// One step: x [B, E], h [B, H] -> new h [B, H].
+  Variable Step(const Variable& x, const Variable& h) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear xz_, hz_;  // update gate
+  Linear xr_, hr_;  // reset gate
+  Linear xh_, hh_;  // candidate
+};
+
+/// Unidirectional GRU unrolled over time.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// x [B, T, E] -> states [B, T, H]; `reverse` runs right-to-left (states
+  /// are still returned in input order).
+  Variable Forward(const Variable& x, bool reverse = false) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+ private:
+  GruCell cell_;
+};
+
+/// Bidirectional GRU: concatenates forward and backward states -> [B, T, 2H].
+class BiGru : public Module {
+ public:
+  BiGru(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) override;
+
+  int64_t output_dim() const { return 2 * hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Gru forward_;
+  Gru backward_;
+};
+
+/// Mean over the time axis of a [B, T, H] tensor -> [B, H]
+/// (differentiable; implemented with a constant averaging matmul).
+Variable MeanOverTime(const Variable& x);
+
+/// Max over the time axis of a [B, T, H] tensor -> [B, H]. The gradient
+/// routes to the argmax position per (batch, channel). Catches "any token
+/// fired" signals that mean-pooling dilutes.
+Variable MaxOverTime(const Variable& x);
+
+}  // namespace nn
+}  // namespace emx
+
+#endif  // EMX_NN_RNN_H_

@@ -1,0 +1,139 @@
+#include "pretrain/corpus.h"
+
+#include "data/noise.h"
+#include "data/pools.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace pretrain {
+namespace {
+
+template <typename T>
+const T& Pick(const std::vector<T>& pool, Rng* rng) {
+  return pool[rng->NextUint64(pool.size())];
+}
+
+std::string ProductSentence(Rng* rng) {
+  const auto& brand = Pick(data::BrandPool(), rng);
+  const auto& type = Pick(data::ProductTypePool(), rng);
+  const auto& adj = Pick(data::AdjectivePool(), rng);
+  const auto& feature = Pick(data::FeaturePool(), rng);
+  const auto& color = Pick(data::ColorPool(), rng);
+  const std::string model = data::RandomModelNumber(rng);
+  switch (rng->NextUint64(5)) {
+    case 0:
+      return StrFormat("the %s %s %s is a %s device with %s .", brand.c_str(),
+                       model.c_str(), type.c_str(), adj.c_str(), feature.c_str());
+    case 1:
+      return StrFormat("%s announced the new %s %s , available in %s .",
+                       brand.c_str(), model.c_str(), type.c_str(), color.c_str());
+    case 2:
+      return StrFormat("buyers praise the %s %s for its %s and %s design .",
+                       brand.c_str(), type.c_str(), feature.c_str(), adj.c_str());
+    case 3:
+      return StrFormat("compared to other %ss , the %s %s offers %s at %s dollars .",
+                       type.c_str(), brand.c_str(), model.c_str(), feature.c_str(),
+                       data::PerturbPrice(100 + rng->NextDouble() * 900, 0.0, rng).c_str());
+    default:
+      return StrFormat("the %s %s ships with %lld gb storage and a %s finish .",
+                       brand.c_str(), type.c_str(),
+                       static_cast<long long>(16 << rng->NextUint64(5)),
+                       color.c_str());
+  }
+}
+
+std::string MusicSentence(Rng* rng) {
+  const auto& w1 = Pick(data::SongWordPool(), rng);
+  const auto& w2 = Pick(data::SongWordPool(), rng);
+  const std::string artist =
+      Pick(data::FirstNamePool(), rng) + " " + Pick(data::LastNamePool(), rng);
+  const auto& genre = Pick(data::GenrePool(), rng);
+  const auto& label = Pick(data::LabelPool(), rng);
+  switch (rng->NextUint64(4)) {
+    case 0:
+      return StrFormat("%s released the %s single %s %s in %lld .",
+                       artist.c_str(), genre.c_str(), w1.c_str(), w2.c_str(),
+                       static_cast<long long>(1995 + rng->NextUint64(25)));
+    case 1:
+      return StrFormat("the album %s %s by %s was produced at %s .", w1.c_str(),
+                       w2.c_str(), artist.c_str(), label.c_str());
+    case 2:
+      return StrFormat("critics called %s %s the best %s track of the year .",
+                       w1.c_str(), w2.c_str(), genre.c_str());
+    default:
+      return StrFormat("%s performs %s music with songs like %s %s .",
+                       artist.c_str(), genre.c_str(), w1.c_str(), w2.c_str());
+  }
+}
+
+std::string CitationSentence(Rng* rng) {
+  const auto& verb = Pick(data::ResearchVerbPool(), rng);
+  const auto& topic = Pick(data::ResearchTopicPool(), rng);
+  const auto& object = Pick(data::ResearchObjectPool(), rng);
+  const std::string author =
+      Pick(data::FirstNamePool(), rng) + " " + Pick(data::LastNamePool(), rng);
+  const auto venue = Split(Pick(data::VenuePool(), rng), '|');
+  switch (rng->NextUint64(4)) {
+    case 0:
+      return StrFormat("%s published %s %s %s at %s in %lld .", author.c_str(),
+                       verb.c_str(), topic.c_str(), object.c_str(),
+                       venue[0].c_str(),
+                       static_cast<long long>(1998 + rng->NextUint64(22)));
+    case 1:
+      return StrFormat("the paper %s %s %s studies %s .", verb.c_str(),
+                       topic.c_str(), object.c_str(), topic.c_str());
+    case 2:
+      return StrFormat("%s is a leading researcher in %s .", author.c_str(),
+                       topic.c_str());
+    default:
+      return StrFormat("the %s proceedings cover %s and %s .", venue[0].c_str(),
+                       topic.c_str(), Pick(data::ResearchTopicPool(), rng).c_str());
+  }
+}
+
+std::string GenericSentence(Rng* rng) {
+  return Pick(data::FillerPhrasePool(), rng) + " .";
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> GenerateCorpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(static_cast<size_t>(options.num_documents));
+  for (int64_t d = 0; d < options.num_documents; ++d) {
+    const uint64_t domain = rng.NextUint64(3);
+    const int64_t sentences = 3 + static_cast<int64_t>(rng.NextUint64(4));
+    std::vector<std::string> doc;
+    for (int64_t s = 0; s < sentences; ++s) {
+      if (rng.NextBernoulli(0.15)) {
+        doc.push_back(GenericSentence(&rng));
+        continue;
+      }
+      switch (domain) {
+        case 0:
+          doc.push_back(ProductSentence(&rng));
+          break;
+        case 1:
+          doc.push_back(MusicSentence(&rng));
+          break;
+        default:
+          doc.push_back(CitationSentence(&rng));
+          break;
+      }
+    }
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+std::vector<std::string> FlattenCorpus(
+    const std::vector<std::vector<std::string>>& corpus) {
+  std::vector<std::string> out;
+  out.reserve(corpus.size());
+  for (const auto& doc : corpus) out.push_back(Join(doc, " "));
+  return out;
+}
+
+}  // namespace pretrain
+}  // namespace emx

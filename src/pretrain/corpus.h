@@ -1,0 +1,37 @@
+#ifndef EMX_PRETRAIN_CORPUS_H_
+#define EMX_PRETRAIN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emx {
+namespace pretrain {
+
+/// Options for synthetic pre-training corpus generation.
+struct CorpusOptions {
+  /// Number of documents; each document has several sentences.
+  int64_t num_documents = 2000;
+  uint64_t seed = 7777;
+};
+
+/// Generates the unlabeled pre-training corpus: English-like documents
+/// spanning the product, music, and citation domains (drawing from the same
+/// word pools as the EM dataset generators, plus generic filler prose).
+/// This plays the role of BooksCorpus/Wikipedia in the paper — unlabeled
+/// text whose vocabulary covers the downstream task.
+///
+/// Documents are returned as lists of sentences so the NSP and
+/// permutation-LM builders can draw consecutive-sentence pairs.
+std::vector<std::vector<std::string>> GenerateCorpus(const CorpusOptions& options);
+
+/// Flattens a corpus into one string per document (for tokenizer training).
+std::vector<std::string> FlattenCorpus(
+    const std::vector<std::vector<std::string>>& corpus);
+
+}  // namespace pretrain
+}  // namespace emx
+
+#endif  // EMX_PRETRAIN_CORPUS_H_

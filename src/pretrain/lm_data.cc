@@ -1,0 +1,309 @@
+#include "pretrain/lm_data.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace pretrain {
+
+LmBatchBuilder::LmBatchBuilder(
+    const tokenizers::Tokenizer* tokenizer,
+    const std::vector<std::vector<std::string>>& corpus, LmDataOptions options)
+    : tokenizer_(tokenizer), options_(options), rng_(options.seed) {
+  docs_.reserve(corpus.size());
+  for (const auto& doc : corpus) {
+    std::vector<Sentence> sentences;
+    for (const auto& s : doc) {
+      Sentence ids = tokenizer_->Encode(s);
+      if (!ids.empty()) sentences.push_back(std::move(ids));
+    }
+    if (sentences.size() >= 2) docs_.push_back(std::move(sentences));
+  }
+  EMX_CHECK(!docs_.empty()) << "corpus has no usable documents";
+}
+
+void LmBatchBuilder::SamplePair(Rng* rng, Sentence* a, Sentence* b,
+                                bool* is_next) const {
+  const auto& doc = docs_[rng->NextUint64(docs_.size())];
+  const size_t i = rng->NextUint64(doc.size() - 1);
+  *a = doc[i];
+  if (rng->NextBernoulli(0.5)) {
+    *b = doc[i + 1];
+    *is_next = true;
+  } else {
+    const auto& other = docs_[rng->NextUint64(docs_.size())];
+    *b = other[rng->NextUint64(other.size())];
+    *is_next = false;
+  }
+}
+
+void LmBatchBuilder::MaskTokens(Rng* rng, std::vector<int64_t>* ids,
+                                const std::vector<bool>& maskable,
+                                std::vector<int64_t>* labels) const {
+  const auto& sp = tokenizer_->specials();
+  labels->assign(ids->size(), -100);
+  for (size_t i = 0; i < ids->size(); ++i) {
+    if (!maskable[i]) continue;
+    if (!rng->NextBernoulli(options_.mask_prob)) continue;
+    (*labels)[i] = (*ids)[i];
+    const double roll = rng->NextDouble();
+    if (roll < options_.mask_token_prob) {
+      (*ids)[i] = sp.mask;
+    } else if (roll < options_.mask_token_prob + options_.random_token_prob) {
+      (*ids)[i] = static_cast<int64_t>(
+          rng->NextUint64(static_cast<uint64_t>(tokenizer_->vocab_size())));
+    }
+    // else: keep the original token (the 10% "unchanged" case).
+  }
+}
+
+LmBatch LmBatchBuilder::NextMlmBatch(int64_t batch_size, bool use_nsp,
+                                     bool dynamic_masking) {
+  const auto& sp = tokenizer_->specials();
+  const int64_t t = options_.max_seq_len;
+  LmBatch out;
+  out.batch.batch_size = batch_size;
+  out.batch.seq_len = t;
+  std::vector<float> pad_flags;
+  pad_flags.reserve(static_cast<size_t>(batch_size * t));
+
+  for (int64_t e = 0; e < batch_size; ++e) {
+    const int64_t example_id = example_counter_++;
+    Sentence a, b;
+    bool is_next = true;
+    SamplePair(&rng_, &a, &b, &is_next);
+
+    // Assemble [CLS] a [SEP] b [SEP].
+    tokenizers::TruncatePair(&a, &b, t - 3);
+    std::vector<int64_t> ids;
+    std::vector<int64_t> segs;
+    std::vector<bool> maskable;
+    ids.push_back(sp.cls);
+    segs.push_back(0);
+    maskable.push_back(false);
+    for (int64_t id : a) {
+      ids.push_back(id);
+      segs.push_back(0);
+      maskable.push_back(true);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(0);
+    maskable.push_back(false);
+    for (int64_t id : b) {
+      ids.push_back(id);
+      segs.push_back(1);
+      maskable.push_back(true);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(1);
+    maskable.push_back(false);
+
+    // Static masking fixes the corruption per example id; dynamic masking
+    // draws fresh randomness every visit (RoBERTa).
+    Rng mask_rng = dynamic_masking
+                       ? rng_.Fork()
+                       : Rng(options_.seed ^
+                             (static_cast<uint64_t>(example_id) * 0x9e3779b9ULL));
+    std::vector<int64_t> labels;
+    MaskTokens(&mask_rng, &ids, maskable, &labels);
+
+    // Pad.
+    while (static_cast<int64_t>(ids.size()) < t) {
+      ids.push_back(sp.pad);
+      segs.push_back(0);
+      labels.push_back(-100);
+    }
+    for (int64_t i = 0; i < t; ++i) {
+      pad_flags.push_back(ids[static_cast<size_t>(i)] == sp.pad ? 1.0f : 0.0f);
+    }
+    out.batch.ids.insert(out.batch.ids.end(), ids.begin(), ids.end());
+    out.batch.segment_ids.insert(out.batch.segment_ids.end(), segs.begin(),
+                                 segs.end());
+    out.lm_labels.insert(out.lm_labels.end(), labels.begin(), labels.end());
+    if (use_nsp) out.nsp_labels.push_back(is_next ? 1 : 0);
+  }
+  out.batch.attention_mask = models::Batch::MakeMask(pad_flags, batch_size, t);
+  return out;
+}
+
+LmBatch LmBatchBuilder::NextPairBatch(int64_t batch_size) {
+  const auto& sp = tokenizer_->specials();
+  const int64_t t = options_.max_seq_len;
+  LmBatch out;
+  out.batch.batch_size = batch_size;
+  out.batch.seq_len = t;
+  std::vector<float> pad_flags;
+
+  auto noisy_copy = [&](const Sentence& src) {
+    Sentence copy;
+    for (int64_t id : src) {
+      if (rng_.NextBernoulli(0.06)) continue;  // light drop noise
+      copy.push_back(id);
+    }
+    if (copy.empty()) copy.push_back(src[rng_.NextUint64(src.size())]);
+    // Light local reordering.
+    if (copy.size() > 2 && rng_.NextBernoulli(0.3)) {
+      const size_t i = rng_.NextUint64(copy.size() - 1);
+      std::swap(copy[i], copy[i + 1]);
+    }
+    return copy;
+  };
+  auto mutated_copy = [&](const Sentence& src) {
+    Sentence copy = noisy_copy(src);
+    // Swap a few tokens for random vocabulary tokens: a near-duplicate
+    // that is NOT the same entity — the hard negative EM hinges on.
+    const int64_t edits =
+        2 + static_cast<int64_t>(rng_.NextUint64(3));  // 2-4 edits
+    for (int64_t e2 = 0; e2 < edits && !copy.empty(); ++e2) {
+      const size_t pos = rng_.NextUint64(copy.size());
+      copy[pos] = static_cast<int64_t>(
+          rng_.NextUint64(static_cast<uint64_t>(tokenizer_->vocab_size())));
+    }
+    return copy;
+  };
+
+  for (int64_t e = 0; e < batch_size; ++e) {
+    const auto& doc = docs_[rng_.NextUint64(docs_.size())];
+    const Sentence& a_src = doc[rng_.NextUint64(doc.size())];
+    Sentence a = a_src;
+    Sentence b;
+    int64_t label;
+    if (rng_.NextBernoulli(0.5)) {
+      b = noisy_copy(a_src);
+      label = 1;
+    } else if (rng_.NextBernoulli(0.5)) {
+      b = mutated_copy(a_src);
+      label = 0;
+    } else {
+      const auto& other = docs_[rng_.NextUint64(docs_.size())];
+      b = other[rng_.NextUint64(other.size())];
+      label = 0;
+    }
+
+    tokenizers::TruncatePair(&a, &b, t - 3);
+    std::vector<int64_t> ids;
+    std::vector<int64_t> segs;
+    ids.push_back(sp.cls);
+    segs.push_back(0);
+    for (int64_t id : a) {
+      ids.push_back(id);
+      segs.push_back(0);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(0);
+    for (int64_t id : b) {
+      ids.push_back(id);
+      segs.push_back(1);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(1);
+    while (static_cast<int64_t>(ids.size()) < t) {
+      ids.push_back(sp.pad);
+      segs.push_back(0);
+    }
+    for (int64_t i = 0; i < t; ++i) {
+      pad_flags.push_back(ids[static_cast<size_t>(i)] == sp.pad ? 1.0f : 0.0f);
+    }
+    out.batch.ids.insert(out.batch.ids.end(), ids.begin(), ids.end());
+    out.batch.segment_ids.insert(out.batch.segment_ids.end(), segs.begin(),
+                                 segs.end());
+    out.nsp_labels.push_back(label);
+  }
+  out.lm_labels.assign(static_cast<size_t>(batch_size * t), -100);
+  out.batch.attention_mask = models::Batch::MakeMask(pad_flags, batch_size, t);
+  return out;
+}
+
+LmBatch LmBatchBuilder::NextPlmBatch(int64_t batch_size) {
+  const auto& sp = tokenizer_->specials();
+  const int64_t t = options_.max_seq_len;
+  LmBatch out;
+  out.batch.batch_size = batch_size;
+  out.batch.seq_len = t;
+  out.content_mask = Tensor({batch_size, 1, t, t});
+  out.query_mask = Tensor({batch_size, 1, t, t});
+  std::vector<float> pad_flags;
+
+  for (int64_t e = 0; e < batch_size; ++e) {
+    Sentence a, b;
+    bool is_next = true;
+    SamplePair(&rng_, &a, &b, &is_next);
+    tokenizers::TruncatePair(&a, &b, t - 3);
+
+    std::vector<int64_t> ids;
+    std::vector<int64_t> segs;
+    std::vector<bool> predictable;
+    ids.push_back(sp.cls);
+    segs.push_back(0);
+    predictable.push_back(false);
+    for (int64_t id : a) {
+      ids.push_back(id);
+      segs.push_back(0);
+      predictable.push_back(true);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(0);
+    predictable.push_back(false);
+    for (int64_t id : b) {
+      ids.push_back(id);
+      segs.push_back(1);
+      predictable.push_back(true);
+    }
+    ids.push_back(sp.sep);
+    segs.push_back(1);
+    predictable.push_back(false);
+    const int64_t real_len = static_cast<int64_t>(ids.size());
+    while (static_cast<int64_t>(ids.size()) < t) {
+      ids.push_back(sp.pad);
+      segs.push_back(0);
+      predictable.push_back(false);
+    }
+
+    // Sample a factorization order over the real positions.
+    std::vector<size_t> order = rng_.Permutation(static_cast<size_t>(real_len));
+    std::vector<int64_t> perm_pos(static_cast<size_t>(t), 0);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      perm_pos[order[rank]] = static_cast<int64_t>(rank);
+    }
+
+    // Targets: the last ~1/6 of the order among predictable positions.
+    const int64_t cutoff = real_len - std::max<int64_t>(1, real_len / 6);
+    std::vector<int64_t> labels(static_cast<size_t>(t), -100);
+    for (int64_t i = 0; i < real_len; ++i) {
+      if (predictable[static_cast<size_t>(i)] &&
+          perm_pos[static_cast<size_t>(i)] >= cutoff) {
+        labels[static_cast<size_t>(i)] = ids[static_cast<size_t>(i)];
+      }
+    }
+
+    // Masks: content allows perm-earlier-or-self, query strictly earlier.
+    // Padding is blocked everywhere.
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t j = 0; j < t; ++j) {
+        const bool pad = j >= real_len;
+        const bool content_ok =
+            !pad && i < real_len && perm_pos[static_cast<size_t>(j)] <=
+                                        perm_pos[static_cast<size_t>(i)];
+        const bool query_ok =
+            !pad && i < real_len && perm_pos[static_cast<size_t>(j)] <
+                                        perm_pos[static_cast<size_t>(i)];
+        out.content_mask.At({e, 0, i, j}) = content_ok ? 0.0f : 1.0f;
+        out.query_mask.At({e, 0, i, j}) = query_ok ? 0.0f : 1.0f;
+      }
+    }
+
+    for (int64_t i = 0; i < t; ++i) {
+      pad_flags.push_back(i >= real_len ? 1.0f : 0.0f);
+    }
+    out.batch.ids.insert(out.batch.ids.end(), ids.begin(), ids.end());
+    out.batch.segment_ids.insert(out.batch.segment_ids.end(), segs.begin(),
+                                 segs.end());
+    out.lm_labels.insert(out.lm_labels.end(), labels.begin(), labels.end());
+  }
+  out.batch.attention_mask = models::Batch::MakeMask(pad_flags, batch_size, t);
+  return out;
+}
+
+}  // namespace pretrain
+}  // namespace emx

@@ -1,0 +1,96 @@
+#ifndef EMX_PRETRAIN_LM_DATA_H_
+#define EMX_PRETRAIN_LM_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+#include "tokenizers/tokenizer.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace pretrain {
+
+/// A pre-training batch: the (possibly corrupted) inputs plus the
+/// objective-specific targets.
+struct LmBatch {
+  models::Batch batch;
+  /// Per-token prediction targets, -100 where no loss is taken.
+  std::vector<int64_t> lm_labels;
+  /// Next-sentence labels (1 = B follows A); empty when NSP is off.
+  std::vector<int64_t> nsp_labels;
+  /// Permutation-LM structural masks ([B, 1, T, T]); empty for MLM.
+  Tensor content_mask;
+  Tensor query_mask;
+};
+
+/// Options shared by the masked-LM and permutation-LM builders.
+struct LmDataOptions {
+  int64_t max_seq_len = 48;
+  /// Fraction of tokens selected for prediction.
+  double mask_prob = 0.15;
+  /// Of the selected tokens: 80% -> [MASK], 10% -> random, 10% -> kept
+  /// (Devlin et al.).
+  double mask_token_prob = 0.8;
+  double random_token_prob = 0.1;
+  uint64_t seed = 31337;
+};
+
+/// Builds pre-training batches from a sentence-segmented corpus.
+///
+/// Masking modes follow the papers: BERT's masking is *static* — the mask
+/// for a given example is fixed once (emulated by seeding the mask draw
+/// with the example index) — while RoBERTa re-samples the mask each time an
+/// example is visited (*dynamic* masking). XLNet batches carry permutation
+/// masks for two-stream attention instead of [MASK] corruption.
+class LmBatchBuilder {
+ public:
+  LmBatchBuilder(const tokenizers::Tokenizer* tokenizer,
+                 const std::vector<std::vector<std::string>>& corpus,
+                 LmDataOptions options);
+
+  /// Masked-LM batch. `use_nsp` adds 50% random-next sentence pairs and
+  /// labels; `dynamic_masking` re-samples masks per call.
+  LmBatch NextMlmBatch(int64_t batch_size, bool use_nsp, bool dynamic_masking);
+
+  /// Permutation-LM batch for XLNet: inputs are uncorrupted, targets are
+  /// the last sixth of a sampled factorization order, and the two
+  /// [B,1,T,T] masks encode the order for the content and query streams.
+  LmBatch NextPlmBatch(int64_t batch_size);
+
+  /// Copy-discrimination batch (unsupervised, built from raw corpus text):
+  /// segment B is either a *noisy copy* of A (label 1: token drops, light
+  /// reordering, small numeric edits) or a negative (label 0: a random
+  /// other sentence, or — the hard half — a *mutated copy* of A with a few
+  /// content tokens swapped). Training the pooled CLS on this task builds
+  /// the cross-segment token-comparison circuits that the paper's models
+  /// acquire from web-scale pre-training; see DESIGN.md (substitutions).
+  /// Labels arrive in `nsp_labels`; `lm_labels` is all -100.
+  LmBatch NextPairBatch(int64_t batch_size);
+
+  int64_t num_documents() const { return static_cast<int64_t>(docs_.size()); }
+
+ private:
+  /// Token ids of one sentence.
+  using Sentence = std::vector<int64_t>;
+
+  /// Draws a (sentence A, sentence B, is_next) triple.
+  void SamplePair(Rng* rng, Sentence* a, Sentence* b, bool* is_next) const;
+
+  /// Applies BERT-style corruption in place; fills labels (-100 default).
+  void MaskTokens(Rng* rng, std::vector<int64_t>* ids,
+                  const std::vector<bool>& maskable,
+                  std::vector<int64_t>* labels) const;
+
+  const tokenizers::Tokenizer* tokenizer_;
+  LmDataOptions options_;
+  std::vector<std::vector<Sentence>> docs_;
+  Rng rng_;
+  int64_t example_counter_ = 0;
+};
+
+}  // namespace pretrain
+}  // namespace emx
+
+#endif  // EMX_PRETRAIN_LM_DATA_H_

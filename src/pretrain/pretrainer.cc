@@ -1,0 +1,238 @@
+#include "pretrain/pretrainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/encoder.h"
+#include "models/xlnet.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace pretrain {
+
+namespace ag = autograd;
+
+namespace {
+
+/// Row-wise softmax of a plain tensor with temperature.
+Tensor SoftmaxWithTemperature(const Tensor& logits, float temperature) {
+  return ops::Softmax(ops::MulScalar(logits, 1.0f / temperature));
+}
+
+/// Positions (into the flattened [B*T] batch) that carry LM labels, and
+/// the labels themselves. Restricting the vocabulary projection to these
+/// ~15% of positions is the standard optimization (the loss is identical).
+void CollectTargets(const std::vector<int64_t>& lm_labels,
+                    std::vector<int64_t>* positions,
+                    std::vector<int64_t>* labels) {
+  positions->clear();
+  labels->clear();
+  for (size_t i = 0; i < lm_labels.size(); ++i) {
+    if (lm_labels[i] != -100) {
+      positions->push_back(static_cast<int64_t>(i));
+      labels->push_back(lm_labels[i]);
+    }
+  }
+  if (positions->empty()) {  // degenerate batch: keep one dummy target
+    positions->push_back(0);
+    labels->push_back(-100);
+  }
+}
+
+/// Gathers the hidden rows at `positions` from a [B, T, H] tensor.
+Variable GatherHidden(const Variable& hidden, int64_t h,
+                      const std::vector<int64_t>& positions) {
+  Variable flat = ag::Reshape(hidden, {-1, h});
+  return ag::EmbeddingLookup(flat, positions);
+}
+
+}  // namespace
+
+Result<PretrainStats> Pretrain(models::TransformerModel* model,
+                               const tokenizers::Tokenizer* tokenizer,
+                               const std::vector<std::vector<std::string>>& corpus,
+                               const PretrainOptions& options,
+                               models::TransformerModel* teacher) {
+  const models::Architecture arch = model->config().arch;
+  if (arch == models::Architecture::kDistilBert && teacher == nullptr) {
+    return Status::InvalidArgument(
+        "DistilBERT pre-training requires a BERT teacher");
+  }
+  if (model->config().vocab_size < tokenizer->vocab_size()) {
+    return Status::InvalidArgument(
+        "model vocab smaller than tokenizer vocab");
+  }
+
+  LmBatchBuilder builder(tokenizer, corpus, options.data);
+  Rng rng(options.seed);
+
+  nn::AdamOptions adam_opts;
+  adam_opts.lr = options.learning_rate;
+  nn::Adam adam(model->Parameters(), adam_opts);
+  // Clamp warmup so short runs (tests, smoke benches) remain valid.
+  const int64_t warmup =
+      std::min(options.warmup_steps, std::max<int64_t>(1, options.steps / 5));
+  nn::LinearWarmupSchedule schedule(options.learning_rate, warmup,
+                                    options.steps);
+
+  PretrainStats stats;
+  stats.steps = options.steps;
+
+  for (int64_t step = 0; step < options.steps; ++step) {
+    adam.ZeroGrad();
+    Variable loss;
+
+    switch (arch) {
+      case models::Architecture::kBert: {
+        auto* bert = dynamic_cast<models::EncoderModel*>(model);
+        EMX_CHECK(bert != nullptr);
+        LmBatch data = builder.NextMlmBatch(options.batch_size,
+                                            /*use_nsp=*/true,
+                                            /*dynamic_masking=*/false);
+        Variable hidden = bert->EncodeBatch(data.batch, /*train=*/true, &rng);
+        std::vector<int64_t> positions, labels;
+        CollectTargets(data.lm_labels, &positions, &labels);
+        Variable sel = GatherHidden(hidden, bert->config().hidden, positions);
+        Variable mlm = bert->MlmLogits(sel, true, &rng);
+        Variable mlm_loss = ag::CrossEntropy(mlm, labels);
+        Variable pooled = bert->PooledOutput(hidden, true, &rng);
+        Variable nsp = bert->NspLogits(pooled, true, &rng);
+        Variable nsp_loss = ag::CrossEntropy(nsp, data.nsp_labels);
+        loss = ag::Add(mlm_loss, nsp_loss);
+        break;
+      }
+      case models::Architecture::kRoberta: {
+        LmBatch data = builder.NextMlmBatch(options.batch_size,
+                                            /*use_nsp=*/false,
+                                            /*dynamic_masking=*/true);
+        Variable hidden = model->EncodeBatch(data.batch, true, &rng);
+        std::vector<int64_t> positions, labels;
+        CollectTargets(data.lm_labels, &positions, &labels);
+        Variable sel = GatherHidden(hidden, model->config().hidden, positions);
+        Variable mlm = model->MlmLogits(sel, true, &rng);
+        loss = ag::CrossEntropy(mlm, labels);
+        break;
+      }
+      case models::Architecture::kXlnet: {
+        auto* xlnet = dynamic_cast<models::XlnetModel*>(model);
+        EMX_CHECK(xlnet != nullptr);
+        LmBatch data = builder.NextPlmBatch(options.batch_size);
+        models::TwoStreamOutput streams = xlnet->TwoStreamForward(
+            data.batch, data.content_mask, data.query_mask, true, &rng);
+        std::vector<int64_t> positions, labels;
+        CollectTargets(data.lm_labels, &positions, &labels);
+        Variable sel =
+            GatherHidden(streams.query, xlnet->config().hidden, positions);
+        Variable logits = xlnet->MlmLogits(sel, true, &rng);
+        loss = ag::CrossEntropy(logits, labels);
+        break;
+      }
+      case models::Architecture::kDistilBert: {
+        LmBatch data = builder.NextMlmBatch(options.batch_size,
+                                            /*use_nsp=*/false,
+                                            /*dynamic_masking=*/false);
+        // Teacher runs in eval mode with no gradient tracking.
+        Rng teacher_rng(7);
+        std::vector<int64_t> positions, labels;
+        CollectTargets(data.lm_labels, &positions, &labels);
+        const int64_t h = model->config().hidden;
+        Variable t_hidden =
+            teacher->EncodeBatch(data.batch, /*train=*/false, &teacher_rng);
+        Variable t_logits = teacher->MlmLogits(
+            GatherHidden(t_hidden, h, positions), false, &teacher_rng);
+
+        Variable s_hidden = model->EncodeBatch(data.batch, true, &rng);
+        Variable s_logits = model->MlmLogits(
+            GatherHidden(s_hidden, h, positions), true, &rng);
+
+        // 1. Soft-target distillation with temperature (Hinton et al.):
+        //    CE(student/T, softmax(teacher/T)), scaled by T^2 to keep the
+        //    gradient magnitude comparable.
+        const float temp = options.distill_temperature;
+        Tensor soft_targets = SoftmaxWithTemperature(t_logits.value(), temp);
+        Variable soft_loss = ag::SoftCrossEntropy(
+            ag::MulScalar(s_logits, 1.0f / temp), soft_targets);
+        soft_loss = ag::MulScalar(soft_loss, temp * temp);
+
+        // 2. The usual hard MLM loss.
+        Variable mlm_loss = ag::CrossEntropy(s_logits, labels);
+
+        // 3. Cosine alignment of hidden states (all positions).
+        Variable s_flat = ag::Reshape(s_hidden, {-1, h});
+        Tensor t_flat = t_hidden.value().Reshape({s_flat.dim(0), h});
+        Variable cos_loss = ag::CosineEmbeddingLoss(s_flat, t_flat);
+
+        loss = ag::Add(
+            ag::Add(ag::MulScalar(soft_loss, options.distill_soft_weight),
+                    ag::MulScalar(mlm_loss, options.distill_mlm_weight)),
+            ag::MulScalar(cos_loss, options.distill_cosine_weight));
+        break;
+      }
+    }
+
+    // Auxiliary copy-discrimination objective (all architectures): see
+    // DESIGN.md — it substitutes for the scale of real pre-training in
+    // building cross-segment comparison circuits.
+    if (options.pair_task_weight > 0.0f) {
+      LmBatch pair = builder.NextPairBatch(options.batch_size);
+      Variable ph = model->EncodeBatch(pair.batch, true, &rng);
+      Variable ppooled = model->PooledOutput(ph, true, &rng);
+      Variable plogits = model->PairLogits(ppooled, true, &rng);
+      Variable ploss = ag::CrossEntropy(plogits, pair.nsp_labels);
+      loss = ag::Add(loss, ag::MulScalar(ploss, options.pair_task_weight));
+    }
+
+    const float loss_value = loss.value()[0];
+    if (step == 0) stats.first_loss = loss_value;
+    stats.final_loss = loss_value;
+    Backward(loss);
+    adam.Step(schedule.LearningRate(step));
+
+    if (options.log_every > 0 && step % options.log_every == 0) {
+      EMX_LOG(Info) << models::ArchitectureName(arch) << " pretrain step "
+                    << step << "/" << options.steps << " loss " << loss_value;
+    }
+  }
+  return stats;
+}
+
+double MlmAccuracy(models::TransformerModel* model,
+                   const tokenizers::Tokenizer* tokenizer,
+                   const std::vector<std::vector<std::string>>& corpus,
+                   const LmDataOptions& data_options, int64_t num_batches,
+                   int64_t batch_size, uint64_t seed) {
+  LmDataOptions opts = data_options;
+  opts.seed = seed;
+  LmBatchBuilder builder(tokenizer, corpus, opts);
+  Rng rng(seed);
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (int64_t b = 0; b < num_batches; ++b) {
+    LmBatch data = builder.NextMlmBatch(batch_size, /*use_nsp=*/false,
+                                        /*dynamic_masking=*/false);
+    Variable hidden = model->EncodeBatch(data.batch, /*train=*/false, &rng);
+    std::vector<int64_t> positions, labels;
+    for (size_t i = 0; i < data.lm_labels.size(); ++i) {
+      if (data.lm_labels[i] != -100) {
+        positions.push_back(static_cast<int64_t>(i));
+        labels.push_back(data.lm_labels[i]);
+      }
+    }
+    if (positions.empty()) continue;
+    Variable flat = ag::Reshape(hidden, {-1, model->config().hidden});
+    Variable sel = ag::EmbeddingLookup(flat, positions);
+    Variable logits = model->MlmLogits(sel, false, &rng);
+    auto preds = ops::ArgMaxLastAxis(logits.value());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      ++total;
+      if (preds[i] == labels[i]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace pretrain
+}  // namespace emx

@@ -1,0 +1,71 @@
+#ifndef EMX_PRETRAIN_PRETRAINER_H_
+#define EMX_PRETRAIN_PRETRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+#include "pretrain/lm_data.h"
+#include "tokenizers/tokenizer.h"
+#include "util/status.h"
+
+namespace emx {
+namespace pretrain {
+
+/// Options for the unsupervised pre-training phase.
+struct PretrainOptions {
+  int64_t steps = 400;
+  int64_t batch_size = 16;
+  float learning_rate = 3e-4f;
+  int64_t warmup_steps = 40;
+  LmDataOptions data;
+  /// Distillation loss weights (DistilBERT): soft-target KL, hard MLM,
+  /// hidden-state cosine alignment.
+  float distill_soft_weight = 1.0f;
+  float distill_mlm_weight = 1.0f;
+  float distill_cosine_weight = 0.5f;
+  float distill_temperature = 2.0f;
+  /// Weight of the auxiliary copy-discrimination objective applied to all
+  /// architectures (0 disables; the ablation bench uses this knob).
+  float pair_task_weight = 1.0f;
+  /// Log every N steps (0 = silent).
+  int64_t log_every = 0;
+  uint64_t seed = 4242;
+};
+
+/// Result telemetry of a pre-training run.
+struct PretrainStats {
+  float first_loss = 0;
+  float final_loss = 0;
+  int64_t steps = 0;
+};
+
+/// Pre-trains `model` on `corpus` with the objective matching its
+/// architecture, exactly as described in Section 4 of the paper:
+///
+/// - BERT: masked LM (static masking) + next-sentence prediction.
+/// - RoBERTa: masked LM with dynamic masking, no NSP.
+/// - XLNet: permutation language modeling with two-stream attention.
+/// - DistilBERT: knowledge distillation from a pre-trained BERT `teacher`
+///   (required non-null for this architecture): soft-target loss with
+///   temperature, the regular MLM loss, and a cosine embedding loss
+///   aligning student and teacher hidden states.
+Result<PretrainStats> Pretrain(models::TransformerModel* model,
+                               const tokenizers::Tokenizer* tokenizer,
+                               const std::vector<std::vector<std::string>>& corpus,
+                               const PretrainOptions& options,
+                               models::TransformerModel* teacher = nullptr);
+
+/// Masked-token prediction accuracy of `model` on freshly built MLM
+/// batches — the quick quality probe used by tests and the ablation bench.
+double MlmAccuracy(models::TransformerModel* model,
+                   const tokenizers::Tokenizer* tokenizer,
+                   const std::vector<std::vector<std::string>>& corpus,
+                   const LmDataOptions& data_options, int64_t num_batches,
+                   int64_t batch_size, uint64_t seed);
+
+}  // namespace pretrain
+}  // namespace emx
+
+#endif  // EMX_PRETRAIN_PRETRAINER_H_

@@ -1,0 +1,175 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace emx {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      size_(NumElements(shape_)),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(size_), 0.0f)) {
+  for (int64_t d : shape_) EMX_CHECK_GE(d, 0);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)),
+      size_(NumElements(shape_)),
+      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+  EMX_CHECK_EQ(size_, static_cast<int64_t>(data_->size()))
+      << "value count does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full({1}, value); }
+
+Tensor Tensor::Randn(Shape shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = rng->NextFloat(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  const int64_t nd = ndim();
+  if (i < 0) i += nd;
+  EMX_CHECK(i >= 0 && i < nd) << "dim index " << i << " out of range for "
+                              << ShapeToString(shape_);
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  EMX_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    EMX_CHECK(i >= 0 && i < shape_[d])
+        << "index " << i << " out of range for dim " << d << " of "
+        << ShapeToString(shape_);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::At(std::initializer_list<int64_t> idx) {
+  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float Tensor::At(std::initializer_list<int64_t> idx) const {
+  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.size_ = size_;
+  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  return out;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int infer_at = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      EMX_CHECK_EQ(infer_at, -1) << "at most one -1 dimension";
+      infer_at = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    EMX_CHECK(known > 0 && size_ % known == 0)
+        << "cannot infer dimension for reshape of " << ShapeToString(shape_)
+        << " to " << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(infer_at)] = size_ / known;
+  }
+  EMX_CHECK_EQ(NumElements(new_shape), size_)
+      << "reshape " << ShapeToString(shape_) << " -> " << ShapeToString(new_shape);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.size_ = size_;
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : *data_) v = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  EMX_CHECK_EQ(size_, other.size_) << "AddInPlace shape mismatch: "
+                                   << ShapeToString(shape_) << " vs "
+                                   << ShapeToString(other.shape_);
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < size_; ++i) a[i] += b[i];
+}
+
+void Tensor::ScaleInPlace(float scalar) {
+  for (auto& v : *data_) v *= scalar;
+}
+
+std::vector<float> Tensor::ToVector() const { return *data_; }
+
+std::string Tensor::ToString(int64_t max_per_dim) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " ";
+  out << "[";
+  const int64_t limit = std::min<int64_t>(size_, max_per_dim * max_per_dim);
+  for (int64_t i = 0; i < limit; ++i) {
+    if (i > 0) out << ", ";
+    out << (*data_)[static_cast<size_t>(i)];
+  }
+  if (limit < size_) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+}  // namespace emx

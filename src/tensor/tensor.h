@@ -1,0 +1,115 @@
+#ifndef EMX_TENSOR_TENSOR_H_
+#define EMX_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emx {
+
+/// Shape of a dense tensor; dimension sizes in row-major order.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (1 for rank 0).
+int64_t NumElements(const Shape& shape);
+
+/// Formats e.g. "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// A dense, contiguous, row-major float32 tensor.
+///
+/// Copying a Tensor is cheap: copies share the underlying buffer (like
+/// arrow::Buffer or torch tensors). Use Clone() for a deep copy. All math
+/// lives in tensor_ops.h; the class itself only manages storage and shape.
+class Tensor {
+ public:
+  /// An empty rank-1 tensor of size 0.
+  Tensor();
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Wraps existing values; `values.size()` must equal NumElements(shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // ---- Factories -----------------------------------------------------
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  /// Rank-0 style scalar, stored as shape {1}.
+  static Tensor Scalar(float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor RandUniform(Shape shape, Rng* rng, float lo, float hi);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor Arange(int64_t n);
+
+  // ---- Introspection -------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  /// Size of dimension `i`; negative `i` counts from the back.
+  int64_t dim(int64_t i) const;
+  int64_t size() const { return size_; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Flat element access. Pre-condition: 0 <= i < size().
+  float& operator[](int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+
+  /// Multi-dimensional access, e.g. t.At({b, t, h}).
+  float& At(std::initializer_list<int64_t> idx);
+  float At(std::initializer_list<int64_t> idx) const;
+
+  /// True when two tensors share the same buffer.
+  bool SharesDataWith(const Tensor& other) const { return data_ == other.data_; }
+
+  // ---- Storage-level operations --------------------------------------
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Returns a tensor with the new shape sharing this buffer.
+  /// Pre-condition: NumElements(new_shape) == size(). One dimension may be
+  /// -1 and is inferred.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Element-wise accumulate: this += other. Shapes must match.
+  void AddInPlace(const Tensor& other);
+
+  /// this *= scalar.
+  void ScaleInPlace(float scalar);
+
+  /// Copies values out.
+  std::vector<float> ToVector() const;
+
+  /// Human-readable preview (truncated for large tensors).
+  std::string ToString(int64_t max_per_dim = 8) const;
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_TENSOR_TENSOR_H_

@@ -1,0 +1,741 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace emx {
+namespace ops {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  EMX_CHECK(a.shape() == b.shape())
+      << op << " shape mismatch: " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+template <typename F>
+Tensor Elementwise(const Tensor& x, F f) {
+  Tensor out(x.shape());
+  const float* in = x.data();
+  float* o = out.data();
+  const int64_t n = x.size();
+  for (int64_t i = 0; i < n; ++i) o[i] = f(in[i]);
+  return out;
+}
+
+template <typename F>
+Tensor Binary(const Tensor& a, const Tensor& b, F f, const char* op) {
+  CheckSameShape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) o[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; }, "Add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; }, "Sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; }, "Mul");
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x / y; }, "Div");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Elementwise(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return Elementwise(a, [s](float x) { return x * s; });
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  EMX_CHECK_EQ(bias.ndim(), 1);
+  const int64_t h = bias.dim(0);
+  EMX_CHECK_EQ(x.dim(-1), h) << "AddBias: last dim mismatch";
+  Tensor out(x.shape());
+  const float* in = x.data();
+  const float* b = bias.data();
+  float* o = out.data();
+  const int64_t rows = x.size() / h;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = in + r * h;
+    float* dst = o + r * h;
+    for (int64_t j = 0; j < h; ++j) dst[j] = src[j] + b[j];
+  }
+  return out;
+}
+
+Tensor SumToBias(const Tensor& grad, int64_t h) {
+  EMX_CHECK_EQ(grad.dim(-1), h);
+  Tensor out({h});
+  const float* g = grad.data();
+  float* o = out.data();
+  const int64_t rows = grad.size() / h;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = g + r * h;
+    for (int64_t j = 0; j < h; ++j) o[j] += src[j];
+  }
+  return out;
+}
+
+Tensor Exp(const Tensor& x) {
+  return Elementwise(x, [](float v) { return std::exp(v); });
+}
+
+Tensor Log(const Tensor& x) {
+  return Elementwise(x, [](float v) { return std::log(v); });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return Elementwise(x, [](float v) { return std::sqrt(v); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return Elementwise(x, [](float v) { return std::tanh(v); });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return Elementwise(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor Relu(const Tensor& x) {
+  return Elementwise(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor ReluGrad(const Tensor& dy, const Tensor& x) {
+  return Binary(dy, x, [](float g, float v) { return v > 0.0f ? g : 0.0f; },
+                "ReluGrad");
+}
+
+Tensor Gelu(const Tensor& x) {
+  return Elementwise(x, [](float v) {
+    return 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  });
+}
+
+Tensor GeluGrad(const Tensor& dy, const Tensor& x) {
+  return Binary(dy, x,
+                [](float g, float v) {
+                  const float v3 = v * v * v;
+                  const float inner = kGeluC * (v + 0.044715f * v3);
+                  const float t = std::tanh(inner);
+                  const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+                  const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dinner;
+                  return g * d;
+                },
+                "GeluGrad");
+}
+
+Tensor TanhGradFromOutput(const Tensor& dy, const Tensor& y) {
+  return Binary(dy, y, [](float g, float t) { return g * (1.0f - t * t); },
+                "TanhGrad");
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  EMX_CHECK_GE(a.ndim(), 2);
+  EMX_CHECK_GE(b.ndim(), 2);
+  const int64_t a_rows = a.dim(-2), a_cols = a.dim(-1);
+  const int64_t b_rows = b.dim(-2), b_cols = b.dim(-1);
+  const int64_t m = trans_a ? a_cols : a_rows;
+  const int64_t k = trans_a ? a_rows : a_cols;
+  const int64_t kb = trans_b ? b_cols : b_rows;
+  const int64_t n = trans_b ? b_rows : b_cols;
+  EMX_CHECK_EQ(k, kb) << "MatMul inner dim mismatch: "
+                      << ShapeToString(a.shape()) << (trans_a ? "^T" : "")
+                      << " x " << ShapeToString(b.shape())
+                      << (trans_b ? "^T" : "");
+
+  // Batch handling: equal leading dims, or rank-2 broadcast.
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape out_batch;
+  if (a_batch == b_batch) {
+    out_batch = a_batch;
+  } else if (b_batch.empty()) {
+    out_batch = a_batch;
+  } else if (a_batch.empty()) {
+    out_batch = b_batch;
+  } else {
+    EMX_CHECK(false) << "MatMul batch mismatch: " << ShapeToString(a.shape())
+                     << " x " << ShapeToString(b.shape());
+  }
+  const int64_t batch = NumElements(out_batch);
+  const bool a_broadcast = a_batch.empty() && !out_batch.empty();
+  const bool b_broadcast = b_batch.empty() && !out_batch.empty();
+
+  Shape out_shape = out_batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  const int64_t a_stride = a_rows * a_cols;
+  const int64_t b_stride = b_rows * b_cols;
+  const int64_t c_stride = m * n;
+  const float* pa0 = a.data();
+  const float* pb0 = b.data();
+  float* pc0 = out.data();
+
+  auto gemm = [&](int64_t batch_begin, int64_t batch_end) {
+    for (int64_t bi = batch_begin; bi < batch_end; ++bi) {
+      const float* A = pa0 + (a_broadcast ? 0 : bi * a_stride);
+      const float* B = pb0 + (b_broadcast ? 0 : bi * b_stride);
+      float* C = pc0 + bi * c_stride;
+      if (!trans_a && !trans_b) {
+        // C[i,j] += A[i,k] * B[k,j]; ikj order vectorizes over j.
+        for (int64_t i = 0; i < m; ++i) {
+          float* c_row = C + i * n;
+          const float* a_row = A + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = a_row[kk];
+            const float* b_row = B + kk * n;
+            for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+          }
+        }
+      } else if (!trans_a && trans_b) {
+        // C[i,j] = dot(A[i,:], B[j,:]).
+        for (int64_t i = 0; i < m; ++i) {
+          const float* a_row = A + i * k;
+          float* c_row = C + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            const float* b_row = B + j * k;
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+            c_row[j] = acc;
+          }
+        }
+      } else if (trans_a && !trans_b) {
+        // A is stored [K, M]; C[i,j] += A[kk,i] * B[kk,j].
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* a_row = A + kk * m;
+          const float* b_row = B + kk * n;
+          for (int64_t i = 0; i < m; ++i) {
+            const float av = a_row[i];
+            float* c_row = C + i * n;
+            for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+          }
+        }
+      } else {
+        // Both transposed (rare): C[i,j] = sum_k A[k,i] * B[j,k].
+        for (int64_t i = 0; i < m; ++i) {
+          float* c_row = C + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            const float* b_row = B + j * k;
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) acc += A[kk * m + i] * b_row[kk];
+            c_row[j] = acc;
+          }
+        }
+      }
+    }
+  };
+
+  if (batch > 1) {
+    ParallelFor(batch, 1, gemm);
+  } else if (m >= 64) {
+    // Single large matrix: parallelize across row blocks.
+    const int64_t block = 32;
+    const int64_t num_blocks = (m + block - 1) / block;
+    ParallelFor(num_blocks, 1, [&](int64_t blk_begin, int64_t blk_end) {
+      for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
+        const int64_t i0 = blk * block;
+        const int64_t i1 = std::min(i0 + block, m);
+        const float* A = pa0;
+        const float* B = pb0;
+        float* C = pc0;
+        if (!trans_a && !trans_b) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float* c_row = C + i * n;
+            const float* a_row = A + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const float av = a_row[kk];
+              const float* b_row = B + kk * n;
+              for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+            }
+          }
+        } else if (!trans_a && trans_b) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* a_row = A + i * k;
+            float* c_row = C + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              const float* b_row = B + j * k;
+              float acc = 0.0f;
+              for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+              c_row[j] = acc;
+            }
+          }
+        } else if (trans_a && !trans_b) {
+          // Row-parallel over output rows i; A stored [K, M].
+          for (int64_t i = i0; i < i1; ++i) {
+            float* c_row = C + i * n;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const float av = A[kk * m + i];
+              const float* b_row = B + kk * n;
+              for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+            }
+          }
+        } else {
+          for (int64_t i = i0; i < i1; ++i) {
+            float* c_row = C + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              const float* b_row = B + j * k;
+              float acc = 0.0f;
+              for (int64_t kk = 0; kk < k; ++kk) acc += A[kk * m + i] * b_row[kk];
+              c_row[j] = acc;
+            }
+          }
+        }
+      }
+    });
+  } else {
+    gemm(0, 1);
+  }
+  return out;
+}
+
+Tensor Permute(const Tensor& x, const std::vector<int64_t>& perm) {
+  const int64_t nd = x.ndim();
+  EMX_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  std::vector<int64_t> seen(nd, 0);
+  for (int64_t p : perm) {
+    EMX_CHECK(p >= 0 && p < nd) << "bad permutation";
+    seen[p]++;
+  }
+  for (int64_t s : seen) EMX_CHECK_EQ(s, 1) << "perm is not a permutation";
+
+  Shape out_shape(nd);
+  for (int64_t i = 0; i < nd; ++i) out_shape[i] = x.dim(perm[i]);
+  Tensor out(out_shape);
+
+  // Input strides.
+  std::vector<int64_t> in_strides(nd, 1);
+  for (int64_t i = nd - 2; i >= 0; --i) {
+    in_strides[i] = in_strides[i + 1] * x.dim(i + 1);
+  }
+  // For each output element, the input stride per output axis.
+  std::vector<int64_t> gather_strides(nd);
+  for (int64_t i = 0; i < nd; ++i) gather_strides[i] = in_strides[perm[i]];
+
+  const float* in = x.data();
+  float* o = out.data();
+  const int64_t n = x.size();
+  std::vector<int64_t> idx(nd, 0);
+  int64_t src = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    o[flat] = in[src];
+    // Increment the mixed-radix counter and the running source offset.
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      idx[d]++;
+      src += gather_strides[d];
+      if (idx[d] < out_shape[d]) break;
+      src -= idx[d] * gather_strides[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& x) {
+  const int64_t nd = x.ndim();
+  EMX_CHECK_GE(nd, 2);
+  std::vector<int64_t> perm(nd);
+  for (int64_t i = 0; i < nd; ++i) perm[i] = i;
+  std::swap(perm[nd - 1], perm[nd - 2]);
+  return Permute(x, perm);
+}
+
+Tensor SumAll(const Tensor& x) {
+  double acc = 0.0;
+  const float* p = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& x) {
+  EMX_CHECK_GT(x.size(), 0);
+  Tensor s = SumAll(x);
+  s[0] /= static_cast<float>(x.size());
+  return s;
+}
+
+Tensor SumLastAxis(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+  const float* p = x.data();
+  float* o = out.data();
+  const int64_t rows = x.size() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    const float* src = p + r * n;
+    for (int64_t j = 0; j < n; ++j) acc += src[j];
+    o[r] = acc;
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgMaxLastAxis(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  const int64_t rows = x.size() / n;
+  std::vector<int64_t> result(rows);
+  const float* p = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = p + r * n;
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (src[j] > src[best]) best = j;
+    }
+    result[static_cast<size_t>(r)] = best;
+  }
+  return result;
+}
+
+Tensor Softmax(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* o = out.data();
+  const int64_t rows = x.size() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = p + r * n;
+    float* dst = o + r * n;
+    float mx = src[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      denom += dst[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor SoftmaxGradFromOutput(const Tensor& dy, const Tensor& y) {
+  CheckSameShape(dy, y, "SoftmaxGrad");
+  const int64_t n = y.dim(-1);
+  Tensor dx(y.shape());
+  const float* pdy = dy.data();
+  const float* py = y.data();
+  float* pdx = dx.data();
+  const int64_t rows = y.size() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* gy = pdy + r * n;
+    const float* yy = py + r * n;
+    float* gx = pdx + r * n;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < n; ++j) dot += gy[j] * yy[j];
+    for (int64_t j = 0; j < n; ++j) gx[j] = yy[j] * (gy[j] - dot);
+  }
+  return dx;
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* o = out.data();
+  const int64_t rows = x.size() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = p + r * n;
+    float* dst = o + r * n;
+    float mx = src[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(src[j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int64_t j = 0; j < n; ++j) dst[j] = src[j] - log_denom;
+  }
+  return out;
+}
+
+Tensor MaskedAdd(const Tensor& x, const Tensor& mask, float value) {
+  Tensor out = x.Clone();
+  float* o = out.data();
+  const float* m = mask.data();
+  if (x.shape() == mask.shape()) {
+    for (int64_t i = 0; i < x.size(); ++i) {
+      if (m[i] != 0.0f) o[i] += value;
+    }
+    return out;
+  }
+  // Broadcast: x is [B, ..., S]; mask is [B, 1, ..., S] or [B, 1, T, S].
+  EMX_CHECK_EQ(x.ndim(), mask.ndim())
+      << "MaskedAdd: rank mismatch " << ShapeToString(x.shape()) << " vs "
+      << ShapeToString(mask.shape());
+  const int64_t nd = x.ndim();
+  std::vector<int64_t> x_strides(nd, 1), m_strides(nd, 1);
+  for (int64_t i = nd - 2; i >= 0; --i) {
+    x_strides[i] = x_strides[i + 1] * x.dim(i + 1);
+    m_strides[i] = m_strides[i + 1] * mask.dim(i + 1);
+  }
+  for (int64_t i = 0; i < nd; ++i) {
+    EMX_CHECK(mask.dim(i) == x.dim(i) || mask.dim(i) == 1)
+        << "MaskedAdd: dim " << i << " not broadcastable";
+  }
+  std::vector<int64_t> idx(nd, 0);
+  for (int64_t flat = 0; flat < x.size(); ++flat) {
+    int64_t moff = 0;
+    for (int64_t d = 0; d < nd; ++d) {
+      moff += (mask.dim(d) == 1 ? 0 : idx[d]) * m_strides[d];
+    }
+    if (m[moff] != 0.0f) o[flat] += value;
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      if (++idx[d] < x.dim(d)) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& ids) {
+  EMX_CHECK_EQ(table.ndim(), 2);
+  const int64_t v = table.dim(0);
+  const int64_t h = table.dim(1);
+  Tensor out({static_cast<int64_t>(ids.size()), h});
+  const float* t = table.data();
+  float* o = out.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    EMX_CHECK(id >= 0 && id < v) << "GatherRows: id " << id << " out of range "
+                                 << v;
+    std::copy(t + id * h, t + (id + 1) * h, o + static_cast<int64_t>(i) * h);
+  }
+  return out;
+}
+
+void ScatterAddRows(const Tensor& grad, const std::vector<int64_t>& ids,
+                    Tensor* table_grad) {
+  EMX_CHECK_EQ(grad.ndim(), 2);
+  EMX_CHECK_EQ(table_grad->ndim(), 2);
+  const int64_t h = table_grad->dim(1);
+  EMX_CHECK_EQ(grad.dim(1), h);
+  EMX_CHECK_EQ(grad.dim(0), static_cast<int64_t>(ids.size()));
+  const float* g = grad.data();
+  float* t = table_grad->data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    float* dst = t + id * h;
+    const float* src = g + static_cast<int64_t>(i) * h;
+    for (int64_t j = 0; j < h; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor SelectTimeStep(const Tensor& x, int64_t t) {
+  EMX_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), seq = x.dim(1), h = x.dim(2);
+  EMX_CHECK(t >= 0 && t < seq);
+  Tensor out({b, h});
+  const float* p = x.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(p + (i * seq + t) * h, p + (i * seq + t + 1) * h, o + i * h);
+  }
+  return out;
+}
+
+void AddToTimeStep(const Tensor& grad_bh, int64_t t, Tensor* grad_bth) {
+  EMX_CHECK_EQ(grad_bh.ndim(), 2);
+  EMX_CHECK_EQ(grad_bth->ndim(), 3);
+  const int64_t b = grad_bth->dim(0), seq = grad_bth->dim(1), h = grad_bth->dim(2);
+  EMX_CHECK(t >= 0 && t < seq);
+  const float* g = grad_bh.data();
+  float* o = grad_bth->data();
+  for (int64_t i = 0; i < b; ++i) {
+    float* dst = o + (i * seq + t) * h;
+    const float* src = g + i * h;
+    for (int64_t j = 0; j < h; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  EMX_CHECK(!parts.empty());
+  const int64_t nd = parts[0].ndim();
+  if (axis < 0) axis += nd;
+  EMX_CHECK(axis >= 0 && axis < nd);
+  int64_t concat_dim = 0;
+  for (const auto& p : parts) {
+    EMX_CHECK_EQ(p.ndim(), nd);
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != axis) EMX_CHECK_EQ(p.dim(d), parts[0].dim(d));
+    }
+    concat_dim += p.dim(axis);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(axis)] = concat_dim;
+  Tensor out(out_shape);
+
+  // outer = product of dims before axis; inner = product after axis.
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= parts[0].dim(d);
+  for (int64_t d = axis + 1; d < nd; ++d) inner *= parts[0].dim(d);
+
+  float* o = out.data();
+  const int64_t out_row = concat_dim * inner;
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const int64_t rows = p.dim(axis) * inner;
+    const float* src = p.data();
+    for (int64_t r = 0; r < outer; ++r) {
+      std::copy(src + r * rows, src + (r + 1) * rows, o + r * out_row + offset);
+    }
+    offset += rows;
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitAxis(const Tensor& x, int64_t axis,
+                              const std::vector<int64_t>& sizes) {
+  const int64_t nd = x.ndim();
+  if (axis < 0) axis += nd;
+  EMX_CHECK(axis >= 0 && axis < nd);
+  int64_t total = 0;
+  for (int64_t s : sizes) total += s;
+  EMX_CHECK_EQ(total, x.dim(axis));
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= x.dim(d);
+  for (int64_t d = axis + 1; d < nd; ++d) inner *= x.dim(d);
+
+  std::vector<Tensor> parts;
+  parts.reserve(sizes.size());
+  const float* src = x.data();
+  const int64_t in_row = x.dim(axis) * inner;
+  int64_t offset = 0;
+  for (int64_t s : sizes) {
+    Shape shape = x.shape();
+    shape[static_cast<size_t>(axis)] = s;
+    Tensor part(shape);
+    float* dst = part.data();
+    const int64_t rows = s * inner;
+    for (int64_t r = 0; r < outer; ++r) {
+      std::copy(src + r * in_row + offset, src + r * in_row + offset + rows,
+                dst + r * rows);
+    }
+    offset += rows;
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps, Tensor* mean,
+                        Tensor* rstd) {
+  const int64_t h = x.dim(-1);
+  EMX_CHECK_EQ(gamma.size(), h);
+  EMX_CHECK_EQ(beta.size(), h);
+  const int64_t rows = x.size() / h;
+  Tensor out(x.shape());
+  *mean = Tensor({rows});
+  *rstd = Tensor({rows});
+  const float* p = x.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* o = out.data();
+  float* pm = mean->data();
+  float* pr = rstd->data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = p + r * h;
+    float* dst = o + r * h;
+    float mu = 0.0f;
+    for (int64_t j = 0; j < h; ++j) mu += src[j];
+    mu /= static_cast<float>(h);
+    float var = 0.0f;
+    for (int64_t j = 0; j < h; ++j) {
+      const float d = src[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(h);
+    const float r_std = 1.0f / std::sqrt(var + eps);
+    pm[r] = mu;
+    pr[r] = r_std;
+    for (int64_t j = 0; j < h; ++j) {
+      dst[j] = (src[j] - mu) * r_std * g[j] + b[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNormBackward(const Tensor& dy, const Tensor& x,
+                         const Tensor& gamma, const Tensor& mean,
+                         const Tensor& rstd, Tensor* dgamma, Tensor* dbeta) {
+  const int64_t h = x.dim(-1);
+  const int64_t rows = x.size() / h;
+  Tensor dx(x.shape());
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pm = mean.data();
+  const float* pr = rstd.data();
+  float* pdx = dx.data();
+  float* pdg = dgamma->data();
+  float* pdb = dbeta->data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* gy = pdy + r * h;
+    const float* xx = px + r * h;
+    float* gx = pdx + r * h;
+    const float mu = pm[r];
+    const float rs = pr[r];
+    // xhat_j = (x_j - mu) * rs; dxhat_j = gy_j * gamma_j.
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (int64_t j = 0; j < h; ++j) {
+      const float xhat = (xx[j] - mu) * rs;
+      const float dxhat = gy[j] * pg[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat;
+      pdg[j] += gy[j] * xhat;
+      pdb[j] += gy[j];
+    }
+    const float inv_h = 1.0f / static_cast<float>(h);
+    for (int64_t j = 0; j < h; ++j) {
+      const float xhat = (xx[j] - mu) * rs;
+      const float dxhat = gy[j] * pg[j];
+      gx[j] = rs * (dxhat - inv_h * sum_dxhat - xhat * inv_h * sum_dxhat_xhat);
+    }
+  }
+  return dx;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EMX_CHECK_EQ(a.size(), b.size());
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::abs(pa[i] - pb[i]) > atol + rtol * std::abs(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace emx

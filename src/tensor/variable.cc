@@ -1,0 +1,169 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace emx {
+
+namespace internal {
+
+Tensor& VarNode::EnsureGrad() {
+  if (!grad_allocated) {
+    grad = Tensor(value.shape());
+    grad_allocated = true;
+  }
+  return grad;
+}
+
+}  // namespace internal
+
+Variable::Variable(Tensor value) {
+  node_ = std::make_shared<internal::VarNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = false;
+  node_->is_leaf = true;
+}
+
+Variable Variable::Parameter(Tensor value) {
+  Variable v(std::move(value));
+  v.node_->requires_grad = true;
+  return v;
+}
+
+Variable Variable::Constant(Tensor value) { return Variable(std::move(value)); }
+
+const Tensor& Variable::value() const {
+  EMX_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  EMX_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  EMX_CHECK(defined());
+  EMX_CHECK(node_->requires_grad) << "grad() on a non-grad Variable";
+  const_cast<internal::VarNode*>(node_.get())->EnsureGrad();
+  return node_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  EMX_CHECK(defined());
+  return node_->EnsureGrad();
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  if (defined() && node_->grad_allocated) node_->grad.Fill(0.0f);
+}
+
+Variable Variable::MakeOpResult(
+    Tensor value, std::vector<Variable> parents,
+    std::function<void(const Tensor& grad_out)> backward_fn) {
+  Variable v(std::move(value));
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  if (any_grad) {
+    v.node_->requires_grad = true;
+    v.node_->is_leaf = false;
+    v.node_->parents = std::move(parents);
+    v.node_->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+void Backward(const Variable& root) {
+  EMX_CHECK(root.defined());
+  EMX_CHECK(root.requires_grad())
+      << "Backward on a graph with no parameters";
+
+  // Iterative post-order DFS producing a topological order (parents before
+  // children in `order`; we process in reverse).
+  std::vector<internal::VarNode*> order;
+  std::unordered_set<internal::VarNode*> visited;
+  struct Frame {
+    internal::VarNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node().get(), 0});
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::VarNode* parent =
+          frame.node->parents[frame.next_parent++].node().get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed: d(root)/d(root) = 1.
+  Tensor& root_grad = root.node()->EnsureGrad();
+  root_grad.Fill(1.0f);
+
+  // `order` is post-order, so the root is last; walk backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarNode* node = *it;
+    if (node->backward_fn) {
+      node->backward_fn(node->EnsureGrad());
+    }
+  }
+
+  // Release graph edges so activations are freed; leaves keep their grads.
+  for (internal::VarNode* node : order) {
+    if (!node->is_leaf) {
+      node->parents.clear();
+      node->backward_fn = nullptr;
+    }
+  }
+}
+
+float GradCheck(const std::function<Variable(const Variable&)>& f,
+                const Tensor& x, float eps) {
+  // Analytic gradient.
+  Variable input = Variable::Parameter(x.Clone());
+  Variable out = f(input);
+  EMX_CHECK_EQ(out.size(), 1) << "GradCheck expects a scalar objective";
+  Backward(out);
+  Tensor analytic = input.grad().Clone();
+
+  // Numeric gradient via central differences.
+  Tensor numeric(x.shape());
+  Tensor probe = x.Clone();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    Variable vp = Variable::Constant(probe.Clone());
+    const float fp = f(vp).value()[0];
+    probe[i] = orig - eps;
+    Variable vm = Variable::Constant(probe.Clone());
+    const float fm = f(vm).value()[0];
+    probe[i] = orig;
+    numeric[i] = (fp - fm) / (2.0f * eps);
+  }
+
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(analytic[i] - numeric[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace emx

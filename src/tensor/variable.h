@@ -1,0 +1,107 @@
+#ifndef EMX_TENSOR_VARIABLE_H_
+#define EMX_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace emx {
+
+namespace internal {
+struct VarNode;
+}  // namespace internal
+
+/// A node in a dynamically built reverse-mode autodiff graph.
+///
+/// Variable is a cheap handle (shared_ptr) to a value tensor plus, when
+/// `requires_grad` is set anywhere upstream, the bookkeeping needed to
+/// back-propagate. Operations on Variables live in tensor/autograd_ops.h;
+/// each records a closure that pushes gradients to its parents.
+///
+/// Typical use:
+///   Variable w = Variable::Parameter(Tensor::Randn({4, 4}, &rng));
+///   Variable y = autograd::MatMul(x, w);
+///   Variable loss = autograd::MeanAll(y);
+///   Backward(loss);       // w.grad() now holds dloss/dw
+class Variable {
+ public:
+  /// An empty (null) handle.
+  Variable() = default;
+
+  /// Wraps a constant (no gradient tracking).
+  explicit Variable(Tensor value);
+
+  /// A leaf that accumulates gradient (model parameter).
+  static Variable Parameter(Tensor value);
+  /// A constant leaf (input data).
+  static Variable Constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// The accumulated gradient. Undefined before Backward(); zero-filled
+  /// lazily. Pre-condition: requires_grad().
+  const Tensor& grad() const;
+  Tensor& mutable_grad();
+
+  bool requires_grad() const;
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t dim(int64_t i) const { return value().dim(i); }
+  int64_t size() const { return value().size(); }
+
+  /// Zeroes the gradient buffer (if allocated).
+  void ZeroGrad();
+
+  /// Internal node access for the autograd ops / engine.
+  const std::shared_ptr<internal::VarNode>& node() const { return node_; }
+
+  /// Creates an op result node. `parents` are the inputs whose gradients
+  /// `backward_fn` fills; `backward_fn` receives the result node's gradient.
+  static Variable MakeOpResult(
+      Tensor value, std::vector<Variable> parents,
+      std::function<void(const Tensor& grad_out)> backward_fn);
+
+ private:
+  std::shared_ptr<internal::VarNode> node_;
+};
+
+namespace internal {
+
+struct VarNode {
+  Tensor value;
+  Tensor grad;
+  bool grad_allocated = false;
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::vector<Variable> parents;
+  std::function<void(const Tensor& grad_out)> backward_fn;
+
+  /// Lazily allocates and returns the gradient buffer.
+  Tensor& EnsureGrad();
+};
+
+}  // namespace internal
+
+/// Runs reverse-mode accumulation from `root` (typically a scalar loss).
+/// Seeds d(root)/d(root) = 1 and visits the graph in reverse topological
+/// order. After the call the graph edges are released so that activation
+/// memory can be reclaimed; leaf gradients remain.
+void Backward(const Variable& root);
+
+/// Numerically estimates d(f)/d(x) at x via central differences and
+/// returns the max abs difference to the analytic gradient obtained by
+/// Backward. Used by the gradient-check tests. f must rebuild the graph
+/// on every call. `eps` is the finite-difference step.
+float GradCheck(const std::function<Variable(const Variable&)>& f,
+                const Tensor& x, float eps = 1e-3f);
+
+}  // namespace emx
+
+#endif  // EMX_TENSOR_VARIABLE_H_

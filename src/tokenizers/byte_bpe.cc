@@ -1,0 +1,268 @@
+#include "tokenizers/byte_bpe.h"
+
+#include <cctype>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace tokenizers {
+namespace {
+
+constexpr const char* kPad = "<pad>";
+constexpr const char* kUnk = "<unk>";
+constexpr const char* kBos = "<s>";
+constexpr const char* kEos = "</s>";
+constexpr const char* kMask = "<mask>";
+constexpr const char* kSpaceMarker = "\xc4\xa0";  // "Ġ" (U+0120), as GPT-2
+
+bool IsAlpha(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+/// Matches one of 's 't 're 've 'm 'll 'd at `pos`; returns its length or 0.
+size_t MatchContraction(std::string_view text, size_t pos) {
+  static constexpr std::string_view kContractions[] = {
+      "'s", "'t", "'re", "'ve", "'m", "'ll", "'d"};
+  for (std::string_view c : kContractions) {
+    if (text.substr(pos, c.size()) == c) return c.size();
+  }
+  return 0;
+}
+
+/// Splits one pre-token (possibly starting with the space marker) into
+/// byte-level symbols; the marker stays a single symbol.
+std::vector<std::string> ToSymbols(const std::string& pretoken) {
+  std::vector<std::string> symbols;
+  size_t i = 0;
+  if (StartsWith(pretoken, kSpaceMarker)) {
+    symbols.push_back(kSpaceMarker);
+    i = 2;
+  }
+  for (; i < pretoken.size(); ++i) symbols.emplace_back(1, pretoken[i]);
+  return symbols;
+}
+
+void AddSpecials(Vocab* vocab, SpecialTokens* specials) {
+  specials->pad = vocab->AddToken(kPad);
+  specials->unk = vocab->AddToken(kUnk);
+  specials->cls = vocab->AddToken(kBos);   // "<s>" plays the CLS role
+  specials->sep = vocab->AddToken(kEos);   // "</s>" plays the SEP role
+  specials->mask = vocab->AddToken(kMask);
+}
+
+}  // namespace
+
+std::vector<std::string> ByteBpeTokenizer::PreTokenize(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    bool has_space = false;
+    while (i < text.size() && IsSpace(text[i])) {
+      has_space = true;
+      ++i;
+    }
+    if (i >= text.size()) break;
+
+    std::string tok = has_space || out.empty() ? kSpaceMarker : "";
+    // RoBERTa/GPT-2 prefix every word-initial token with the space marker;
+    // we follow that convention including for the first token.
+    const size_t contraction = MatchContraction(text, i);
+    if (contraction > 0) {
+      tok.append(text.substr(i, contraction));
+      i += contraction;
+    } else if (IsAlpha(text[i])) {
+      while (i < text.size() && IsAlpha(text[i])) tok.push_back(text[i++]);
+    } else if (IsDigit(text[i])) {
+      while (i < text.size() && IsDigit(text[i])) tok.push_back(text[i++]);
+    } else {
+      while (i < text.size() && !IsSpace(text[i]) && !IsAlpha(text[i]) &&
+             !IsDigit(text[i]) && MatchContraction(text, i) == 0) {
+        tok.push_back(text[i++]);
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+ByteBpeTokenizer ByteBpeTokenizer::Train(const std::vector<std::string>& corpus,
+                                         const ByteBpeTrainerOptions& options) {
+  ByteBpeTokenizer tok;
+  AddSpecials(&tok.vocab_, &tok.specials_);
+
+  // Count pre-tokens.
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const auto& doc : corpus) {
+    for (auto& w : PreTokenize(doc)) ++word_freq[w];
+  }
+
+  struct TrainWord {
+    std::vector<std::string> symbols;
+    int64_t freq;
+  };
+  std::vector<TrainWord> words;
+  for (auto& [w, f] : word_freq) {
+    if (f < options.min_frequency) continue;
+    words.push_back({ToSymbols(w), f});
+  }
+
+  // Base alphabet: the space marker plus every printable ASCII byte, so any
+  // ASCII input tokenizes without <unk> (byte-level coverage), plus any
+  // other byte observed in the corpus.
+  tok.vocab_.AddToken(kSpaceMarker);
+  for (int c = 33; c <= 126; ++c) {
+    tok.vocab_.AddToken(std::string(1, static_cast<char>(c)));
+  }
+  {
+    std::map<std::string, int64_t> alphabet;
+    for (const auto& w : words) {
+      for (const auto& s : w.symbols) alphabet[s] += w.freq;
+    }
+    for (const auto& [s, f] : alphabet) tok.vocab_.AddToken(s);
+  }
+
+  int64_t next_rank = 0;
+  while (tok.vocab_.size() < options.vocab_size) {
+    std::map<std::pair<std::string, std::string>, int64_t> pair_freq;
+    for (const auto& w : words) {
+      for (size_t i = 0; i + 1 < w.symbols.size(); ++i) {
+        pair_freq[{w.symbols[i], w.symbols[i + 1]}] += w.freq;
+      }
+    }
+    if (pair_freq.empty()) break;
+    auto best = pair_freq.begin();
+    for (auto it = pair_freq.begin(); it != pair_freq.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < options.min_frequency) break;
+
+    const auto pair = best->first;
+    const std::string merged = pair.first + pair.second;
+    tok.vocab_.AddToken(merged);
+    tok.merge_rank_[pair] = next_rank++;
+
+    for (auto& w : words) {
+      std::vector<std::string> next;
+      next.reserve(w.symbols.size());
+      for (size_t i = 0; i < w.symbols.size();) {
+        if (i + 1 < w.symbols.size() && w.symbols[i] == pair.first &&
+            w.symbols[i + 1] == pair.second) {
+          next.push_back(merged);
+          i += 2;
+        } else {
+          next.push_back(w.symbols[i]);
+          i += 1;
+        }
+      }
+      w.symbols = std::move(next);
+    }
+  }
+  return tok;
+}
+
+std::vector<std::string> ByteBpeTokenizer::BpeWord(
+    const std::string& pretoken) const {
+  std::vector<std::string> symbols = ToSymbols(pretoken);
+  while (symbols.size() > 1) {
+    int64_t best_rank = -1;
+    size_t best_pos = 0;
+    for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = merge_rank_.find({symbols[i], symbols[i + 1]});
+      if (it != merge_rank_.end() &&
+          (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank < 0) break;
+    symbols[best_pos] += symbols[best_pos + 1];
+    symbols.erase(symbols.begin() + static_cast<int64_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::string> ByteBpeTokenizer::Tokenize(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (const auto& pre : PreTokenize(text)) {
+    for (auto& s : BpeWord(pre)) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ByteBpeTokenizer::Decode(const std::vector<int64_t>& ids) const {
+  std::string joined;
+  for (int64_t id : ids) {
+    if (id == specials_.pad || id == specials_.cls || id == specials_.sep ||
+        id == specials_.mask) {
+      continue;
+    }
+    joined += vocab_.IdToToken(id);
+  }
+  // Replace space markers with spaces.
+  std::string out;
+  for (size_t i = 0; i < joined.size();) {
+    if (joined.compare(i, 2, kSpaceMarker) == 0) {
+      if (!out.empty()) out.push_back(' ');
+      i += 2;
+    } else {
+      out.push_back(joined[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Status ByteBpeTokenizer::Save(const std::string& vocab_path,
+                              const std::string& merges_path) const {
+  EMX_RETURN_IF_ERROR(vocab_.Save(vocab_path));
+  std::ofstream out(merges_path);
+  if (!out) return Status::IoError("cannot open " + merges_path);
+  // One merge per line in rank order: "<left>\t<right>".
+  std::vector<std::pair<std::string, std::string>> ordered(merge_rank_.size());
+  for (const auto& [pair, rank] : merge_rank_) {
+    ordered[static_cast<size_t>(rank)] = pair;
+  }
+  for (const auto& [l, r] : ordered) out << l << "\t" << r << "\n";
+  if (!out) return Status::IoError("write failed for " + merges_path);
+  return Status::OK();
+}
+
+Result<ByteBpeTokenizer> ByteBpeTokenizer::Load(const std::string& vocab_path,
+                                                const std::string& merges_path) {
+  EMX_ASSIGN_OR_RETURN(Vocab vocab, Vocab::Load(vocab_path));
+  ByteBpeTokenizer tok;
+  tok.vocab_ = std::move(vocab);
+  const char* required[] = {kPad, kUnk, kBos, kEos, kMask};
+  for (const char* t : required) {
+    if (!tok.vocab_.Contains(t)) {
+      return Status::InvalidArgument(std::string("vocab missing ") + t);
+    }
+  }
+  tok.specials_.pad = tok.vocab_.TokenToId(kPad);
+  tok.specials_.unk = tok.vocab_.TokenToId(kUnk);
+  tok.specials_.cls = tok.vocab_.TokenToId(kBos);
+  tok.specials_.sep = tok.vocab_.TokenToId(kEos);
+  tok.specials_.mask = tok.vocab_.TokenToId(kMask);
+
+  std::ifstream in(merges_path);
+  if (!in) return Status::IoError("cannot open " + merges_path);
+  std::string line;
+  int64_t rank = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("bad merges line: " + line);
+    }
+    tok.merge_rank_[{line.substr(0, tab), line.substr(tab + 1)}] = rank++;
+  }
+  return tok;
+}
+
+}  // namespace tokenizers
+}  // namespace emx

@@ -1,0 +1,68 @@
+#ifndef EMX_TOKENIZERS_BYTE_BPE_H_
+#define EMX_TOKENIZERS_BYTE_BPE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tokenizers/tokenizer.h"
+#include "util/status.h"
+
+namespace emx {
+namespace tokenizers {
+
+/// Options for training a byte-level BPE vocabulary.
+struct ByteBpeTrainerOptions {
+  int64_t vocab_size = 4000;
+  int64_t min_frequency = 2;
+};
+
+/// Byte-level byte-pair-encoding tokenizer as used by RoBERTa (and GPT-2).
+///
+/// Pre-tokenization follows the paper's description for RoBERTa: the input
+/// is split on whitespace, punctuation, and the special English
+/// abbreviations ('s|'t|'re|'ve|'m|'ll|'d), with the preceding space kept
+/// attached to the following token and rendered as the marker "Ġ". Each
+/// pre-token is then decomposed into byte symbols and merged bottom-up by
+/// learned merge ranks.
+class ByteBpeTokenizer : public Tokenizer {
+ public:
+  /// Learns merges by repeatedly joining the most frequent adjacent symbol
+  /// pair until the vocabulary reaches `options.vocab_size`.
+  static ByteBpeTokenizer Train(const std::vector<std::string>& corpus,
+                                const ByteBpeTrainerOptions& options);
+
+  /// Persists the vocabulary and the ordered merge list.
+  Status Save(const std::string& vocab_path,
+              const std::string& merges_path) const;
+
+  /// Restores a tokenizer saved with Save().
+  static Result<ByteBpeTokenizer> Load(const std::string& vocab_path,
+                                       const std::string& merges_path);
+
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+
+  std::string Decode(const std::vector<int64_t>& ids) const override;
+
+  /// GPT-2-style pre-tokenization (exposed for tests): returns raw
+  /// pre-tokens where a leading space is encoded as "Ġ".
+  static std::vector<std::string> PreTokenize(std::string_view text);
+
+  /// Applies the learned merges to one pre-token.
+  std::vector<std::string> BpeWord(const std::string& pretoken) const;
+
+  int64_t num_merges() const { return static_cast<int64_t>(merge_rank_.size()); }
+
+ private:
+  ByteBpeTokenizer() = default;
+
+  /// Pair of adjacent symbols -> merge priority (lower merges first).
+  std::map<std::pair<std::string, std::string>, int64_t> merge_rank_;
+};
+
+}  // namespace tokenizers
+}  // namespace emx
+
+#endif  // EMX_TOKENIZERS_BYTE_BPE_H_

@@ -1,0 +1,311 @@
+#include "tokenizers/unigram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace tokenizers {
+
+const char* const kUnigramSpaceMarker = "\xe2\x96\x81";  // "▁" U+2581
+
+namespace {
+
+constexpr const char* kPad = "<pad>";
+constexpr const char* kUnk = "<unk>";
+constexpr const char* kCls = "<cls>";
+constexpr const char* kSep = "<sep>";
+constexpr const char* kMask = "<mask>";
+constexpr float kUnkLogProb = -20.0f;
+
+/// A word as atoms: atom 0 is the whitespace marker, the rest are single
+/// bytes. Treating the (multi-byte UTF-8) marker atomically keeps candidate
+/// pieces valid strings.
+std::vector<std::string> WordToAtoms(const std::string& word) {
+  std::vector<std::string> atoms;
+  atoms.push_back(kUnigramSpaceMarker);
+  for (char c : word) atoms.emplace_back(1, c);
+  return atoms;
+}
+
+std::string JoinAtoms(const std::vector<std::string>& atoms, size_t begin,
+                      size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) out += atoms[i];
+  return out;
+}
+
+struct TrainWord {
+  std::vector<std::string> atoms;
+  int64_t freq;
+};
+
+/// Viterbi segmentation of `atoms` under `log_prob`; pieces span at most
+/// `max_atoms` atoms. Unknown single atoms are emitted verbatim with the
+/// unk penalty so segmentation never fails.
+std::vector<std::string> ViterbiSegment(
+    const std::vector<std::string>& atoms,
+    const std::unordered_map<std::string, float>& log_prob,
+    int64_t max_atoms) {
+  const size_t n = atoms.size();
+  std::vector<float> best(n + 1, -1e30f);
+  std::vector<size_t> back(n + 1, 0);
+  std::vector<std::string> piece_at(n + 1);
+  best[0] = 0.0f;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t j_min = i > static_cast<size_t>(max_atoms)
+                             ? i - static_cast<size_t>(max_atoms)
+                             : 0;
+    for (size_t j = j_min; j < i; ++j) {
+      if (best[j] <= -1e29f) continue;
+      std::string piece = JoinAtoms(atoms, j, i);
+      float lp;
+      auto it = log_prob.find(piece);
+      if (it != log_prob.end()) {
+        lp = it->second;
+      } else if (i - j == 1) {
+        lp = kUnkLogProb;  // single-atom fallback
+      } else {
+        continue;
+      }
+      if (best[j] + lp > best[i]) {
+        best[i] = best[j] + lp;
+        back[i] = j;
+        piece_at[i] = std::move(piece);
+      }
+    }
+  }
+  std::vector<std::string> pieces;
+  for (size_t i = n; i > 0; i = back[i]) pieces.push_back(piece_at[i]);
+  std::reverse(pieces.begin(), pieces.end());
+  return pieces;
+}
+
+}  // namespace
+
+UnigramTokenizer UnigramTokenizer::Train(const std::vector<std::string>& corpus,
+                                         const UnigramTrainerOptions& options) {
+  // 1. Collect marker-prefixed words.
+  std::map<std::string, int64_t> word_freq;
+  for (const auto& doc : corpus) {
+    for (auto& w : SplitWhitespace(doc)) ++word_freq[ToLower(w)];
+  }
+  std::vector<TrainWord> words;
+  words.reserve(word_freq.size());
+  for (const auto& [w, f] : word_freq) words.push_back({WordToAtoms(w), f});
+
+  // 2. Seed candidates: frequent substrings scored by freq * length.
+  std::unordered_map<std::string, int64_t> candidate_count;
+  for (const auto& w : words) {
+    const size_t n = w.atoms.size();
+    for (size_t i = 0; i < n; ++i) {
+      std::string piece;
+      for (size_t j = i;
+           j < std::min(n, i + static_cast<size_t>(options.max_piece_length));
+           ++j) {
+        piece += w.atoms[j];
+        candidate_count[piece] += w.freq;
+      }
+    }
+  }
+
+  // Mandatory single atoms so every word stays segmentable.
+  std::unordered_map<std::string, bool> is_atomic;
+  for (const auto& w : words) {
+    for (const auto& a : w.atoms) is_atomic[a] = true;
+  }
+
+  const int64_t target_pieces = options.vocab_size - 5;  // minus specials
+  const int64_t seed_size =
+      std::max<int64_t>(target_pieces, target_pieces * options.seed_multiplier);
+
+  std::vector<std::pair<std::string, int64_t>> ranked(candidate_count.begin(),
+                                                      candidate_count.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    const int64_t sa = a.second * static_cast<int64_t>(a.first.size());
+    const int64_t sb = b.second * static_cast<int64_t>(b.first.size());
+    if (sa != sb) return sa > sb;
+    return a.first < b.first;
+  });
+
+  std::unordered_map<std::string, float> log_prob;
+  double total = 0;
+  for (const auto& [piece, count] : ranked) {
+    if (static_cast<int64_t>(log_prob.size()) >= seed_size &&
+        !is_atomic.count(piece)) {
+      continue;
+    }
+    log_prob[piece] = static_cast<float>(count);
+    total += count;
+  }
+  for (auto& [piece, p] : log_prob) {
+    p = std::log(p / static_cast<float>(total));
+  }
+
+  // 3. Hard-EM with periodic pruning down to the target size.
+  auto run_em = [&](int64_t iterations) {
+    for (int64_t it = 0; it < iterations; ++it) {
+      std::unordered_map<std::string, double> usage;
+      double usage_total = 0;
+      for (const auto& w : words) {
+        auto pieces = ViterbiSegment(w.atoms, log_prob, options.max_piece_length);
+        for (const auto& p : pieces) {
+          usage[p] += static_cast<double>(w.freq);
+          usage_total += static_cast<double>(w.freq);
+        }
+      }
+      for (auto& [piece, lp] : log_prob) {
+        auto u = usage.find(piece);
+        const double prob =
+            (u == usage.end() ? 0.1 : u->second + 0.1) / (usage_total + 1.0);
+        lp = static_cast<float>(std::log(prob));
+      }
+    }
+  };
+
+  while (static_cast<int64_t>(log_prob.size()) > target_pieces) {
+    run_em(options.em_iterations);
+    // Prune the lowest-probability non-atomic pieces.
+    std::vector<std::pair<float, std::string>> prunable;
+    for (const auto& [piece, lp] : log_prob) {
+      if (!is_atomic.count(piece)) prunable.push_back({lp, piece});
+    }
+    const int64_t excess = static_cast<int64_t>(log_prob.size()) - target_pieces;
+    int64_t to_prune = std::min<int64_t>(
+        excess, std::max<int64_t>(
+                    1, static_cast<int64_t>(static_cast<double>(log_prob.size()) *
+                                            options.prune_fraction)));
+    if (prunable.empty()) break;
+    to_prune = std::min<int64_t>(to_prune, static_cast<int64_t>(prunable.size()));
+    std::nth_element(prunable.begin(), prunable.begin() + to_prune - 1,
+                     prunable.end());
+    for (int64_t i = 0; i < to_prune; ++i) {
+      log_prob.erase(prunable[static_cast<size_t>(i)].second);
+    }
+  }
+  run_em(1);
+
+  // 4. Finalize vocabulary: specials then pieces by descending probability.
+  UnigramTokenizer tok;
+  tok.specials_.pad = tok.vocab_.AddToken(kPad);
+  tok.specials_.unk = tok.vocab_.AddToken(kUnk);
+  tok.specials_.cls = tok.vocab_.AddToken(kCls);
+  tok.specials_.sep = tok.vocab_.AddToken(kSep);
+  tok.specials_.mask = tok.vocab_.AddToken(kMask);
+  std::vector<std::pair<float, std::string>> final_pieces;
+  for (const auto& [piece, lp] : log_prob) final_pieces.push_back({lp, piece});
+  std::sort(final_pieces.begin(), final_pieces.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [lp, piece] : final_pieces) {
+    tok.vocab_.AddToken(piece);
+    tok.log_prob_[piece] = lp;
+  }
+  return tok;
+}
+
+std::vector<std::string> UnigramTokenizer::SegmentWord(
+    const std::string& word) const {
+  std::vector<std::string> atoms;
+  if (StartsWith(word, kUnigramSpaceMarker)) {
+    atoms.push_back(kUnigramSpaceMarker);
+    for (size_t i = 3; i < word.size(); ++i) atoms.emplace_back(1, word[i]);
+  } else {
+    for (char c : word) atoms.emplace_back(1, c);
+  }
+  return ViterbiSegment(atoms, log_prob_, /*max_atoms=*/12);
+}
+
+std::vector<std::string> UnigramTokenizer::Tokenize(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (const auto& w : SplitWhitespace(text)) {
+    std::string marked = std::string(kUnigramSpaceMarker) + ToLower(w);
+    for (auto& p : SegmentWord(marked)) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+float UnigramTokenizer::PieceLogProb(const std::string& piece) const {
+  auto it = log_prob_.find(piece);
+  return it == log_prob_.end() ? kUnkLogProb : it->second;
+}
+
+std::string UnigramTokenizer::Decode(const std::vector<int64_t>& ids) const {
+  std::string joined;
+  for (int64_t id : ids) {
+    if (id == specials_.pad || id == specials_.cls || id == specials_.sep ||
+        id == specials_.mask || id == specials_.unk) {
+      continue;
+    }
+    joined += vocab_.IdToToken(id);
+  }
+  std::string out;
+  for (size_t i = 0; i < joined.size();) {
+    if (joined.compare(i, 3, kUnigramSpaceMarker) == 0) {
+      if (!out.empty()) out.push_back(' ');
+      i += 3;
+    } else {
+      out.push_back(joined[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Status UnigramTokenizer::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  for (int64_t id = 0; id < vocab_.size(); ++id) {
+    const std::string& tok = vocab_.IdToToken(id);
+    auto it = log_prob_.find(tok);
+    const float lp = it == log_prob_.end() ? 0.0f : it->second;
+    out << tok << "\t" << lp << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<UnigramTokenizer> UnigramTokenizer::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  UnigramTokenizer tok;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const size_t tab = line.rfind('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("bad unigram vocab line: " + line);
+    }
+    const std::string piece = line.substr(0, tab);
+    float lp = 0;
+    if (!ParseFloat(line.substr(tab + 1), &lp)) {
+      return Status::InvalidArgument("bad log prob in line: " + line);
+    }
+    const int64_t id = tok.vocab_.AddToken(piece);
+    if (id >= 5) tok.log_prob_[piece] = lp;
+  }
+  if (tok.vocab_.size() < 6) {
+    return Status::InvalidArgument("unigram vocab too small: " + path);
+  }
+  tok.specials_.pad = tok.vocab_.TokenToId(kPad);
+  tok.specials_.unk = tok.vocab_.TokenToId(kUnk);
+  tok.specials_.cls = tok.vocab_.TokenToId(kCls);
+  tok.specials_.sep = tok.vocab_.TokenToId(kSep);
+  tok.specials_.mask = tok.vocab_.TokenToId(kMask);
+  for (int64_t s : {tok.specials_.pad, tok.specials_.unk, tok.specials_.cls,
+                    tok.specials_.sep, tok.specials_.mask}) {
+    if (s < 0) return Status::InvalidArgument("missing special token in " + path);
+  }
+  return tok;
+}
+
+}  // namespace tokenizers
+}  // namespace emx

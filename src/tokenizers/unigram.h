@@ -1,0 +1,68 @@
+#ifndef EMX_TOKENIZERS_UNIGRAM_H_
+#define EMX_TOKENIZERS_UNIGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tokenizers/tokenizer.h"
+#include "util/status.h"
+
+namespace emx {
+namespace tokenizers {
+
+/// Options for training a unigram-LM (SentencePiece) vocabulary.
+struct UnigramTrainerOptions {
+  int64_t vocab_size = 4000;
+  /// Maximum candidate piece length in bytes.
+  int64_t max_piece_length = 10;
+  /// Candidate pool size relative to the final vocabulary.
+  int64_t seed_multiplier = 4;
+  /// Hard-EM refinement iterations.
+  int64_t em_iterations = 4;
+  /// Fraction of the candidate pool pruned per shrink round.
+  double prune_fraction = 0.25;
+};
+
+/// SentencePiece-style unigram language-model tokenizer as used by XLNet.
+///
+/// Unlike WordPiece/BPE there is no pre-tokenization into words visible to
+/// the model: the raw text is normalized (whitespace runs collapsed and
+/// replaced by the "▁" marker attached to the following word) and segmented
+/// into the most probable sequence of pieces under a unigram LM via Viterbi
+/// decoding. Training uses hard-EM: seed a large candidate pool from
+/// frequent substrings, alternately re-segment and re-estimate piece
+/// probabilities, and prune low-utility pieces until the target size.
+class UnigramTokenizer : public Tokenizer {
+ public:
+  static UnigramTokenizer Train(const std::vector<std::string>& corpus,
+                                const UnigramTrainerOptions& options);
+
+  /// Persists the vocabulary together with each piece's log probability.
+  Status Save(const std::string& path) const;
+  static Result<UnigramTokenizer> Load(const std::string& path);
+
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+
+  std::string Decode(const std::vector<int64_t>& ids) const override;
+
+  /// Viterbi-segments one marker-prefixed word; exposed for tests.
+  std::vector<std::string> SegmentWord(const std::string& word) const;
+
+  /// Log probability of a piece (large negative for unknown).
+  float PieceLogProb(const std::string& piece) const;
+
+ private:
+  UnigramTokenizer() = default;
+
+  std::unordered_map<std::string, float> log_prob_;
+};
+
+/// The SentencePiece whitespace marker ("▁", U+2581).
+extern const char* const kUnigramSpaceMarker;
+
+}  // namespace tokenizers
+}  // namespace emx
+
+#endif  // EMX_TOKENIZERS_UNIGRAM_H_

@@ -1,0 +1,51 @@
+#include "tokenizers/vocab.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace tokenizers {
+
+int64_t Vocab::AddToken(const std::string& token) {
+  auto it = token_to_id_.find(token);
+  if (it != token_to_id_.end()) return it->second;
+  const int64_t id = static_cast<int64_t>(tokens_.size());
+  tokens_.push_back(token);
+  token_to_id_.emplace(token, id);
+  return id;
+}
+
+int64_t Vocab::TokenToId(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? -1 : it->second;
+}
+
+const std::string& Vocab::IdToToken(int64_t id) const {
+  EMX_CHECK(id >= 0 && id < size()) << "vocab id " << id << " out of range";
+  return tokens_[static_cast<size_t>(id)];
+}
+
+Status Vocab::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& t : tokens_) out << t << "\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Vocab> Vocab::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  Vocab v;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    v.AddToken(line);
+  }
+  if (v.size() == 0) return Status::InvalidArgument("empty vocab file " + path);
+  return v;
+}
+
+}  // namespace tokenizers
+}  // namespace emx

@@ -1,0 +1,62 @@
+#ifndef EMX_TOKENIZERS_VOCAB_H_
+#define EMX_TOKENIZERS_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emx {
+namespace tokenizers {
+
+/// A bidirectional token <-> id mapping. Ids are dense and assigned in
+/// insertion order, so special tokens added first get the lowest ids.
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Adds a token if absent; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  /// Id for `token`, or -1 if absent.
+  int64_t TokenToId(const std::string& token) const;
+
+  /// Token string for `id`. Pre-condition: 0 <= id < size().
+  const std::string& IdToToken(int64_t id) const;
+
+  bool Contains(const std::string& token) const {
+    return TokenToId(token) >= 0;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// Writes one token per line.
+  Status Save(const std::string& path) const;
+
+  /// Reads a vocab written by Save.
+  static Result<Vocab> Load(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> token_to_id_;
+};
+
+/// Ids of the special tokens every tokenizer in this library exposes.
+/// Names differ per tokenizer family (e.g. "[CLS]" vs "<s>"), ids are
+/// whatever the vocabulary assigned.
+struct SpecialTokens {
+  int64_t pad = 0;
+  int64_t unk = 1;
+  int64_t cls = 2;   // sequence-classification symbol ("<s>" for RoBERTa)
+  int64_t sep = 3;   // separator ("</s>" for RoBERTa)
+  int64_t mask = 4;  // MLM mask symbol
+};
+
+}  // namespace tokenizers
+}  // namespace emx
+
+#endif  // EMX_TOKENIZERS_VOCAB_H_

@@ -1,0 +1,213 @@
+#include "tokenizers/wordpiece.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace tokenizers {
+namespace {
+
+constexpr const char* kPad = "[PAD]";
+constexpr const char* kUnk = "[UNK]";
+constexpr const char* kCls = "[CLS]";
+constexpr const char* kSep = "[SEP]";
+constexpr const char* kMask = "[MASK]";
+constexpr const char* kContinuation = "##";
+
+void AddSpecials(Vocab* vocab, SpecialTokens* specials) {
+  specials->pad = vocab->AddToken(kPad);
+  specials->unk = vocab->AddToken(kUnk);
+  specials->cls = vocab->AddToken(kCls);
+  specials->sep = vocab->AddToken(kSep);
+  specials->mask = vocab->AddToken(kMask);
+}
+
+/// A word as a sequence of current pieces plus its corpus frequency.
+struct TrainWord {
+  std::vector<std::string> pieces;
+  int64_t freq;
+};
+
+std::string PieceAt(const TrainWord& w, size_t i) { return w.pieces[i]; }
+
+}  // namespace
+
+WordPieceTokenizer WordPieceTokenizer::Train(
+    const std::vector<std::string>& corpus,
+    const WordPieceTrainerOptions& options) {
+  // 1. Count words.
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const auto& doc : corpus) {
+    for (auto& w : BasicTokenize(doc, options.lower_case)) {
+      if (static_cast<int64_t>(w.size()) <= options.max_word_length) {
+        ++word_freq[w];
+      }
+    }
+  }
+
+  // 2. Initialize each word as characters; non-initial chars get "##".
+  std::vector<TrainWord> words;
+  words.reserve(word_freq.size());
+  for (auto& [w, f] : word_freq) {
+    if (f < options.min_frequency) continue;
+    TrainWord tw;
+    tw.freq = f;
+    for (size_t i = 0; i < w.size(); ++i) {
+      std::string piece = i == 0 ? std::string(1, w[i])
+                                 : std::string(kContinuation) + w[i];
+      tw.pieces.push_back(std::move(piece));
+    }
+    words.push_back(std::move(tw));
+  }
+
+  WordPieceTokenizer tok;
+  tok.lower_case_ = options.lower_case;
+  tok.max_word_length_ = options.max_word_length;
+  AddSpecials(&tok.vocab_, &tok.specials_);
+
+  // Alphabet: every initial piece present in the data.
+  {
+    std::map<std::string, int64_t> alphabet;
+    for (const auto& w : words) {
+      for (const auto& p : w.pieces) alphabet[p] += w.freq;
+    }
+    for (const auto& [p, f] : alphabet) tok.vocab_.AddToken(p);
+  }
+
+  // 3. Merge loop with the WordPiece score
+  //    score(a,b) = freq(ab) / (freq(a) * freq(b)).
+  while (tok.vocab_.size() < options.vocab_size) {
+    std::unordered_map<std::string, int64_t> piece_freq;
+    std::map<std::pair<std::string, std::string>, int64_t> pair_freq;
+    for (const auto& w : words) {
+      for (size_t i = 0; i < w.pieces.size(); ++i) {
+        piece_freq[PieceAt(w, i)] += w.freq;
+        if (i + 1 < w.pieces.size()) {
+          pair_freq[{PieceAt(w, i), PieceAt(w, i + 1)}] += w.freq;
+        }
+      }
+    }
+    if (pair_freq.empty()) break;
+
+    double best_score = -1.0;
+    std::pair<std::string, std::string> best_pair;
+    for (const auto& [pr, f] : pair_freq) {
+      const double denom = static_cast<double>(piece_freq[pr.first]) *
+                           static_cast<double>(piece_freq[pr.second]);
+      const double score = denom > 0 ? static_cast<double>(f) / denom : 0.0;
+      if (score > best_score) {
+        best_score = score;
+        best_pair = pr;
+      }
+    }
+    if (best_score <= 0.0) break;
+
+    // The merged token drops the inner "##".
+    std::string merged = best_pair.first;
+    std::string right = best_pair.second;
+    if (StartsWith(right, kContinuation)) right = right.substr(2);
+    merged += right;
+    tok.vocab_.AddToken(merged);
+
+    // Apply the merge to all words.
+    for (auto& w : words) {
+      std::vector<std::string> next;
+      next.reserve(w.pieces.size());
+      for (size_t i = 0; i < w.pieces.size();) {
+        if (i + 1 < w.pieces.size() && w.pieces[i] == best_pair.first &&
+            w.pieces[i + 1] == best_pair.second) {
+          next.push_back(merged);
+          i += 2;
+        } else {
+          next.push_back(w.pieces[i]);
+          i += 1;
+        }
+      }
+      w.pieces = std::move(next);
+    }
+  }
+  return tok;
+}
+
+Result<WordPieceTokenizer> WordPieceTokenizer::FromVocab(Vocab vocab,
+                                                         bool lower_case) {
+  WordPieceTokenizer tok;
+  tok.lower_case_ = lower_case;
+  tok.vocab_ = std::move(vocab);
+  const char* required[] = {kPad, kUnk, kCls, kSep, kMask};
+  for (const char* t : required) {
+    if (!tok.vocab_.Contains(t)) {
+      return Status::InvalidArgument(std::string("vocab missing ") + t);
+    }
+  }
+  tok.specials_.pad = tok.vocab_.TokenToId(kPad);
+  tok.specials_.unk = tok.vocab_.TokenToId(kUnk);
+  tok.specials_.cls = tok.vocab_.TokenToId(kCls);
+  tok.specials_.sep = tok.vocab_.TokenToId(kSep);
+  tok.specials_.mask = tok.vocab_.TokenToId(kMask);
+  return tok;
+}
+
+Result<WordPieceTokenizer> WordPieceTokenizer::Load(const std::string& path,
+                                                    bool lower_case) {
+  EMX_ASSIGN_OR_RETURN(Vocab vocab, Vocab::Load(path));
+  return FromVocab(std::move(vocab), lower_case);
+}
+
+std::vector<std::string> WordPieceTokenizer::TokenizeWord(
+    const std::string& word) const {
+  if (static_cast<int64_t>(word.size()) > max_word_length_) return {kUnk};
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    // Greedy longest-match-first.
+    size_t end = word.size();
+    std::string match;
+    while (end > start) {
+      std::string candidate = word.substr(start, end - start);
+      if (start > 0) candidate = std::string(kContinuation) + candidate;
+      if (vocab_.Contains(candidate)) {
+        match = std::move(candidate);
+        break;
+      }
+      --end;
+    }
+    if (match.empty()) return {kUnk};  // unsegmentable word
+    pieces.push_back(std::move(match));
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<std::string> WordPieceTokenizer::Tokenize(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (const auto& word : BasicTokenize(text, lower_case_)) {
+    for (auto& piece : TokenizeWord(word)) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string WordPieceTokenizer::Decode(const std::vector<int64_t>& ids) const {
+  std::string out;
+  for (int64_t id : ids) {
+    if (id == specials_.pad || id == specials_.cls || id == specials_.sep) {
+      continue;
+    }
+    const std::string& tok = vocab_.IdToToken(id);
+    if (StartsWith(tok, kContinuation)) {
+      out += tok.substr(2);
+    } else {
+      if (!out.empty()) out += " ";
+      out += tok;
+    }
+  }
+  return out;
+}
+
+}  // namespace tokenizers
+}  // namespace emx

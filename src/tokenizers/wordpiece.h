@@ -1,0 +1,63 @@
+#ifndef EMX_TOKENIZERS_WORDPIECE_H_
+#define EMX_TOKENIZERS_WORDPIECE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tokenizers/tokenizer.h"
+#include "util/status.h"
+
+namespace emx {
+namespace tokenizers {
+
+/// Options for training a WordPiece vocabulary.
+struct WordPieceTrainerOptions {
+  int64_t vocab_size = 4000;
+  /// Words seen fewer times than this are ignored during training.
+  int64_t min_frequency = 2;
+  /// Maximum input word length considered (longer words become [UNK]).
+  int64_t max_word_length = 48;
+  bool lower_case = true;
+};
+
+/// WordPiece tokenizer as used by BERT and DistilBERT: text is first split
+/// by whitespace and punctuation (BasicTokenize), then each word is broken
+/// into subwords by greedy longest-match-first against the vocabulary, with
+/// non-initial pieces carrying the "##" continuation prefix.
+class WordPieceTokenizer : public Tokenizer {
+ public:
+  /// Trains a vocabulary from `corpus` (one document per string) using the
+  /// WordPiece objective: repeatedly merge the pair with the highest
+  /// score = freq(pair) / (freq(left) * freq(right)).
+  static WordPieceTokenizer Train(const std::vector<std::string>& corpus,
+                                  const WordPieceTrainerOptions& options);
+
+  /// Builds a tokenizer around an existing vocabulary (must already
+  /// contain the special tokens [PAD], [UNK], [CLS], [SEP], [MASK] in the
+  /// first five slots).
+  static Result<WordPieceTokenizer> FromVocab(Vocab vocab, bool lower_case);
+
+  /// Loads a vocabulary saved with vocab().Save().
+  static Result<WordPieceTokenizer> Load(const std::string& path,
+                                         bool lower_case = true);
+
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+
+  std::string Decode(const std::vector<int64_t>& ids) const override;
+
+  /// Tokenizes one whitespace/punct-free word into pieces; returns {"[UNK]"}
+  /// when no segmentation exists.
+  std::vector<std::string> TokenizeWord(const std::string& word) const;
+
+ private:
+  WordPieceTokenizer() = default;
+
+  bool lower_case_ = true;
+  int64_t max_word_length_ = 48;
+};
+
+}  // namespace tokenizers
+}  // namespace emx
+
+#endif  // EMX_TOKENIZERS_WORDPIECE_H_

@@ -1,0 +1,120 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace emx {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Result<CsvTable> ParseCsv(const std::string& content) {
+  CsvTable table;
+  std::istringstream in(content);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && !first) continue;
+    auto fields = ParseCsvLine(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::InvalidArgument(
+            "CSV row has " + std::to_string(fields.size()) +
+            " fields, header has " + std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::InvalidArgument("CSV content is empty");
+  return table;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string FormatCsv(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += EscapeCsvField(row[i]);
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << FormatCsv(table);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace emx

@@ -1,0 +1,41 @@
+#ifndef EMX_UTIL_CSV_H_
+#define EMX_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emx {
+
+/// A parsed CSV file: a header row plus data rows. All fields are strings;
+/// typed access is the caller's concern.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses one CSV line honoring RFC-4180 quoting ("" escapes a quote).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Quotes a field if it contains a comma, quote, or newline.
+std::string EscapeCsvField(const std::string& field);
+
+/// Reads a CSV file with a header row.
+Result<CsvTable> ReadCsv(const std::string& path);
+
+/// Parses CSV content already in memory (first line is the header).
+Result<CsvTable> ParseCsv(const std::string& content);
+
+/// Writes a CSV file; returns IoError on failure.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Serializes to a CSV string.
+std::string FormatCsv(const CsvTable& table);
+
+}  // namespace emx
+
+#endif  // EMX_UTIL_CSV_H_

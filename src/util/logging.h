@@ -1,0 +1,73 @@
+#ifndef EMX_UTIL_LOGGING_H_
+#define EMX_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace emx {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; tests may lower it.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log line when it is below the active level.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace emx
+
+#define EMX_LOG(level)                                      \
+  if (::emx::LogLevel::k##level < ::emx::GetLogLevel())     \
+    ;                                                       \
+  else                                                      \
+    ::emx::internal::LogMessage(::emx::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that is active in all build modes. On failure, logs the
+/// condition and aborts: these guard programmer errors, not user input.
+#define EMX_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::emx::internal::LogMessage(::emx::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define EMX_CHECK_EQ(a, b) EMX_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define EMX_CHECK_NE(a, b) EMX_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define EMX_CHECK_LT(a, b) EMX_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define EMX_CHECK_LE(a, b) EMX_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define EMX_CHECK_GT(a, b) EMX_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define EMX_CHECK_GE(a, b) EMX_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // EMX_UTIL_LOGGING_H_

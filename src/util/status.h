@@ -1,0 +1,120 @@
+#ifndef EMX_UTIL_STATUS_H_
+#define EMX_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace emx {
+
+/// Error categories used across the library. Modeled after the
+/// Arrow/RocksDB status idiom: the library never throws; fallible
+/// operations return a Status (or a Result<T>, see below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// A Status carries a code and, for errors, a human-readable message.
+/// The OK status is cheap to construct and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+/// Use `EMX_ASSIGN_OR_RETURN` to unwrap in Status-returning functions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse,
+  /// mirroring arrow::Result.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok(). Accessing the value of an error result aborts.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace emx
+
+/// Propagates a non-OK status to the caller.
+#define EMX_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::emx::Status _emx_st = (expr);            \
+    if (!_emx_st.ok()) return _emx_st;         \
+  } while (0)
+
+#define EMX_CONCAT_IMPL_(x, y) x##y
+#define EMX_CONCAT_(x, y) EMX_CONCAT_IMPL_(x, y)
+
+/// Unwraps a Result<T> into `lhs`, or returns its error status.
+#define EMX_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto EMX_CONCAT_(_emx_result_, __LINE__) = (rexpr);           \
+  if (!EMX_CONCAT_(_emx_result_, __LINE__).ok())                \
+    return EMX_CONCAT_(_emx_result_, __LINE__).status();        \
+  lhs = std::move(EMX_CONCAT_(_emx_result_, __LINE__)).value()
+
+#endif  // EMX_UTIL_STATUS_H_

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace emx {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* GlobalThreadPool() {
+  // Function-local static pointer per the style guide: constructed once,
+  // never destroyed, so worker threads outlive all static destructors.
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ParallelFor(int64_t total, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t workers = static_cast<int64_t>(pool->num_threads());
+  if (grain < 1) grain = 1;
+  if (total <= grain || workers <= 1) {
+    fn(0, total);
+    return;
+  }
+  const int64_t num_chunks = std::min(workers, (total + grain - 1) / grain);
+  const int64_t chunk = (total + num_chunks - 1) / num_chunks;
+  // The caller's lambda runs on pool threads; it must not recursively call
+  // ParallelFor (kernels in this library do not).
+  for (int64_t begin = 0; begin < total; begin += chunk) {
+    const int64_t end = std::min(begin + chunk, total);
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace emx

@@ -1,0 +1,55 @@
+#ifndef EMX_UTIL_THREAD_POOL_H_
+#define EMX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace emx {
+
+/// A fixed-size worker pool. Tensor kernels use the process-wide pool via
+/// ParallelFor; destroying the pool joins all workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Returns the shared process-wide pool (hardware_concurrency workers).
+ThreadPool* GlobalThreadPool();
+
+/// Runs fn(begin, end) over [0, total) split into contiguous chunks across
+/// the global pool. Runs inline when total is small or the pool has a
+/// single worker. Blocks until complete.
+void ParallelFor(int64_t total, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace emx
+
+#endif  // EMX_UTIL_THREAD_POOL_H_

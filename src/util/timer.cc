@@ -1,0 +1,22 @@
+#include "util/timer.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace emx {
+
+std::string Timer::FormatDuration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  if (seconds >= 60.0) {
+    int mins = static_cast<int>(seconds) / 60;
+    int secs = static_cast<int>(std::lround(seconds)) % 60;
+    return StrFormat("%dm %ds", mins, secs);
+  }
+  if (seconds >= 10.0) {
+    return StrFormat("%ds", static_cast<int>(std::lround(seconds)));
+  }
+  return StrFormat("%.1fs", seconds);
+}
+
+}  // namespace emx

@@ -1,0 +1,35 @@
+#ifndef EMX_UTIL_TIMER_H_
+#define EMX_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace emx {
+
+/// Wall-clock stopwatch used by the fine-tuning harness for the paper's
+/// Table 6 (per-epoch training time).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Formats seconds as the paper does, e.g. "2m 42s" or "7s" or "3.5s".
+  static std::string FormatDuration(double seconds);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace emx
+
+#endif  // EMX_UTIL_TIMER_H_

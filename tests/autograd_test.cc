@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace {
+
+namespace ag = autograd;
+
+constexpr float kGradTol = 2e-2f;  // fp32 central differences
+
+// ---- Variable basics -------------------------------------------------------
+
+TEST(VariableTest, ConstantDoesNotRequireGrad) {
+  Variable v = Variable::Constant(Tensor::Ones({2}));
+  EXPECT_TRUE(v.defined());
+  EXPECT_FALSE(v.requires_grad());
+}
+
+TEST(VariableTest, ParameterRequiresGrad) {
+  Variable v = Variable::Parameter(Tensor::Ones({2}));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.grad().size(), 2);
+  EXPECT_EQ(v.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, OpOnConstantsStaysConstant) {
+  Variable a = Variable::Constant(Tensor::Ones({2}));
+  Variable b = Variable::Constant(Tensor::Ones({2}));
+  Variable c = ag::Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_EQ(c.value()[0], 2.0f);
+}
+
+TEST(VariableTest, BackwardThroughSimpleChain) {
+  // loss = mean(2 * w), dloss/dw = 2/n.
+  Variable w = Variable::Parameter(Tensor({4}, {1, 2, 3, 4}));
+  Variable loss = ag::MeanAll(ag::MulScalar(w, 2.0f));
+  Backward(loss);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.grad()[i], 0.5f, 1e-6);
+}
+
+TEST(VariableTest, GradAccumulatesWhenReused) {
+  // loss = sum(w + w) => dloss/dw = 2.
+  Variable w = Variable::Parameter(Tensor({3}, {1, 1, 1}));
+  Variable loss = ag::SumAll(ag::Add(w, w));
+  Backward(loss);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w.grad()[i], 2.0f, 1e-6);
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable w = Variable::Parameter(Tensor({2}, {1, 1}));
+  Backward(ag::SumAll(w));
+  EXPECT_EQ(w.grad()[0], 1.0f);
+  w.ZeroGrad();
+  EXPECT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, StopGradientCutsGraph) {
+  Variable w = Variable::Parameter(Tensor({2}, {1, 2}));
+  Variable cut = ag::StopGradient(ag::MulScalar(w, 3.0f));
+  EXPECT_FALSE(cut.requires_grad());
+  EXPECT_EQ(cut.value()[1], 6.0f);
+}
+
+TEST(VariableTest, DiamondGraphGradient) {
+  // y = w*w (via two branches sharing w): loss = sum(w ⊙ w), grad = 2w.
+  Variable w = Variable::Parameter(Tensor({3}, {1, 2, 3}));
+  Variable loss = ag::SumAll(ag::Mul(w, w));
+  Backward(loss);
+  EXPECT_NEAR(w.grad()[0], 2.0f, 1e-5);
+  EXPECT_NEAR(w.grad()[2], 6.0f, 1e-5);
+}
+
+// ---- Gradient checks (parameterized over op builders) ----------------------
+
+struct GradCase {
+  std::string name;
+  Shape shape;
+  std::function<Variable(const Variable&)> fn;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const auto& pc = GetParam();
+  Rng rng(20260704);
+  Tensor x = Tensor::Randn(pc.shape, &rng, 0.7f);
+  float diff = GradCheck(pc.fn, x);
+  EXPECT_LT(diff, kGradTol) << pc.name;
+}
+
+std::vector<GradCase> MakeGradCases() {
+  Rng rng(99);
+  std::vector<GradCase> cases;
+
+  cases.push_back({"mean", {3, 4}, [](const Variable& x) {
+                     return ag::MeanAll(x);
+                   }});
+  cases.push_back({"sum_scaled", {6}, [](const Variable& x) {
+                     return ag::SumAll(ag::MulScalar(x, 0.3f));
+                   }});
+  cases.push_back({"relu", {4, 4}, [](const Variable& x) {
+                     return ag::MeanAll(ag::Relu(x));
+                   }});
+  cases.push_back({"gelu", {4, 4}, [](const Variable& x) {
+                     return ag::MeanAll(ag::Gelu(x));
+                   }});
+  cases.push_back({"tanh", {4, 4}, [](const Variable& x) {
+                     return ag::MeanAll(ag::Tanh(x));
+                   }});
+  cases.push_back({"softmax", {3, 5}, [](const Variable& x) {
+                     // Weighted sum to give softmax a non-trivial gradient.
+                     Variable s = ag::Softmax(x);
+                     Variable w = Variable::Constant(
+                         Tensor({3, 5}, {1, 2, 3, 4, 5, 5, 4, 3, 2, 1, 1, 3, 5,
+                                         2, 4}));
+                     return ag::SumAll(ag::Mul(s, w));
+                   }});
+  cases.push_back({"log_softmax", {2, 6}, [](const Variable& x) {
+                     Variable s = ag::LogSoftmax(x);
+                     Variable w = Variable::Constant(
+                         Tensor({2, 6},
+                                {1, 0, 2, 0, 1, 0, 0, 2, 0, 1, 0, 2}));
+                     return ag::SumAll(ag::Mul(s, w));
+                   }});
+  {
+    Tensor mask({2, 1, 1, 4}, {0, 0, 1, 0, 1, 0, 0, 0});
+    cases.push_back({"masked_softmax", {2, 2, 3, 4}, [mask](const Variable& x) {
+                       Variable s = ag::MaskedSoftmax(x, mask);
+                       return ag::MeanAll(ag::Mul(s, s));
+                     }});
+  }
+  {
+    Tensor b = Tensor::Randn({5, 3}, &rng);
+    cases.push_back({"matmul_lhs", {4, 5}, [b](const Variable& x) {
+                       Variable bb = Variable::Constant(b);
+                       return ag::MeanAll(ag::MatMul(x, bb));
+                     }});
+    Tensor a = Tensor::Randn({4, 5}, &rng);
+    cases.push_back({"matmul_rhs", {5, 3}, [a](const Variable& x) {
+                       Variable aa = Variable::Constant(a);
+                       Variable y = ag::MatMul(aa, x);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+    Tensor bt = Tensor::Randn({3, 5}, &rng);
+    cases.push_back({"matmul_trans_b", {4, 5}, [bt](const Variable& x) {
+                       Variable bb = Variable::Constant(bt);
+                       return ag::MeanAll(ag::MatMul(x, bb, false, true));
+                     }});
+    Tensor rhs = Tensor::Randn({5, 3}, &rng);
+    cases.push_back({"matmul_trans_a", {5, 4}, [rhs](const Variable& x) {
+                       // x^T @ const, gradient w.r.t. x.
+                       Variable c = Variable::Constant(rhs);
+                       return ag::MeanAll(ag::MatMul(x, c, true, false));
+                     }});
+  }
+  {
+    Tensor b = Tensor::Randn({2, 4, 3}, &rng);
+    cases.push_back({"batched_matmul", {2, 3, 4}, [b](const Variable& x) {
+                       Variable bb = Variable::Constant(b);
+                       Variable y = ag::MatMul(x, bb);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+  }
+  cases.push_back({"reshape_permute", {2, 3, 4}, [](const Variable& x) {
+                     Variable r = ag::Reshape(x, {6, 4});
+                     Variable p = ag::Permute(ag::Reshape(r, {2, 3, 4}),
+                                              {1, 0, 2});
+                     return ag::MeanAll(ag::Mul(p, p));
+                   }});
+  {
+    Tensor bias = Tensor::Randn({4}, &rng);
+    cases.push_back({"add_bias_x", {3, 4}, [bias](const Variable& x) {
+                       Variable b = Variable::Constant(bias);
+                       Variable y = ag::AddBias(x, b);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+    Tensor xin = Tensor::Randn({3, 4}, &rng);
+    cases.push_back({"add_bias_bias", {4}, [xin](const Variable& b) {
+                       Variable x = Variable::Constant(xin);
+                       Variable y = ag::AddBias(x, b);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+  }
+  {
+    Tensor gamma = Tensor::RandUniform({6}, &rng, 0.5f, 1.5f);
+    Tensor beta = Tensor::Randn({6}, &rng, 0.1f);
+    Tensor weight = Tensor::Randn({4, 6}, &rng);
+    cases.push_back({"layernorm_x", {4, 6},
+                     [gamma, beta, weight](const Variable& x) {
+                       Variable g = Variable::Constant(gamma);
+                       Variable b = Variable::Constant(beta);
+                       Variable y = ag::LayerNorm(x, g, b);
+                       Variable w = Variable::Constant(weight);
+                       return ag::SumAll(ag::Mul(y, w));
+                     }});
+    Tensor xin = Tensor::Randn({4, 6}, &rng);
+    cases.push_back({"layernorm_gamma", {6}, [xin, beta](const Variable& g) {
+                       Variable x = Variable::Constant(xin);
+                       Variable b = Variable::Constant(beta);
+                       Variable y = ag::LayerNorm(x, g, b);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+    cases.push_back({"layernorm_beta", {6}, [xin, gamma](const Variable& b) {
+                       Variable x = Variable::Constant(xin);
+                       Variable g = Variable::Constant(gamma);
+                       Variable y = ag::LayerNorm(x, g, b);
+                       return ag::MeanAll(ag::Mul(y, y));
+                     }});
+  }
+  cases.push_back({"select_time", {2, 3, 4}, [](const Variable& x) {
+                     Variable s = ag::SelectTimeStep(x, 1);
+                     return ag::MeanAll(ag::Mul(s, s));
+                   }});
+  cases.push_back({"embedding", {5, 3}, [](const Variable& table) {
+                     Variable e =
+                         ag::EmbeddingLookup(table, {0, 2, 2, 4});
+                     return ag::MeanAll(ag::Mul(e, e));
+                   }});
+  {
+    std::vector<int64_t> targets = {0, 2, 1};
+    cases.push_back({"cross_entropy", {3, 4}, [targets](const Variable& x) {
+                       return ag::CrossEntropy(x, targets);
+                     }});
+    std::vector<int64_t> with_ignored = {0, -100, 3};
+    cases.push_back({"cross_entropy_ignore", {3, 4},
+                     [with_ignored](const Variable& x) {
+                       return ag::CrossEntropy(x, with_ignored);
+                     }});
+  }
+  {
+    Tensor soft({2, 3}, {0.7f, 0.2f, 0.1f, 0.1f, 0.1f, 0.8f});
+    cases.push_back({"soft_cross_entropy", {2, 3}, [soft](const Variable& x) {
+                       return ag::SoftCrossEntropy(x, soft);
+                     }});
+  }
+  {
+    Rng r2(31);
+    Tensor target = Tensor::Randn({3, 5}, &r2);
+    cases.push_back({"cosine_loss", {3, 5}, [target](const Variable& x) {
+                       return ag::CosineEmbeddingLoss(x, target);
+                     }});
+  }
+  cases.push_back({"concat", {2, 3}, [](const Variable& x) {
+                     Variable y = ag::MulScalar(x, 2.0f);
+                     Variable c = ag::Concat({x, y}, 1);
+                     return ag::MeanAll(ag::Mul(c, c));
+                   }});
+  cases.push_back({"sub_mul_chain", {3, 3}, [](const Variable& x) {
+                     Variable y = ag::Sub(ag::Mul(x, x), ag::AddScalar(x, 1.0f));
+                     return ag::MeanAll(y);
+                   }});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(MakeGradCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+// ---- Losses: value sanity ----------------------------------------------------
+
+TEST(LossTest, CrossEntropyPerfectPrediction) {
+  // Huge logit on the right class -> loss ~ 0.
+  Tensor logits({2, 3}, {30, 0, 0, 0, 0, 30});
+  Variable v = Variable::Parameter(logits);
+  Variable loss = ag::CrossEntropy(v, {0, 2});
+  EXPECT_NEAR(loss.value()[0], 0.0f, 1e-4);
+}
+
+TEST(LossTest, CrossEntropyUniformIsLogC) {
+  Tensor logits = Tensor::Zeros({4, 8});
+  Variable v = Variable::Parameter(logits);
+  Variable loss = ag::CrossEntropy(v, {1, 2, 3, 4});
+  EXPECT_NEAR(loss.value()[0], std::log(8.0f), 1e-5);
+}
+
+TEST(LossTest, CrossEntropyIgnoreIndexDropsRows) {
+  Tensor logits({2, 2}, {10, 0, 0, 10});
+  Variable v = Variable::Parameter(logits);
+  // Second row ignored: loss is just first row (correct) ~ 0.
+  Variable loss = ag::CrossEntropy(v, {0, -100});
+  EXPECT_NEAR(loss.value()[0], 0.0f, 1e-3);
+  Backward(loss);
+  // Ignored row receives zero gradient.
+  EXPECT_EQ(v.grad()[2], 0.0f);
+  EXPECT_EQ(v.grad()[3], 0.0f);
+}
+
+TEST(LossTest, SoftCrossEntropyMatchesHardWhenOneHot) {
+  Rng rng(41);
+  Tensor logits = Tensor::Randn({3, 4}, &rng);
+  Tensor onehot = Tensor::Zeros({3, 4});
+  onehot.At({0, 1}) = 1.0f;
+  onehot.At({1, 3}) = 1.0f;
+  onehot.At({2, 0}) = 1.0f;
+  Variable a = Variable::Parameter(logits.Clone());
+  Variable b = Variable::Parameter(logits.Clone());
+  float hard = ag::CrossEntropy(a, {1, 3, 0}).value()[0];
+  float soft = ag::SoftCrossEntropy(b, onehot).value()[0];
+  EXPECT_NEAR(hard, soft, 1e-5);
+}
+
+TEST(LossTest, CosineLossZeroForParallelVectors) {
+  Tensor t({2, 3}, {1, 2, 3, -1, 0, 2});
+  Tensor x = t.Clone();
+  x.ScaleInPlace(2.5f);  // parallel => cosine = 1 => loss = 0
+  Variable v = Variable::Parameter(x);
+  Variable loss = ag::CosineEmbeddingLoss(v, t);
+  EXPECT_NEAR(loss.value()[0], 0.0f, 1e-5);
+}
+
+TEST(LossTest, CosineLossTwoForOppositeVectors) {
+  Tensor t({1, 2}, {1, 0});
+  Tensor x({1, 2}, {-1, 0});
+  Variable v = Variable::Parameter(x);
+  EXPECT_NEAR(ag::CosineEmbeddingLoss(v, t).value()[0], 2.0f, 1e-5);
+}
+
+// ---- Dropout ------------------------------------------------------------------
+
+TEST(DropoutTest, IdentityAtEval) {
+  Rng rng(55);
+  Variable x = Variable::Parameter(Tensor::Randn({10, 10}, &rng));
+  Variable y = ag::Dropout(x, 0.5f, /*train=*/false, &rng);
+  EXPECT_TRUE(ops::AllClose(y.value(), x.value()));
+}
+
+TEST(DropoutTest, ScalesSurvivorsAtTrain) {
+  Rng rng(56);
+  Variable x = Variable::Parameter(Tensor::Ones({100, 100}));
+  Variable y = ag::Dropout(x, 0.25f, /*train=*/true, &rng);
+  int64_t zeros = 0;
+  double sum = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (y.value()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.value()[i], 1.0f / 0.75f, 1e-5);
+    }
+    sum += y.value()[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.25, 0.02);
+  EXPECT_NEAR(sum / y.size(), 1.0, 0.03);  // expectation preserved
+}
+
+TEST(DropoutTest, GradientMatchesMask) {
+  Rng rng(57);
+  Variable x = Variable::Parameter(Tensor::Ones({50}));
+  Variable y = ag::Dropout(x, 0.5f, /*train=*/true, &rng);
+  Variable loss = ag::SumAll(y);
+  Backward(loss);
+  for (int64_t i = 0; i < 50; ++i) {
+    if (y.value()[i] == 0.0f) {
+      EXPECT_EQ(x.grad()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(x.grad()[i], 2.0f, 1e-5);
+    }
+  }
+}
+
+// ---- Two-layer MLP end-to-end gradient check ------------------------------------
+
+TEST(EndToEndTest, MlpGradCheckAllParams) {
+  Rng rng(77);
+  Tensor x_in = Tensor::Randn({5, 4}, &rng);
+  Tensor w1_in = Tensor::Randn({4, 6}, &rng, 0.5f);
+  Tensor b1_in = Tensor::Zeros({6});
+  Tensor w2_in = Tensor::Randn({6, 3}, &rng, 0.5f);
+  std::vector<int64_t> targets = {0, 1, 2, 1, 0};
+
+  auto build = [&](const Variable& w1, const Variable& b1, const Variable& w2) {
+    Variable x = Variable::Constant(x_in);
+    Variable h = ag::Gelu(ag::AddBias(ag::MatMul(x, w1), b1));
+    Variable logits = ag::MatMul(h, w2);
+    return ag::CrossEntropy(logits, targets);
+  };
+
+  // Check gradient w.r.t. w1 while treating others as constants.
+  float d1 = GradCheck(
+      [&](const Variable& w1) {
+        return build(w1, Variable::Constant(b1_in), Variable::Constant(w2_in));
+      },
+      w1_in);
+  EXPECT_LT(d1, kGradTol);
+
+  float d2 = GradCheck(
+      [&](const Variable& b1) {
+        return build(Variable::Constant(w1_in), b1, Variable::Constant(w2_in));
+      },
+      b1_in);
+  EXPECT_LT(d2, kGradTol);
+
+  float d3 = GradCheck(
+      [&](const Variable& w2) {
+        return build(Variable::Constant(w1_in), Variable::Constant(b1_in), w2);
+      },
+      w2_in);
+  EXPECT_LT(d3, kGradTol);
+}
+
+TEST(EndToEndTest, TrainingReducesLoss) {
+  // A few SGD steps on a toy problem must reduce the loss.
+  Rng rng(88);
+  Tensor x_in = Tensor::Randn({8, 4}, &rng);
+  std::vector<int64_t> targets = {0, 1, 0, 1, 0, 1, 0, 1};
+  Variable w = Variable::Parameter(Tensor::Randn({4, 2}, &rng, 0.1f));
+  float first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    w.ZeroGrad();
+    Variable loss = ag::CrossEntropy(ag::MatMul(Variable::Constant(x_in), w),
+                                     targets);
+    if (step == 0) first = loss.value()[0];
+    last = loss.value()[0];
+    Backward(loss);
+    Tensor& g = w.mutable_grad();
+    Tensor& v = w.mutable_value();
+    for (int64_t i = 0; i < v.size(); ++i) v[i] -= 0.5f * g[i];
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+}  // namespace
+}  // namespace emx

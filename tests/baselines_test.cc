@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/classical_ml.h"
+#include "baselines/deepmatcher.h"
+#include "baselines/magellan.h"
+#include "baselines/similarity.h"
+#include "baselines/word2vec.h"
+#include "data/generators.h"
+#include "pretrain/corpus.h"
+#include "eval/metrics.h"
+
+namespace emx {
+namespace baselines {
+namespace {
+
+// ---- Metrics ----------------------------------------------------------
+
+TEST(MetricsTest, PerfectPredictions) {
+  auto s = eval::ComputeScores({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  EXPECT_DOUBLE_EQ(s.accuracy, 1.0);
+}
+
+TEST(MetricsTest, KnownConfusion) {
+  // TP=2, FP=1, FN=1, TN=1.
+  auto s = eval::ComputeScores({1, 1, 1, 0, 0}, {1, 1, 0, 1, 0});
+  EXPECT_NEAR(s.precision, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(s.recall, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(s.f1, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(s.accuracy, 3.0 / 5, 1e-9);
+}
+
+TEST(MetricsTest, AllNegativePredictionsZeroF1) {
+  auto s = eval::ComputeScores({0, 0, 0}, {1, 1, 0});
+  EXPECT_EQ(s.f1, 0.0);
+  EXPECT_EQ(s.precision, 0.0);
+  EXPECT_EQ(s.recall, 0.0);
+}
+
+TEST(MetricsTest, MeanStddev) {
+  auto st = eval::MeanStddev({2, 4, 4, 4, 6});
+  EXPECT_NEAR(st.mean, 4.0, 1e-9);
+  EXPECT_NEAR(st.stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_EQ(eval::MeanStddev({}).mean, 0.0);
+  EXPECT_EQ(eval::MeanStddev({5.0}).stddev, 0.0);
+}
+
+// ---- Similarity --------------------------------------------------------------
+
+TEST(SimilarityTest, Levenshtein) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_NEAR(LevenshteinSimilarity("abc", "abc"), 1.0, 1e-9);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-9);
+  EXPECT_NEAR(LevenshteinSimilarity("", ""), 1.0, 1e-9);
+}
+
+TEST(SimilarityTest, JaroKnownValues) {
+  // Classic reference values.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_EQ(JaroSimilarity("same", "same"), 1.0);
+}
+
+TEST(SimilarityTest, JaroWinklerBoostsPrefix) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+  EXPECT_GE(JaroWinklerSimilarity("prefixed", "prefixes"),
+            JaroSimilarity("prefixed", "prefixes"));
+}
+
+TEST(SimilarityTest, TokenJaccard) {
+  EXPECT_NEAR(TokenJaccard("a b c", "b c d"), 0.5, 1e-9);
+  EXPECT_NEAR(TokenJaccard("a b", "a b"), 1.0, 1e-9);
+  EXPECT_EQ(TokenJaccard("a", "b"), 0.0);
+  EXPECT_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(SimilarityTest, QGramJaccard) {
+  EXPECT_GT(QGramJaccard("iphone", "iphnoe"), 0.0);
+  EXPECT_NEAR(QGramJaccard("abc", "abc"), 1.0, 1e-9);
+  // Short strings fall back to whole-string grams.
+  EXPECT_EQ(QGramJaccard("ab", "ab"), 1.0);
+}
+
+TEST(SimilarityTest, OverlapCoefficient) {
+  // Subset: full overlap of the smaller set.
+  EXPECT_NEAR(TokenOverlapCoefficient("a b", "a b c d"), 1.0, 1e-9);
+  EXPECT_EQ(TokenOverlapCoefficient("", "a"), 0.0);
+}
+
+TEST(SimilarityTest, MongeElkan) {
+  // Token order does not matter much; abbreviations still score.
+  const double sim = MongeElkanSimilarity("john smith", "smith john");
+  EXPECT_GT(sim, 0.9);
+  EXPECT_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_EQ(MongeElkanSimilarity("a", ""), 0.0);
+}
+
+TEST(SimilarityTest, NumericSimilarity) {
+  EXPECT_NEAR(NumericSimilarity("100", "100"), 1.0, 1e-9);
+  EXPECT_NEAR(NumericSimilarity("100", "90"), 0.9, 1e-6);
+  EXPECT_EQ(NumericSimilarity("abc", "100"), 0.0);
+  EXPECT_EQ(NumericSimilarity("", ""), 0.0);
+}
+
+TEST(SimilarityTest, TfIdfCosineWeighsRareTokens) {
+  TfIdfCosine tfidf;
+  // "the" appears everywhere; "zx5" is rare and discriminative.
+  tfidf.Fit({"the red phone", "the blue phone", "the zx5 camera",
+             "the green laptop"});
+  const double rare = tfidf.Similarity("the zx5", "zx5 camera");
+  const double common = tfidf.Similarity("the red", "the blue");
+  EXPECT_GT(rare, common);
+  EXPECT_NEAR(tfidf.Similarity("same text", "same text"), 1.0, 1e-9);
+}
+
+// ---- Classical classifiers -------------------------------------------------------
+
+MlDataset MakeSeparableDataset(int64_t n, Rng* rng) {
+  // label = 1 iff feature0 + feature1 > 1.0 (with margin).
+  MlDataset d;
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = rng->NextDouble();
+    const double b = rng->NextDouble();
+    const double noise = rng->NextDouble() * 0.1 - 0.05;
+    d.features.push_back({a, b, rng->NextDouble()});  // third is noise
+    d.labels.push_back(a + b + noise > 1.0 ? 1 : 0);
+  }
+  return d;
+}
+
+class ClassifierTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BinaryClassifier> Make() {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<DecisionTree>();
+      case 1:
+        return std::make_unique<RandomForest>();
+      default:
+        return std::make_unique<LogisticRegression>();
+    }
+  }
+};
+
+TEST_P(ClassifierTest, LearnsSeparableProblem) {
+  Rng rng(23);
+  MlDataset train = MakeSeparableDataset(400, &rng);
+  MlDataset test = MakeSeparableDataset(100, &rng);
+  auto clf = Make();
+  clf->Fit(train);
+  int64_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (clf->Predict(test.features[i]) == test.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 85) << clf->name();
+}
+
+TEST_P(ClassifierTest, ProbsInUnitInterval) {
+  Rng rng(29);
+  MlDataset train = MakeSeparableDataset(100, &rng);
+  auto clf = Make();
+  clf->Fit(train);
+  for (int i = 0; i < 20; ++i) {
+    const double p = clf->PredictProb(
+        {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeForestLogReg, ClassifierTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("DecisionTree");
+                             case 1:
+                               return std::string("RandomForest");
+                             default:
+                               return std::string("LogisticRegression");
+                           }
+                         });
+
+TEST(DecisionTreeTest, PureLeafStopsSplitting) {
+  MlDataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(1);  // all positive -> single node
+  }
+  DecisionTree tree;
+  tree.Fit(d);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_GT(tree.PredictProb({5.0}), 0.8);
+}
+
+// ---- Magellan ------------------------------------------------------------------
+
+TEST(MagellanTest, FeatureVectorLayout) {
+  data::GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto ds = data::GenerateDataset(data::DatasetId::kDblpAcm, opts);
+  MagellanMatcher matcher;
+  matcher.Fit(ds);
+  EXPECT_EQ(matcher.num_features(), 4u * 9u);
+  auto f = matcher.Features(ds.test.front());
+  EXPECT_EQ(f.size(), matcher.num_features());
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MagellanTest, HighF1OnCleanCitations) {
+  // Without the dirty transform DBLP-ACM is easy for classical matching.
+  data::GeneratorOptions opts;
+  opts.scale = 0.06;
+  opts.apply_dirty = false;
+  auto ds = data::GenerateDataset(data::DatasetId::kDblpAcm, opts);
+  MagellanMatcher matcher;
+  matcher.Fit(ds);
+  auto scores = matcher.EvaluateTest(ds);
+  EXPECT_GT(scores.f1, 0.85) << "selected: " << matcher.selected_classifier();
+}
+
+TEST(MagellanTest, DirtyDataHurts) {
+  data::GeneratorOptions opts;
+  opts.scale = 0.05;
+  opts.seed = 77;
+  opts.apply_dirty = false;
+  auto clean = data::GenerateDataset(data::DatasetId::kWalmartAmazon, opts);
+  opts.apply_dirty = true;
+  auto dirty = data::GenerateDataset(data::DatasetId::kWalmartAmazon, opts);
+
+  MagellanMatcher m1, m2;
+  m1.Fit(clean);
+  m2.Fit(dirty);
+  const double f1_clean = m1.EvaluateTest(clean).f1;
+  const double f1_dirty = m2.EvaluateTest(dirty).f1;
+  EXPECT_GT(f1_clean, f1_dirty);
+}
+
+TEST(MagellanTest, SelectsSomeClassifier) {
+  data::GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto ds = data::GenerateDataset(data::DatasetId::kItunesAmazon, opts);
+  MagellanMatcher matcher;
+  matcher.Fit(ds);
+  EXPECT_FALSE(matcher.selected_classifier().empty());
+  auto preds = matcher.Predict(ds.test);
+  EXPECT_EQ(preds.size(), ds.test.size());
+}
+
+// ---- Word2Vec ----------------------------------------------------------------
+
+TEST(Word2VecTest, VocabularyAndSpecials) {
+  std::vector<std::string> corpus = {
+      "red phone with camera", "blue phone with display",
+      "red camera with lens",  "blue display with stand"};
+  Word2VecOptions opts;
+  opts.min_count = 1;
+  opts.epochs = 2;
+  opts.dim = 8;
+  Word2Vec w2v = Word2Vec::Train(corpus, opts);
+  EXPECT_GE(w2v.WordId("phone"), 2);
+  EXPECT_LT(w2v.WordId("phone"), w2v.num_learned_words());
+  EXPECT_EQ(w2v.embeddings().dim(0), w2v.vocab_size());
+  EXPECT_EQ(w2v.vocab_size(), w2v.num_learned_words() + opts.hash_buckets);
+  // <pad> embedding is zero.
+  for (int64_t d = 0; d < 8; ++d) {
+    EXPECT_EQ(w2v.embeddings()[Word2Vec::kPadId * 8 + d], 0.0f);
+  }
+}
+
+TEST(Word2VecTest, OovHashBucketsAreStableAndDistinct) {
+  Word2VecOptions opts;
+  opts.min_count = 1;
+  opts.epochs = 1;
+  opts.dim = 8;
+  Word2Vec w2v = Word2Vec::Train({"alpha beta"}, opts);
+  // OOV words map to buckets past the learned vocabulary, deterministically.
+  const int64_t a1 = w2v.WordId("zx551kl");
+  const int64_t a2 = w2v.WordId("zx551kl");
+  const int64_t b = w2v.WordId("zx591kl");
+  EXPECT_EQ(a1, a2);
+  EXPECT_GE(a1, w2v.num_learned_words());
+  EXPECT_NE(a1, b);  // different strings hash to different buckets (w.h.p.)
+  // Bucket vectors are non-zero so identity comparisons carry signal.
+  float norm = 0;
+  for (int64_t d = 0; d < 8; ++d) {
+    const float v = w2v.embeddings()[a1 * 8 + d];
+    norm += v * v;
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(Word2VecTest, EncodeLowercasesAndMapsUnk) {
+  std::vector<std::string> corpus = {"alpha beta gamma", "alpha beta delta"};
+  Word2VecOptions opts;
+  opts.min_count = 1;
+  opts.epochs = 1;
+  opts.dim = 4;
+  Word2Vec w2v = Word2Vec::Train(corpus, opts);
+  auto ids = w2v.Encode("ALPHA zzz");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], w2v.WordId("alpha"));
+  // OOV words land in the hash-bucket range (fastText-like behaviour).
+  EXPECT_GE(ids[1], w2v.num_learned_words());
+}
+
+TEST(Word2VecTest, CooccurringWordsMoreSimilar) {
+  // Build a corpus where (sun, moon) co-occur and (sun, gearbox) never do.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 150; ++i) {
+    corpus.push_back("the sun and the moon shine bright at night");
+    corpus.push_back("a gearbox and a clutch drive the metal machine");
+  }
+  Word2VecOptions opts;
+  opts.min_count = 2;
+  opts.epochs = 3;
+  opts.dim = 16;
+  Word2Vec w2v = Word2Vec::Train(corpus, opts);
+  EXPECT_GT(w2v.Similarity("sun", "moon"), w2v.Similarity("sun", "gearbox"));
+}
+
+// ---- DeepMatcher ----------------------------------------------------------------
+
+TEST(DeepMatcherTest, EncodePadsAndTruncates) {
+  Word2VecOptions wopts;
+  wopts.min_count = 1;
+  wopts.epochs = 1;
+  wopts.dim = 8;
+  Word2Vec w2v = Word2Vec::Train({"one two three"}, wopts);
+  DeepMatcherOptions opts;
+  opts.max_tokens = 5;
+  DeepMatcherModel model(w2v, opts);
+  auto short_ids = model.EncodeEntity("one two");
+  ASSERT_EQ(short_ids.size(), 5u);
+  EXPECT_EQ(short_ids[2], Word2Vec::kPadId);
+  auto long_ids = model.EncodeEntity("one two three one two three one");
+  EXPECT_EQ(long_ids.size(), 5u);
+}
+
+TEST(DeepMatcherTest, LearnsSmallEmTask) {
+  // Citations: the workload DeepMatcher handles best (cf. the paper's
+  // Table 5, where it reaches 93-98 F1 on the DBLP datasets).
+  data::GeneratorOptions gopts;
+  gopts.scale = 0.04;
+  gopts.seed = 5;
+  auto ds = data::GenerateDataset(data::DatasetId::kDblpAcm, gopts);
+
+  // Word2vec on generic domain text (stand-in for fastText).
+  pretrain::CorpusOptions copts;
+  copts.num_documents = 1500;
+  auto corpus = pretrain::FlattenCorpus(pretrain::GenerateCorpus(copts));
+  Word2VecOptions wopts;
+  wopts.min_count = 2;
+  wopts.epochs = 3;
+  wopts.dim = 32;
+  Word2Vec w2v = Word2Vec::Train(corpus, wopts);
+
+  DeepMatcherOptions opts;
+  opts.hidden = 32;
+  opts.max_tokens = 28;
+  opts.epochs = 12;
+  opts.learning_rate = 2e-3f;
+  DeepMatcherModel model(w2v, opts);
+  model.Fit(ds);
+  auto scores = model.EvaluateTest(ds);
+  EXPECT_GT(scores.f1, 0.6);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace emx

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/blocking.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+
+namespace emx {
+namespace data {
+namespace {
+
+// ---- Dataset save/load --------------------------------------------------
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  GeneratorOptions opts;
+  opts.scale = 0.01;
+  auto ds = GenerateDataset(DatasetId::kWalmartAmazon, opts);
+
+  const std::string dir = "/tmp/emx_dataset_io_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const EmDataset& l = loaded.value();
+  EXPECT_EQ(l.name, ds.name);
+  EXPECT_EQ(l.id, ds.id);
+  EXPECT_EQ(l.serialize_only_attribute, ds.serialize_only_attribute);
+  EXPECT_EQ(l.schema.attributes, ds.schema.attributes);
+  ASSERT_EQ(l.train.size(), ds.train.size());
+  ASSERT_EQ(l.valid.size(), ds.valid.size());
+  ASSERT_EQ(l.test.size(), ds.test.size());
+  for (size_t i = 0; i < ds.train.size(); ++i) {
+    EXPECT_EQ(l.train[i].label, ds.train[i].label);
+    EXPECT_EQ(l.train[i].a.values, ds.train[i].a.values);
+    EXPECT_EQ(l.train[i].b.values, ds.train[i].b.values);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, AbtBuyKeepsSerializeOnlyAttribute) {
+  GeneratorOptions opts;
+  opts.scale = 0.005;
+  auto ds = GenerateDataset(DatasetId::kAbtBuy, opts);
+  const std::string dir = "/tmp/emx_dataset_io_test2";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().serialize_only_attribute, 1);
+  // Serialized text agrees with the original after a round trip.
+  EXPECT_EQ(loaded.value().SerializeA(loaded.value().train[0]),
+            ds.SerializeA(ds.train[0]));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadMissingDirectoryFails) {
+  auto r = LoadDataset("/nonexistent/emx_dataset");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetIoTest, LoadRejectsCorruptLabel) {
+  const std::string dir = "/tmp/emx_dataset_io_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream meta(dir + "/metadata.csv");
+    meta << "name,dataset_id,serialize_only_attribute\nX,0,-1\n";
+    std::ofstream t(dir + "/train.csv");
+    t << "label,left_a,right_a\n7,foo,bar\n";  // label 7 invalid
+    std::ofstream v(dir + "/valid.csv");
+    v << "label,left_a,right_a\n";
+    std::ofstream te(dir + "/test.csv");
+    te << "label,left_a,right_a\n";
+  }
+  auto r = LoadDataset(dir);
+  EXPECT_FALSE(r.ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Blocking -------------------------------------------------------------
+
+Schema ProductSchema() {
+  Schema s;
+  s.attributes = {"title"};
+  return s;
+}
+
+Record Rec(const std::string& title) {
+  Record r;
+  r.values = {title};
+  return r;
+}
+
+TEST(BlockingTest, SharedRareTokensBecomeCandidates) {
+  TokenBlocker blocker;
+  Schema schema = ProductSchema();
+  std::vector<Record> right = {
+      Rec("apple iphone zx55 silver"), Rec("asus zenfone k110 black"),
+      Rec("sony camera q9 compact"), Rec("apple ipad m33 gold")};
+  blocker.IndexRight(schema, right);
+  EXPECT_EQ(blocker.indexed_size(), 4);
+
+  std::vector<Record> left = {Rec("iphone zx55 by apple"),
+                              Rec("zenfone k110 asus phone")};
+  auto cands = blocker.Candidates(schema, left);
+  // Left 0 must match right 0, left 1 must match right 1.
+  bool found00 = false, found11 = false;
+  for (auto& [l, r] : cands) {
+    if (l == 0 && r == 0) found00 = true;
+    if (l == 1 && r == 1) found11 = true;
+    // No cross-brand nonsense with >= 2 shared rare tokens.
+    EXPECT_FALSE(l == 0 && r == 2);
+    EXPECT_FALSE(l == 1 && r == 2);
+  }
+  EXPECT_TRUE(found00);
+  EXPECT_TRUE(found11);
+}
+
+TEST(BlockingTest, CommonTokensAreNotBlockingKeys) {
+  TokenBlocker blocker;
+  Schema schema = ProductSchema();
+  // "the" appears in every record: must not produce candidates by itself.
+  std::vector<Record> right = {Rec("the alpha one"), Rec("the beta two"),
+                               Rec("the gamma three"), Rec("the delta four"),
+                               Rec("the epsilon five")};
+  blocker.IndexRight(schema, right);
+  std::vector<Record> left = {Rec("the omega six")};
+  auto cands = blocker.Candidates(schema, left);
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(BlockingTest, MaxCandidatesPerRecordRespected) {
+  BlockerOptions opts;
+  opts.min_shared_tokens = 1;
+  opts.max_candidates_per_record = 2;
+  opts.max_token_frequency = 1.0;
+  TokenBlocker blocker(opts);
+  Schema schema = ProductSchema();
+  std::vector<Record> right;
+  for (int i = 0; i < 6; ++i) {
+    right.push_back(Rec("shared token" + std::to_string(i)));
+  }
+  blocker.IndexRight(schema, right);
+  auto cands = blocker.Candidates(schema, {Rec("shared thing")});
+  EXPECT_LE(cands.size(), 2u);
+}
+
+TEST(BlockingTest, RecallOnGeneratedMatches) {
+  // Blocking must retain the true matches of a generated dataset: index
+  // the B sides of the matched pairs, query with the A sides, and check
+  // that most (a, b) truths survive.
+  GeneratorOptions gopts;
+  gopts.scale = 0.02;
+  auto ds = GenerateDataset(DatasetId::kDblpAcm, gopts);
+  std::vector<Record> lefts, rights;
+  for (const auto& p : ds.train) {
+    if (p.label == 1) {
+      lefts.push_back(p.a);
+      rights.push_back(p.b);
+    }
+  }
+  ASSERT_GT(lefts.size(), 10u);
+  BlockerOptions opts;
+  opts.min_shared_tokens = 2;
+  opts.max_candidates_per_record = 10;
+  TokenBlocker blocker(opts);
+  blocker.IndexRight(ds.schema, rights);
+  auto cands = blocker.Candidates(ds.schema, lefts);
+  int64_t hits = 0;
+  for (auto& [l, r] : cands) {
+    if (l == r) ++hits;  // the i-th left truly matches the i-th right
+  }
+  const double recall = static_cast<double>(hits) / static_cast<double>(lefts.size());
+  EXPECT_GT(recall, 0.8);
+  // And it prunes the cross product substantially.
+  const double ratio = TokenBlocker::ReductionRatio(
+      static_cast<int64_t>(cands.size()), static_cast<int64_t>(lefts.size()),
+      static_cast<int64_t>(rights.size()));
+  EXPECT_LT(ratio, 0.5);
+}
+
+TEST(BlockingTest, ReductionRatioEdgeCases) {
+  EXPECT_EQ(TokenBlocker::ReductionRatio(0, 0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(TokenBlocker::ReductionRatio(5, 10, 10), 0.05);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/generators.h"
+#include "data/noise.h"
+#include "data/pools.h"
+#include "data/record.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emx {
+namespace data {
+namespace {
+
+// ---- Schema / record ----------------------------------------------------
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s;
+  s.attributes = {"title", "brand", "price"};
+  EXPECT_EQ(s.Index("brand"), 1);
+  EXPECT_EQ(s.Index("missing"), -1);
+  EXPECT_EQ(s.size(), 3);
+}
+
+TEST(SerializeRecordTest, ConcatenatesNonEmpty) {
+  Schema s;
+  s.attributes = {"title", "brand", "price"};
+  Record r;
+  r.values = {"iphone xs", "", "899.99"};
+  EXPECT_EQ(SerializeRecord(s, r), "iphone xs 899.99");
+}
+
+TEST(SerializeRecordTest, OnlyAttribute) {
+  Schema s;
+  s.attributes = {"name", "description", "price"};
+  Record r;
+  r.values = {"name here", "the description", "10"};
+  EXPECT_EQ(SerializeRecord(s, r, 1), "the description");
+}
+
+// ---- Specs (Table 3) -------------------------------------------------------
+
+TEST(SpecTest, Table3Reproduced) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_STREQ(SpecFor(DatasetId::kAbtBuy).name, "Abt-Buy");
+  EXPECT_EQ(SpecFor(DatasetId::kAbtBuy).size, 9575);
+  EXPECT_EQ(SpecFor(DatasetId::kAbtBuy).num_matches, 1028);
+  EXPECT_EQ(SpecFor(DatasetId::kAbtBuy).num_attrs, 3);
+  EXPECT_EQ(SpecFor(DatasetId::kItunesAmazon).size, 539);
+  EXPECT_EQ(SpecFor(DatasetId::kItunesAmazon).num_matches, 132);
+  EXPECT_EQ(SpecFor(DatasetId::kItunesAmazon).num_attrs, 8);
+  EXPECT_EQ(SpecFor(DatasetId::kWalmartAmazon).size, 10242);
+  EXPECT_EQ(SpecFor(DatasetId::kWalmartAmazon).num_matches, 962);
+  EXPECT_EQ(SpecFor(DatasetId::kDblpAcm).size, 12363);
+  EXPECT_EQ(SpecFor(DatasetId::kDblpAcm).num_matches, 2220);
+  EXPECT_EQ(SpecFor(DatasetId::kDblpScholar).size, 28707);
+  EXPECT_EQ(SpecFor(DatasetId::kDblpScholar).num_matches, 5347);
+}
+
+// ---- Noise ---------------------------------------------------------------
+
+TEST(NoiseTest, TypoChangesWord) {
+  Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (Typo("keyboard", &rng) != "keyboard") ++changed;
+  }
+  EXPECT_GT(changed, 40);
+  EXPECT_EQ(Typo("ab", &rng), "ab");  // too short
+}
+
+TEST(NoiseTest, AbbreviateName) {
+  EXPECT_EQ(AbbreviateName("john smith"), "j. smith");
+  EXPECT_EQ(AbbreviateName("anna maria garcia"), "a. m. garcia");
+  EXPECT_EQ(AbbreviateName("cher"), "cher");
+}
+
+TEST(NoiseTest, DropTokensKeepsAtLeastOne) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = DropTokens("a b c", 0.99, &rng);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(NoiseTest, PerturbPriceWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    float v = 0;
+    ASSERT_TRUE(ParseFloat(PerturbPrice(100.0, 0.05, &rng), &v));
+    EXPECT_GE(v, 94.9f);
+    EXPECT_LE(v, 105.1f);
+  }
+}
+
+TEST(NoiseTest, ModelNumbers) {
+  Rng rng(4);
+  std::set<std::string> models;
+  for (int i = 0; i < 100; ++i) {
+    std::string m = RandomModelNumber(&rng);
+    EXPECT_GE(m.size(), 4u);
+    models.insert(m);
+  }
+  EXPECT_GT(models.size(), 95u);  // essentially all distinct
+
+  std::string base = RandomModelNumber(&rng);
+  for (int i = 0; i < 20; ++i) {
+    std::string sib = SimilarModelNumber(base, &rng);
+    EXPECT_NE(sib, base);
+    // Close in length.
+    EXPECT_LE(std::abs(static_cast<int>(sib.size()) -
+                       static_cast<int>(base.size())),
+              1);
+  }
+}
+
+// ---- Dirty transform ----------------------------------------------------------
+
+TEST(DirtyTransformTest, MovesValuesIntoTitle) {
+  Rng rng(5);
+  Record r;
+  r.values = {"title", "brandx", "modely", "9.99"};
+  // p = 1: everything moves.
+  ApplyDirtyTransform(&r, 0, 1.0, &rng);
+  EXPECT_EQ(r.values[0], "title brandx modely 9.99");
+  EXPECT_TRUE(r.values[1].empty());
+  EXPECT_TRUE(r.values[2].empty());
+  EXPECT_TRUE(r.values[3].empty());
+}
+
+TEST(DirtyTransformTest, PZeroIsIdentity) {
+  Rng rng(6);
+  Record r;
+  r.values = {"title", "brandx", "modely"};
+  ApplyDirtyTransform(&r, 0, 0.0, &rng);
+  EXPECT_EQ(r.values[0], "title");
+  EXPECT_EQ(r.values[1], "brandx");
+}
+
+TEST(DirtyTransformTest, HalfProbabilityMovesAboutHalf) {
+  Rng rng(7);
+  int moved = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    Record r;
+    r.values = {"t", "a", "b", "c", "d"};
+    ApplyDirtyTransform(&r, 0, 0.5, &rng);
+    for (size_t j = 1; j < r.values.size(); ++j) {
+      ++total;
+      if (r.values[j].empty()) ++moved;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / total, 0.5, 0.05);
+}
+
+// ---- Generators (parameterized over all five datasets) -------------------------
+
+class GeneratorTest : public ::testing::TestWithParam<DatasetId> {
+ protected:
+  static EmDataset Generate(DatasetId id) {
+    GeneratorOptions opts;
+    opts.scale = id == DatasetId::kItunesAmazon ? 1.0 : 0.05;
+    opts.seed = 42;
+    return GenerateDataset(id, opts);
+  }
+};
+
+TEST_P(GeneratorTest, SizesMatchScaledSpec) {
+  const DatasetSpec& spec = SpecFor(GetParam());
+  GeneratorOptions opts;
+  opts.scale = GetParam() == DatasetId::kItunesAmazon ? 1.0 : 0.05;
+  EmDataset ds = GenerateDataset(GetParam(), opts);
+  const int64_t expect_pairs =
+      std::max<int64_t>(10, std::llround(spec.size * opts.scale));
+  const int64_t expect_matches =
+      std::max<int64_t>(3, std::llround(spec.num_matches * opts.scale));
+  EXPECT_EQ(ds.TotalPairs(), expect_pairs);
+  EXPECT_EQ(ds.TotalMatches(), expect_matches);
+  EXPECT_EQ(ds.schema.size(), spec.num_attrs);
+}
+
+TEST_P(GeneratorTest, SplitIsThreeOneOne) {
+  EmDataset ds = Generate(GetParam());
+  const double n = static_cast<double>(ds.TotalPairs());
+  EXPECT_NEAR(ds.train.size() / n, 0.6, 0.02);
+  EXPECT_NEAR(ds.valid.size() / n, 0.2, 0.02);
+  EXPECT_NEAR(ds.test.size() / n, 0.2, 0.02);
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  EmDataset a = Generate(GetParam());
+  EmDataset b = Generate(GetParam());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < std::min<size_t>(a.train.size(), 25); ++i) {
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+    EXPECT_EQ(a.train[i].a.values, b.train[i].a.values);
+    EXPECT_EQ(a.train[i].b.values, b.train[i].b.values);
+  }
+}
+
+TEST_P(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions o1, o2;
+  o1.scale = o2.scale = 0.02;
+  o1.seed = 1;
+  o2.seed = 2;
+  EmDataset a = GenerateDataset(GetParam(), o1);
+  EmDataset b = GenerateDataset(GetParam(), o2);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.train.size(), b.train.size()); ++i) {
+    if (a.train[i].a.values != b.train[i].a.values) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(GeneratorTest, RecordsMatchSchemaWidth) {
+  EmDataset ds = Generate(GetParam());
+  for (const auto* split : {&ds.train, &ds.valid, &ds.test}) {
+    for (const auto& p : *split) {
+      EXPECT_EQ(static_cast<int64_t>(p.a.values.size()), ds.schema.size());
+      EXPECT_EQ(static_cast<int64_t>(p.b.values.size()), ds.schema.size());
+    }
+  }
+}
+
+TEST_P(GeneratorTest, SerializedTextNonEmpty) {
+  EmDataset ds = Generate(GetParam());
+  for (size_t i = 0; i < std::min<size_t>(ds.train.size(), 50); ++i) {
+    EXPECT_FALSE(ds.SerializeA(ds.train[i]).empty());
+    EXPECT_FALSE(ds.SerializeB(ds.train[i]).empty());
+  }
+}
+
+TEST_P(GeneratorTest, MatchesShareDiscriminativeContent) {
+  // A matched pair's serialized views must share clearly more tokens than a
+  // random non-matched pair on average (otherwise the task is unlearnable).
+  EmDataset ds = Generate(GetParam());
+  auto token_overlap = [](const std::string& x, const std::string& y) {
+    auto xt = SplitWhitespace(x);
+    auto yt = SplitWhitespace(y);
+    std::set<std::string> xs(xt.begin(), xt.end());
+    std::set<std::string> ys(yt.begin(), yt.end());
+    int64_t inter = 0;
+    for (const auto& t : xs) inter += ys.count(t);
+    const size_t uni = xs.size() + ys.size() - static_cast<size_t>(inter);
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  };
+  double match_sim = 0, nonmatch_sim = 0;
+  int64_t n_match = 0, n_non = 0;
+  for (const auto& p : ds.train) {
+    const double sim = token_overlap(ds.SerializeA(p), ds.SerializeB(p));
+    if (p.label == 1) {
+      match_sim += sim;
+      ++n_match;
+    } else {
+      nonmatch_sim += sim;
+      ++n_non;
+    }
+  }
+  ASSERT_GT(n_match, 0);
+  ASSERT_GT(n_non, 0);
+  EXPECT_GT(match_sim / n_match, nonmatch_sim / n_non);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GeneratorTest,
+    ::testing::Values(DatasetId::kAbtBuy, DatasetId::kItunesAmazon,
+                      DatasetId::kWalmartAmazon, DatasetId::kDblpAcm,
+                      DatasetId::kDblpScholar),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      std::string name = SpecFor(info.param).name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(GeneratorTest, DirtyTransformCanBeDisabled) {
+  GeneratorOptions opts;
+  opts.scale = 0.05;
+  opts.apply_dirty = false;
+  EmDataset clean = GenerateDataset(DatasetId::kWalmartAmazon, opts);
+  // With the dirty transform disabled, no non-title attribute of any record
+  // should be empty-but-present-in-title... simplest check: modelno column
+  // (index 3) is never empty in the clean version.
+  int64_t empty_model = 0;
+  for (const auto& p : clean.train) {
+    if (p.a.values[3].empty()) ++empty_model;
+  }
+  EXPECT_EQ(empty_model, 0);
+
+  opts.apply_dirty = true;
+  EmDataset dirty = GenerateDataset(DatasetId::kWalmartAmazon, opts);
+  empty_model = 0;
+  for (const auto& p : dirty.train) {
+    if (p.a.values[3].empty()) ++empty_model;
+  }
+  // About half the records moved modelno into the title.
+  EXPECT_GT(empty_model, static_cast<int64_t>(dirty.train.size() / 4));
+}
+
+TEST(GeneratorTest, AbtBuySerializesOnlyDescription) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  EmDataset ds = GenerateDataset(DatasetId::kAbtBuy, opts);
+  EXPECT_EQ(ds.serialize_only_attribute, 1);
+  // Serialized text equals the description attribute alone.
+  const auto& p = ds.train.front();
+  EXPECT_EQ(ds.SerializeA(p), p.a.values[1]);
+}
+
+TEST(GeneratorTest, ItunesIsTinyAtFullScale) {
+  GeneratorOptions opts;  // scale = 1
+  EmDataset ds = GenerateDataset(DatasetId::kItunesAmazon, opts);
+  EXPECT_EQ(ds.TotalPairs(), 539);
+  EXPECT_EQ(ds.TotalMatches(), 132);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace emx

@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/classifier.h"
+#include "models/config.h"
+#include "models/encoder.h"
+#include "models/transformer.h"
+#include "models/xlnet.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace models {
+namespace {
+
+namespace ag = autograd;
+
+TransformerConfig SmallConfig(Architecture arch) {
+  TransformerConfig cfg = TransformerConfig::Scaled(arch, /*vocab_size=*/50);
+  cfg.hidden = 16;
+  cfg.num_layers = 2;
+  cfg.num_heads = 2;
+  cfg.intermediate = 32;
+  cfg.max_seq_len = 16;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+Batch MakeBatch(int64_t b, int64_t t, Rng* rng, int64_t vocab = 50) {
+  Batch batch;
+  batch.batch_size = b;
+  batch.seq_len = t;
+  for (int64_t i = 0; i < b * t; ++i) {
+    batch.ids.push_back(rng->NextInt(5, vocab - 1));
+    batch.segment_ids.push_back(i % t < t / 2 ? 0 : 1);
+  }
+  batch.attention_mask = Tensor({b, 1, 1, t});  // nothing masked
+  return batch;
+}
+
+// ---- Config ------------------------------------------------------------
+
+TEST(ConfigTest, ScaledPresetsMatchPaperDeltas) {
+  auto bert = TransformerConfig::Scaled(Architecture::kBert, 1000);
+  auto roberta = TransformerConfig::Scaled(Architecture::kRoberta, 1000);
+  auto distil = TransformerConfig::Scaled(Architecture::kDistilBert, 1000);
+  auto xlnet = TransformerConfig::Scaled(Architecture::kXlnet, 1000);
+
+  // DistilBERT halves BERT's layers and removes pooler + token types.
+  EXPECT_EQ(distil.num_layers, bert.num_layers / 2);
+  EXPECT_FALSE(distil.use_pooler);
+  EXPECT_EQ(distil.type_vocab_size, 0);
+  // RoBERTa drops NSP and uses dynamic masking.
+  EXPECT_TRUE(bert.use_nsp_head);
+  EXPECT_FALSE(roberta.use_nsp_head);
+  EXPECT_TRUE(roberta.dynamic_masking);
+  EXPECT_FALSE(bert.dynamic_masking);
+  // XLNet keeps BERT depth.
+  EXPECT_EQ(xlnet.num_layers, bert.num_layers);
+}
+
+TEST(ConfigTest, PaperScaleTable4) {
+  auto entries = PaperScaleConfigs();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_STREQ(entries[0].name, "BERT");
+  EXPECT_EQ(entries[0].layers, 12);
+  EXPECT_EQ(entries[3].layers, 6);  // DistilBERT
+  EXPECT_STREQ(entries[3].params, "66M");
+}
+
+TEST(ConfigTest, ArchitectureNames) {
+  EXPECT_STREQ(ArchitectureName(Architecture::kBert), "BERT");
+  EXPECT_STREQ(ArchitectureName(Architecture::kXlnet), "XLNet");
+}
+
+// ---- EncoderModel (BERT family) ---------------------------------------------
+
+TEST(EncoderModelTest, OutputShape) {
+  Rng rng(1);
+  EncoderModel model(SmallConfig(Architecture::kBert), &rng);
+  Batch batch = MakeBatch(3, 8, &rng);
+  Variable h = model.EncodeBatch(batch, false, &rng);
+  EXPECT_EQ(h.shape(), (Shape{3, 8, 16}));
+  Variable pooled = model.PooledOutput(h, false, &rng);
+  EXPECT_EQ(pooled.shape(), (Shape{3, 16}));
+  Variable mlm = model.MlmLogits(h, false, &rng);
+  EXPECT_EQ(mlm.shape(), (Shape{24, 50}));
+  Variable nsp = model.NspLogits(pooled, false, &rng);
+  EXPECT_EQ(nsp.shape(), (Shape{3, 2}));
+}
+
+TEST(EncoderModelTest, RobertaHasNoSegmentParams) {
+  Rng rng(2);
+  EncoderModel bert(SmallConfig(Architecture::kBert), &rng);
+  EncoderModel roberta(SmallConfig(Architecture::kRoberta), &rng);
+  bool bert_has_seg = false, roberta_has_seg = false;
+  for (auto& p : bert.Parameters()) {
+    if (p.name.find("seg_emb") != std::string::npos) bert_has_seg = true;
+  }
+  for (auto& p : roberta.Parameters()) {
+    if (p.name.find("seg_emb") != std::string::npos) roberta_has_seg = true;
+  }
+  EXPECT_TRUE(bert_has_seg);
+  EXPECT_FALSE(roberta_has_seg);
+}
+
+TEST(EncoderModelTest, DistilBertSmallerThanBert) {
+  Rng rng(3);
+  EncoderModel bert(SmallConfig(Architecture::kBert), &rng);
+  EncoderModel distil(SmallConfig(Architecture::kDistilBert), &rng);
+  EXPECT_LT(distil.NumParameters(), bert.NumParameters());
+}
+
+TEST(EncoderModelTest, PaddingMaskMakesPaddingIrrelevant) {
+  // Changing token ids at masked (padded) positions must not change the
+  // CLS representation.
+  Rng rng(4);
+  TransformerConfig cfg = SmallConfig(Architecture::kBert);
+  EncoderModel model(cfg, &rng);
+  Batch batch = MakeBatch(1, 8, &rng);
+  // Mask last 3 positions.
+  for (int64_t j = 5; j < 8; ++j) batch.attention_mask.At({0, 0, 0, j}) = 1.0f;
+
+  Variable h1 = model.EncodeBatch(batch, false, &rng);
+  Tensor cls1 = ops::SelectTimeStep(h1.value(), 0);
+
+  Batch batch2 = batch;
+  batch2.ids = batch.ids;
+  batch2.ids[6] = (batch2.ids[6] + 7) % 45 + 5;
+  batch2.ids[7] = (batch2.ids[7] + 13) % 45 + 5;
+  Variable h2 = model.EncodeBatch(batch2, false, &rng);
+  Tensor cls2 = ops::SelectTimeStep(h2.value(), 0);
+  EXPECT_TRUE(ops::AllClose(cls1, cls2, 1e-5f));
+}
+
+TEST(EncoderModelTest, SegmentIdsChangeOutput) {
+  Rng rng(5);
+  EncoderModel model(SmallConfig(Architecture::kBert), &rng);
+  Batch batch = MakeBatch(1, 8, &rng);
+  Variable h1 = model.EncodeBatch(batch, false, &rng);
+  Batch batch2 = batch;
+  batch2.segment_ids.assign(batch.segment_ids.size(), 1);
+  Variable h2 = model.EncodeBatch(batch2, false, &rng);
+  EXPECT_FALSE(ops::AllClose(h1.value(), h2.value(), 1e-5f));
+}
+
+TEST(EncoderModelTest, DeterministicAtEval) {
+  Rng rng(6);
+  EncoderModel model(SmallConfig(Architecture::kBert), &rng);
+  Batch batch = MakeBatch(2, 6, &rng);
+  Rng r1(9), r2(9);
+  Variable a = model.EncodeBatch(batch, false, &r1);
+  Variable b = model.EncodeBatch(batch, false, &r2);
+  EXPECT_TRUE(ops::AllClose(a.value(), b.value()));
+}
+
+// ---- XLNet --------------------------------------------------------------------
+
+TEST(XlnetTest, RelativeSinusoidShapeAndSymmetry) {
+  Tensor r = XlnetModel::RelativeSinusoid(5, 8);
+  EXPECT_EQ(r.shape(), (Shape{9, 8}));
+  // Distance 0 row (p = 4): sin(0)=0, cos(0)=1.
+  EXPECT_NEAR(r.At({4, 0}), 0.0f, 1e-6);
+  EXPECT_NEAR(r.At({4, 1}), 1.0f, 1e-6);
+  // sin is odd in distance: row p and row 2T-2-p mirror.
+  EXPECT_NEAR(r.At({0, 0}), -r.At({8, 0}), 1e-5);
+  // cos is even.
+  EXPECT_NEAR(r.At({0, 1}), r.At({8, 1}), 1e-5);
+}
+
+TEST(XlnetTest, RelativeShiftGathersCorrectDiagonals) {
+  // bd[0,0,i,p] = p, then out[0,0,i,j] = (T-1) - i + j.
+  const int64_t t = 4;
+  Tensor bd({1, 1, t, 2 * t - 1});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t p = 0; p < 2 * t - 1; ++p) {
+      bd.At({0, 0, i, p}) = static_cast<float>(p);
+    }
+  }
+  Variable out = RelativeShift(Variable::Constant(bd), t);
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      EXPECT_EQ(out.value().At({0, 0, i, j}), static_cast<float>(t - 1 - i + j));
+    }
+  }
+}
+
+TEST(XlnetTest, RelativeShiftGradCheck) {
+  Rng rng(7);
+  const int64_t t = 3;
+  Tensor x = Tensor::Randn({1, 2, t, 2 * t - 1}, &rng);
+  float diff = GradCheck(
+      [t](const Variable& v) {
+        Variable s = RelativeShift(v, t);
+        return ag::MeanAll(ag::Mul(s, s));
+      },
+      x);
+  EXPECT_LT(diff, 2e-2f);
+}
+
+TEST(XlnetTest, EncodeShape) {
+  Rng rng(8);
+  XlnetModel model(SmallConfig(Architecture::kXlnet), &rng);
+  Batch batch = MakeBatch(2, 8, &rng);
+  Variable h = model.EncodeBatch(batch, false, &rng);
+  EXPECT_EQ(h.shape(), (Shape{2, 8, 16}));
+  Variable pooled = model.PooledOutput(h, false, &rng);
+  EXPECT_EQ(pooled.shape(), (Shape{2, 16}));
+}
+
+TEST(XlnetTest, RelativePositionsMatter) {
+  // Same tokens in a different order must produce different CLS output
+  // even though XLNet has no absolute position embeddings.
+  Rng rng(9);
+  XlnetModel model(SmallConfig(Architecture::kXlnet), &rng);
+  Batch batch = MakeBatch(1, 6, &rng);
+  batch.ids = {10, 11, 12, 13, 14, 15};
+  Variable h1 = model.EncodeBatch(batch, false, &rng);
+  Batch batch2 = batch;
+  batch2.ids = {10, 13, 12, 11, 14, 15};
+  Variable h2 = model.EncodeBatch(batch2, false, &rng);
+  Tensor c1 = ops::SelectTimeStep(h1.value(), 5);
+  Tensor c2 = ops::SelectTimeStep(h2.value(), 5);
+  EXPECT_FALSE(ops::AllClose(c1, c2, 1e-5f));
+}
+
+TEST(XlnetTest, TwoStreamQueryCannotSeeOwnContent) {
+  // With a factorization order, g_i must be invariant to the token at
+  // position i (it may only see perm-earlier content).
+  Rng rng(10);
+  TransformerConfig cfg = SmallConfig(Architecture::kXlnet);
+  XlnetModel model(cfg, &rng);
+  const int64_t t = 5;
+  Batch batch = MakeBatch(1, t, &rng);
+
+  // Identity factorization order: perm_pos[i] = i.
+  Tensor content_mask({1, 1, t, t});
+  Tensor query_mask({1, 1, t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      content_mask.At({0, 0, i, j}) = j <= i ? 0.0f : 1.0f;
+      query_mask.At({0, 0, i, j}) = j < i ? 0.0f : 1.0f;
+    }
+  }
+
+  TwoStreamOutput out1 =
+      model.TwoStreamForward(batch, content_mask, query_mask, false, &rng);
+  // Change the token at position 3; g_3 and g_<3 must be unchanged.
+  Batch batch2 = batch;
+  batch2.ids[3] = (batch2.ids[3] + 11) % 45 + 5;
+  TwoStreamOutput out2 =
+      model.TwoStreamForward(batch2, content_mask, query_mask, false, &rng);
+  for (int64_t pos = 0; pos <= 3; ++pos) {
+    Tensor g1 = ops::SelectTimeStep(out1.query.value(), pos);
+    Tensor g2 = ops::SelectTimeStep(out2.query.value(), pos);
+    EXPECT_TRUE(ops::AllClose(g1, g2, 1e-5f)) << "pos " << pos;
+  }
+  // But g_4 (perm-later) does see position 3.
+  Tensor g1 = ops::SelectTimeStep(out1.query.value(), 4);
+  Tensor g2 = ops::SelectTimeStep(out2.query.value(), 4);
+  EXPECT_FALSE(ops::AllClose(g1, g2, 1e-5f));
+}
+
+TEST(XlnetTest, SlowerThanBertPerForward) {
+  // The relative-attention machinery makes XLNet measurably more work per
+  // token than BERT at the same depth — the cause of Table 6's timing shape.
+  // Compare parameter counts as a cheap proxy (wr + biases are extra).
+  Rng rng(11);
+  auto bert_cfg = SmallConfig(Architecture::kBert);
+  auto xlnet_cfg = SmallConfig(Architecture::kXlnet);
+  EncoderModel bert(bert_cfg, &rng);
+  XlnetModel xlnet(xlnet_cfg, &rng);
+  // Per layer, XLNet adds wr (H*H+H) and u/v biases (2H).
+  EXPECT_GT(xlnet.NumParameters(),
+            bert.NumParameters() - bert_cfg.max_seq_len * bert_cfg.hidden);
+}
+
+// ---- Factory --------------------------------------------------------------------
+
+TEST(FactoryTest, CreatesCorrectTypes) {
+  Rng rng(12);
+  for (auto arch : {Architecture::kBert, Architecture::kRoberta,
+                    Architecture::kDistilBert, Architecture::kXlnet}) {
+    auto model = CreateTransformer(SmallConfig(arch), &rng);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->config().arch, arch);
+    Batch batch = MakeBatch(1, 6, &rng);
+    Variable h = model->EncodeBatch(batch, false, &rng);
+    EXPECT_EQ(h.shape(), (Shape{1, 6, 16}));
+  }
+}
+
+// ---- Classifier ------------------------------------------------------------------
+
+TEST(ClassifierTest, LogitShapeAndPredictRange) {
+  Rng rng(13);
+  auto backbone = CreateTransformer(SmallConfig(Architecture::kBert), &rng);
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  Batch batch = MakeBatch(4, 8, &rng);
+  Variable logits = cls.Logits(batch, false, &rng);
+  EXPECT_EQ(logits.shape(), (Shape{4, 2}));
+  auto preds = cls.Predict(batch, &rng);
+  ASSERT_EQ(preds.size(), 4u);
+  for (int64_t p : preds) EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(ClassifierTest, LearnsToySeparation) {
+  // Pairs where both halves share a marker token are "matches".
+  Rng rng(14);
+  TransformerConfig cfg = SmallConfig(Architecture::kBert);
+  auto backbone = CreateTransformer(cfg, &rng);
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  nn::AdamOptions opts;
+  opts.lr = 3e-3f;
+  nn::Adam adam(cls.Parameters(), opts);
+
+  const int64_t t = 8;
+  auto make_batch = [&](bool match, int64_t marker) {
+    Batch b;
+    b.batch_size = 1;
+    b.seq_len = t;
+    b.ids = {2, marker, 7, 3, match ? marker : (marker % 40 + 6), 8, 9, 3};
+    b.segment_ids = {0, 0, 0, 0, 1, 1, 1, 1};
+    b.attention_mask = Tensor({1, 1, 1, t});
+    return b;
+  };
+
+  float last_loss = 1e9f;
+  for (int step = 0; step < 80; ++step) {
+    adam.ZeroGrad();
+    bool match = step % 2 == 0;
+    int64_t marker = 10 + step % 20;
+    Batch batch = make_batch(match, marker);
+    Variable logits = cls.Logits(batch, true, &rng);
+    Variable loss = ag::CrossEntropy(logits, {match ? 1 : 0});
+    last_loss = loss.value()[0];
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.5f);
+}
+
+TEST(ClassifierTest, HeadWarmStartsFromPairHead) {
+  // The classifier's output layer is seeded from the backbone's pretrained
+  // copy-discrimination head and dense_ starts as a noisy identity.
+  Rng rng(77);
+  auto backbone = CreateTransformer(SmallConfig(Architecture::kBert), &rng);
+  TransformerModel* raw = backbone.get();
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  ASSERT_NE(raw->pair_head(), nullptr);
+  EXPECT_TRUE(ops::AllClose(cls.out_layer().weight().value(),
+                            raw->pair_head()->weight().value()));
+  EXPECT_TRUE(ops::AllClose(cls.out_layer().bias().value(),
+                            raw->pair_head()->bias().value()));
+  // dense_ diagonal is near 1, off-diagonal near 0.
+  const Tensor& dw = cls.dense_layer().weight().value();
+  const int64_t h = dw.dim(0);
+  for (int64_t i = 0; i < h; ++i) {
+    EXPECT_NEAR(dw.At({i, i}), 1.0f, 0.2f);
+    EXPECT_NEAR(dw.At({i, (i + 1) % h}), 0.0f, 0.2f);
+  }
+}
+
+TEST(ClassifierTest, ParameterNamesPrefixedAndUnique) {
+  Rng rng(15);
+  auto backbone = CreateTransformer(SmallConfig(Architecture::kXlnet), &rng);
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  auto params = cls.Parameters();
+  std::set<std::string> names;
+  for (auto& p : params) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate name " << p.name;
+  }
+  EXPECT_GT(params.size(), 20u);
+}
+
+TEST(ClassifierTest, SaveLoadRoundTripPredictionsIdentical) {
+  Rng rng(16);
+  auto b1 = CreateTransformer(SmallConfig(Architecture::kRoberta), &rng);
+  SequencePairClassifier c1(std::move(b1), &rng);
+  Rng rng2(99);
+  auto b2 = CreateTransformer(SmallConfig(Architecture::kRoberta), &rng2);
+  SequencePairClassifier c2(std::move(b2), &rng2);
+
+  std::string path = "/tmp/emx_cls_params.bin";
+  ASSERT_TRUE(nn::SaveParameters(path, c1.Parameters()).ok());
+  ASSERT_TRUE(nn::LoadParameters(path, c2.Parameters()).ok());
+
+  Batch batch = MakeBatch(3, 8, &rng);
+  Variable l1 = c1.Logits(batch, false, &rng);
+  Variable l2 = c2.Logits(batch, false, &rng);
+  EXPECT_TRUE(ops::AllClose(l1.value(), l2.value(), 1e-5f));
+  std::remove(path.c_str());
+}
+
+// ---- Cross-architecture parameterized smoke tests --------------------------------
+
+class AllArchitecturesTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(AllArchitecturesTest, ForwardBackwardProducesGradients) {
+  Rng rng(17);
+  auto backbone = CreateTransformer(SmallConfig(GetParam()), &rng);
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  Batch batch = MakeBatch(2, 8, &rng);
+  Variable logits = cls.Logits(batch, true, &rng);
+  Variable loss = ag::CrossEntropy(logits, {0, 1});
+  Backward(loss);
+  int64_t with_grad = 0;
+  for (auto& p : cls.Parameters()) {
+    float asum = 0;
+    for (int64_t i = 0; i < p.var.grad().size(); ++i) {
+      asum += std::abs(p.var.grad()[i]);
+    }
+    if (asum > 0) ++with_grad;
+  }
+  // Nearly all parameters receive gradient (the NSP head and MLM heads are
+  // not part of the classification loss).
+  EXPECT_GT(with_grad, static_cast<int64_t>(cls.Parameters().size() * 2 / 3));
+}
+
+TEST_P(AllArchitecturesTest, MlmLogitsShape) {
+  Rng rng(18);
+  auto model = CreateTransformer(SmallConfig(GetParam()), &rng);
+  Batch batch = MakeBatch(2, 6, &rng);
+  Variable h = model->EncodeBatch(batch, false, &rng);
+  Variable mlm = model->MlmLogits(h, false, &rng);
+  EXPECT_EQ(mlm.shape(), (Shape{12, 50}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FourArchitectures, AllArchitecturesTest,
+    ::testing::Values(Architecture::kBert, Architecture::kRoberta,
+                      Architecture::kDistilBert, Architecture::kXlnet),
+    [](const ::testing::TestParamInfo<Architecture>& info) {
+      return std::string(ArchitectureName(info.param));
+    });
+
+}  // namespace
+}  // namespace models
+}  // namespace emx

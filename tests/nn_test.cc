@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd_ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace nn {
+namespace {
+
+namespace ag = autograd;
+
+// ---- Linear ---------------------------------------------------------------
+
+TEST(LinearTest, OutputShape2DAnd3D) {
+  Rng rng(1);
+  Linear lin(8, 5, &rng);
+  Variable x2 = Variable::Constant(Tensor::Randn({3, 8}, &rng));
+  EXPECT_EQ(lin.Forward(x2).shape(), (Shape{3, 5}));
+  Variable x3 = Variable::Constant(Tensor::Randn({2, 4, 8}, &rng));
+  EXPECT_EQ(lin.Forward(x3).shape(), (Shape{2, 4, 5}));
+}
+
+TEST(LinearTest, ThreeDMatchesFlattened) {
+  Rng rng(2);
+  Linear lin(6, 4, &rng);
+  Tensor x = Tensor::Randn({2, 3, 6}, &rng);
+  Variable y3 = lin.Forward(Variable::Constant(x));
+  Variable y2 = lin.Forward(Variable::Constant(x.Reshape({6, 6})));
+  EXPECT_TRUE(ops::AllClose(y3.value().Reshape({6, 4}), y2.value(), 1e-5f));
+}
+
+TEST(LinearTest, ParametersCollected) {
+  Rng rng(3);
+  Linear lin(4, 2, &rng);
+  std::vector<NamedParam> params;
+  lin.CollectParameters("fc", &params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "fc.weight");
+  EXPECT_EQ(params[1].name, "fc.bias");
+  EXPECT_EQ(lin.NumParameters(), 4 * 2 + 2);
+}
+
+TEST(LinearTest, GradFlowsToWeightAndBias) {
+  Rng rng(4);
+  Linear lin(3, 2, &rng);
+  Variable x = Variable::Constant(Tensor::Randn({5, 3}, &rng));
+  Variable loss = ag::MeanAll(ag::Mul(lin.Forward(x), lin.Forward(x)));
+  Backward(loss);
+  float wsum = 0;
+  for (auto& p : lin.Parameters()) {
+    for (int64_t i = 0; i < p.var.grad().size(); ++i) {
+      wsum += std::abs(p.var.grad()[i]);
+    }
+  }
+  EXPECT_GT(wsum, 0.0f);
+}
+
+// ---- Embedding -------------------------------------------------------------
+
+TEST(EmbeddingTest, LookupShapeAndValues) {
+  Rng rng(5);
+  Embedding emb(10, 4, &rng);
+  Variable out = emb.Forward({1, 3, 1, 7, 0, 2}, {2, 3});
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 4}));
+  // Row for id 1 appears at positions (0,0) and (0,2).
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.value().At({0, 0, j}), out.value().At({0, 2, j}));
+  }
+}
+
+TEST(EmbeddingTest, GradScattersToUsedRowsOnly) {
+  Rng rng(6);
+  Embedding emb(6, 3, &rng);
+  Variable out = emb.Forward({2, 2, 4}, {3});
+  Backward(ag::SumAll(out));
+  const Tensor& g = emb.Parameters()[0].var.grad();
+  // Rows 2 (twice) and 4 (once) receive gradient; others zero.
+  EXPECT_EQ(g.At({2, 0}), 2.0f);
+  EXPECT_EQ(g.At({4, 0}), 1.0f);
+  EXPECT_EQ(g.At({0, 0}), 0.0f);
+  EXPECT_EQ(g.At({5, 2}), 0.0f);
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+
+TEST(LayerNormModuleTest, InitialIdentityStats) {
+  Rng rng(7);
+  LayerNorm ln(8);
+  Variable x = Variable::Constant(Tensor::Randn({4, 8}, &rng, 3.0f));
+  Variable y = ln.Forward(x);
+  // gamma=1, beta=0 -> each row has ~zero mean, unit variance.
+  for (int64_t r = 0; r < 4; ++r) {
+    float mu = 0;
+    for (int64_t j = 0; j < 8; ++j) mu += y.value()[r * 8 + j];
+    EXPECT_NEAR(mu / 8, 0.0f, 1e-4);
+  }
+  EXPECT_EQ(ln.NumParameters(), 16);
+}
+
+// ---- FeedForward ----------------------------------------------------------------
+
+TEST(FeedForwardTest, ShapePreserved) {
+  Rng rng(8);
+  FeedForward ffn(6, 24, &rng);
+  Variable x = Variable::Constant(Tensor::Randn({2, 5, 6}, &rng));
+  Variable y = ffn.Forward(x, 0.0f, false, &rng);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 6}));
+  EXPECT_EQ(ffn.NumParameters(), 6 * 24 + 24 + 24 * 6 + 6);
+}
+
+TEST(FeedForwardTest, ActivationVariants) {
+  Rng rng(9);
+  Tensor x({3}, {-2, 0, 2});
+  Variable v = Variable::Constant(x);
+  Variable relu = ApplyActivation(v, Activation::kRelu);
+  EXPECT_EQ(relu.value()[0], 0.0f);
+  EXPECT_EQ(relu.value()[2], 2.0f);
+  Variable th = ApplyActivation(v, Activation::kTanh);
+  EXPECT_NEAR(th.value()[2], std::tanh(2.0f), 1e-5);
+  Variable ge = ApplyActivation(v, Activation::kGelu);
+  EXPECT_LT(ge.value()[0], 0.0f);  // gelu(-2) ~ -0.045
+  EXPECT_GT(ge.value()[0], -0.1f);
+}
+
+// ---- Attention -------------------------------------------------------------------
+
+TEST(AttentionTest, SelfAttentionShape) {
+  Rng rng(10);
+  MultiHeadAttention attn(12, 3, &rng);
+  Variable x = Variable::Constant(Tensor::Randn({2, 7, 12}, &rng));
+  Variable y = attn.Forward(x, x, Tensor(), 0.0f, false, &rng);
+  EXPECT_EQ(y.shape(), (Shape{2, 7, 12}));
+  EXPECT_EQ(attn.head_dim(), 4);
+}
+
+TEST(AttentionTest, CrossAttentionDifferentLengths) {
+  Rng rng(11);
+  MultiHeadAttention attn(8, 2, &rng);
+  Variable q = Variable::Constant(Tensor::Randn({2, 3, 8}, &rng));
+  Variable kv = Variable::Constant(Tensor::Randn({2, 6, 8}, &rng));
+  Variable y = attn.Forward(q, kv, Tensor(), 0.0f, false, &rng);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 8}));
+}
+
+TEST(AttentionTest, PaddingMaskBlocksPositions) {
+  // With positions 2..3 masked in batch 0, changing their content must not
+  // change the output for batch 0.
+  Rng rng(12);
+  MultiHeadAttention attn(8, 2, &rng);
+  Tensor x = Tensor::Randn({1, 4, 8}, &rng);
+  Tensor mask({1, 1, 1, 4}, {0, 0, 1, 1});
+
+  Variable y1 = attn.Forward(Variable::Constant(x), Variable::Constant(x),
+                             mask, 0.0f, false, &rng);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) {
+    x2.At({0, 2, j}) += 5.0f;
+    x2.At({0, 3, j}) -= 3.0f;
+  }
+  Variable y2 = attn.Forward(Variable::Constant(x2), Variable::Constant(x2),
+                             mask, 0.0f, false, &rng);
+  // Outputs at the *unmasked* query positions 0..1 must agree (masked
+  // positions are still queries whose own representation changed).
+  for (int64_t t = 0; t < 2; ++t) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.value().At({0, t, j}), y2.value().At({0, t, j}), 1e-5)
+          << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+TEST(AttentionTest, CausalMaskMakesOutputsPrefixDependent) {
+  // With a causal [B,1,T,T] mask, output at position t must not depend on
+  // positions > t.
+  Rng rng(13);
+  MultiHeadAttention attn(8, 2, &rng);
+  const int64_t t_len = 5;
+  Tensor mask({1, 1, t_len, t_len});
+  for (int64_t i = 0; i < t_len; ++i) {
+    for (int64_t j = 0; j < t_len; ++j) {
+      mask.At({0, 0, i, j}) = j > i ? 1.0f : 0.0f;
+    }
+  }
+  Tensor x = Tensor::Randn({1, t_len, 8}, &rng);
+  Variable y1 = attn.Forward(Variable::Constant(x), Variable::Constant(x),
+                             mask, 0.0f, false, &rng);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) x2.At({0, 4, j}) += 10.0f;  // change last
+  Variable y2 = attn.Forward(Variable::Constant(x2), Variable::Constant(x2),
+                             mask, 0.0f, false, &rng);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.value().At({0, t, j}), y2.value().At({0, t, j}), 1e-5);
+    }
+  }
+}
+
+TEST(AttentionTest, SplitMergeHeadsRoundTrip) {
+  Rng rng(14);
+  MultiHeadAttention attn(12, 4, &rng);
+  Tensor x = Tensor::Randn({2, 5, 12}, &rng);
+  Variable v = Variable::Constant(x);
+  Variable round = attn.MergeHeads(attn.SplitHeads(v));
+  EXPECT_TRUE(ops::AllClose(round.value(), x));
+}
+
+TEST(AttentionTest, GradientFlowsThroughAllProjections) {
+  Rng rng(15);
+  MultiHeadAttention attn(8, 2, &rng);
+  Variable x = Variable::Constant(Tensor::Randn({2, 4, 8}, &rng));
+  Variable y = attn.Forward(x, x, Tensor(), 0.0f, false, &rng);
+  Backward(ag::MeanAll(ag::Mul(y, y)));
+  for (auto& p : attn.Parameters()) {
+    float asum = 0;
+    for (int64_t i = 0; i < p.var.grad().size(); ++i) {
+      asum += std::abs(p.var.grad()[i]);
+    }
+    EXPECT_GT(asum, 0.0f) << p.name;
+  }
+}
+
+// ---- TransformerEncoderLayer ----------------------------------------------------
+
+TEST(EncoderLayerTest, ShapeAndParamCount) {
+  Rng rng(16);
+  TransformerEncoderLayer layer(16, 4, 64, &rng);
+  Variable x = Variable::Constant(Tensor::Randn({2, 6, 16}, &rng));
+  Variable y = layer.Forward(x, Tensor(), 0.0f, false, &rng);
+  EXPECT_EQ(y.shape(), (Shape{2, 6, 16}));
+  // 4 projections (16x16+16) + ffn (16*64+64 + 64*16+16) + 2 LN (2*16).
+  const int64_t expected = 4 * (16 * 16 + 16) + (16 * 64 + 64 + 64 * 16 + 16) +
+                           2 * 32;
+  EXPECT_EQ(layer.NumParameters(), expected);
+}
+
+TEST(EncoderLayerTest, TrainVsEvalDropoutDiffers) {
+  Rng rng(17);
+  TransformerEncoderLayer layer(8, 2, 32, &rng);
+  Tensor x = Tensor::Randn({1, 4, 8}, &rng);
+  Rng d1(100), d2(100);
+  Variable eval1 = layer.Forward(Variable::Constant(x), Tensor(), 0.5f, false, &d1);
+  Variable eval2 = layer.Forward(Variable::Constant(x), Tensor(), 0.5f, false, &d2);
+  EXPECT_TRUE(ops::AllClose(eval1.value(), eval2.value()));
+  Variable train1 = layer.Forward(Variable::Constant(x), Tensor(), 0.5f, true, &d1);
+  EXPECT_FALSE(ops::AllClose(train1.value(), eval1.value()));
+}
+
+// ---- Serialization ----------------------------------------------------------------
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  Rng rng(18);
+  Linear a(5, 3, &rng);
+  Linear b(5, 3, &rng);
+  // a and b differ initially.
+  EXPECT_FALSE(ops::AllClose(a.Parameters()[0].var.value(),
+                             b.Parameters()[0].var.value()));
+  std::string path = "/tmp/emx_nn_test_params.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+  std::vector<NamedParam> pb;
+  b.CollectParameters("m", &pb);
+  ASSERT_TRUE(LoadParameters(path, pb).ok());
+  EXPECT_TRUE(ops::AllClose(a.Parameters()[0].var.value(),
+                            b.Parameters()[0].var.value()));
+  EXPECT_TRUE(ops::AllClose(a.Parameters()[1].var.value(),
+                            b.Parameters()[1].var.value()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingParameterFails) {
+  Rng rng(19);
+  Linear a(2, 2, &rng);
+  std::string path = "/tmp/emx_nn_test_params2.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("x", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+  std::vector<NamedParam> pb;
+  a.CollectParameters("y", &pb);  // different names
+  Status s = LoadParameters(path, pb);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchFails) {
+  Rng rng(20);
+  Linear a(2, 3, &rng);
+  Linear b(3, 2, &rng);
+  std::string path = "/tmp/emx_nn_test_params3.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+  std::vector<NamedParam> pb;
+  b.CollectParameters("m", &pb);
+  EXPECT_FALSE(LoadParameters(path, pb).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CopyMatchingParameters) {
+  Rng rng(21);
+  Linear teacher(4, 4, &rng);
+  Linear student(4, 4, &rng);
+  std::vector<NamedParam> tp, sp;
+  teacher.CollectParameters("layer", &tp);
+  student.CollectParameters("layer", &sp);
+  EXPECT_EQ(CopyMatchingParameters(tp, sp), 2);
+  EXPECT_TRUE(ops::AllClose(teacher.Parameters()[0].var.value(),
+                            student.Parameters()[0].var.value()));
+}
+
+// ---- Optimizer -----------------------------------------------------------------
+
+TEST(ScheduleTest, LinearWarmupShape) {
+  LinearWarmupSchedule sched(1.0f, 10, 110);
+  EXPECT_NEAR(sched.LearningRate(0), 0.1f, 1e-6);
+  EXPECT_NEAR(sched.LearningRate(9), 1.0f, 1e-6);
+  EXPECT_NEAR(sched.LearningRate(10), 1.0f, 1e-6);
+  EXPECT_NEAR(sched.LearningRate(60), 0.5f, 1e-6);
+  EXPECT_NEAR(sched.LearningRate(110), 0.0f, 1e-6);
+  EXPECT_NEAR(sched.LearningRate(500), 0.0f, 1e-6);
+}
+
+TEST(ScheduleTest, NoWarmup) {
+  LinearWarmupSchedule sched(2.0f, 0, 100);
+  EXPECT_NEAR(sched.LearningRate(0), 2.0f, 1e-5);
+  EXPECT_NEAR(sched.LearningRate(50), 1.0f, 1e-5);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2.
+  Rng rng(22);
+  Variable w = Variable::Parameter(Tensor::Randn({8}, &rng));
+  Tensor target = Tensor::Full({8}, 3.0f);
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.clip_norm = 0.0f;
+  Adam adam({{"w", w}}, opts);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Variable diff = ag::Sub(w, Variable::Constant(target));
+    Variable loss = ag::MeanAll(ag::Mul(diff, diff));
+    Backward(loss);
+    adam.Step();
+  }
+  for (int64_t i = 0; i < 8; ++i) EXPECT_NEAR(w.value()[i], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, ClipGradNormScales) {
+  Variable w = Variable::Parameter(Tensor::Zeros({4}));
+  w.mutable_grad().Fill(3.0f);  // norm = 6
+  AdamOptions opts;
+  Adam adam({{"w", w}}, opts);
+  float norm = adam.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4);
+  float clipped = 0;
+  for (int64_t i = 0; i < 4; ++i) clipped += w.grad()[i] * w.grad()[i];
+  EXPECT_NEAR(std::sqrt(clipped), 1.0f, 1e-3);
+}
+
+TEST(AdamTest, WeightDecaySkipsBiasAndLayerNorm) {
+  Variable w = Variable::Parameter(Tensor::Full({2}, 1.0f));
+  Variable b = Variable::Parameter(Tensor::Full({2}, 1.0f));
+  Variable g = Variable::Parameter(Tensor::Full({2}, 1.0f));
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 1.0f;
+  opts.clip_norm = 0.0f;
+  Adam adam({{"fc.weight", w}, {"fc.bias", b}, {"ln.gamma", g}}, opts);
+  // Zero gradients: only decay acts.
+  adam.ZeroGrad();
+  w.mutable_grad().Fill(0.0f);
+  b.mutable_grad().Fill(0.0f);
+  g.mutable_grad().Fill(0.0f);
+  adam.Step();
+  EXPECT_LT(w.value()[0], 1.0f);   // decayed
+  EXPECT_EQ(b.value()[0], 1.0f);   // exempt
+  EXPECT_EQ(g.value()[0], 1.0f);   // exempt
+}
+
+TEST(AdamTest, TrainsSmallTransformerLayer) {
+  // One encoder layer + classifier head must fit a linearly separable toy
+  // sequence task within a few dozen steps.
+  Rng rng(23);
+  TransformerEncoderLayer layer(8, 2, 16, &rng);
+  Linear head(8, 2, &rng);
+  Embedding emb(4, 8, &rng);
+
+  std::vector<NamedParam> params;
+  layer.CollectParameters("layer", &params);
+  head.CollectParameters("head", &params);
+  emb.CollectParameters("emb", &params);
+  AdamOptions opts;
+  opts.lr = 5e-3f;
+  Adam adam(params, opts);
+
+  // Class = whether token id 3 appears in the sequence.
+  std::vector<std::vector<int64_t>> seqs = {
+      {0, 1, 2, 0}, {3, 1, 2, 0}, {1, 1, 0, 2}, {0, 3, 2, 1},
+      {2, 0, 1, 1}, {2, 3, 3, 0}};
+  std::vector<int64_t> labels = {0, 1, 0, 1, 0, 1};
+
+  float last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    adam.ZeroGrad();
+    std::vector<int64_t> flat;
+    for (auto& s : seqs) flat.insert(flat.end(), s.begin(), s.end());
+    Variable x = emb.Forward(flat, {6, 4});
+    Variable h = layer.Forward(x, Tensor(), 0.0f, true, &rng);
+    Variable cls = ag::SelectTimeStep(h, 0);
+    Variable logits = head.Forward(cls);
+    Variable loss = ag::CrossEntropy(logits, labels);
+    last_loss = loss.value()[0];
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.2f);
+}
+
+}  // namespace
+}  // namespace emx
+}  // namespace nn

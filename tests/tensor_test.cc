@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace emx {
+namespace {
+
+using ops::AllClose;
+
+// ---- Tensor storage ------------------------------------------------------
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At({0, 1}), 2.0f);
+  EXPECT_EQ(t.At({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, CopySharesClonedDoesNot) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  Tensor c = a.Clone();
+  EXPECT_TRUE(a.SharesDataWith(b));
+  EXPECT_FALSE(a.SharesDataWith(c));
+  b[0] = 99;
+  EXPECT_EQ(a[0], 99.0f);
+  EXPECT_EQ(c[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesAndInfers) {
+  Tensor t({2, 6});
+  Tensor r = t.Reshape({3, -1});
+  EXPECT_EQ(r.dim(1), 4);
+  EXPECT_TRUE(t.SharesDataWith(r));
+}
+
+TEST(TensorTest, NegativeDimIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  Tensor ones = Tensor::Ones({3});
+  EXPECT_EQ(ones[2], 1.0f);
+  Tensor full = Tensor::Full({2}, 3.5f);
+  EXPECT_EQ(full[1], 3.5f);
+  Tensor ar = Tensor::Arange(5);
+  EXPECT_EQ(ar[4], 4.0f);
+  EXPECT_EQ(Tensor::Scalar(2.0f).size(), 1);
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({10000}, &rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += t[i] * t[i];
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.1);
+  EXPECT_NEAR(sq / t.size(), 4.0, 0.3);
+}
+
+TEST(TensorTest, InPlaceOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_EQ(a[0], 5.5f);
+  a.Fill(7.0f);
+  EXPECT_EQ(a[1], 7.0f);
+}
+
+// ---- Elementwise kernels ------------------------------------------------
+
+TEST(TensorOpsTest, Arithmetic) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {4, 3, 2, 1});
+  EXPECT_TRUE(AllClose(ops::Add(a, b), Tensor({2, 2}, {5, 5, 5, 5})));
+  EXPECT_TRUE(AllClose(ops::Sub(a, b), Tensor({2, 2}, {-3, -1, 1, 3})));
+  EXPECT_TRUE(AllClose(ops::Mul(a, b), Tensor({2, 2}, {4, 6, 6, 4})));
+  EXPECT_TRUE(AllClose(ops::Div(a, b), Tensor({2, 2}, {0.25f, 2.f / 3, 1.5f, 4})));
+  EXPECT_TRUE(AllClose(ops::AddScalar(a, 1), Tensor({2, 2}, {2, 3, 4, 5})));
+  EXPECT_TRUE(AllClose(ops::MulScalar(a, 2), Tensor({2, 2}, {2, 4, 6, 8})));
+}
+
+TEST(TensorOpsTest, AddBiasBroadcastsLastDim) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  Tensor y = ops::AddBias(x, bias);
+  EXPECT_TRUE(AllClose(y, Tensor({2, 3}, {10, 20, 30, 11, 21, 31})));
+}
+
+TEST(TensorOpsTest, SumToBiasReducesLeadingDims) {
+  Tensor g({2, 2, 3});
+  g.Fill(1.0f);
+  Tensor r = ops::SumToBias(g, 3);
+  EXPECT_TRUE(AllClose(r, Tensor({3}, {4, 4, 4})));
+}
+
+TEST(TensorOpsTest, UnaryFunctions) {
+  Tensor x({3}, {-1, 0, 1});
+  EXPECT_TRUE(AllClose(ops::Relu(x), Tensor({3}, {0, 0, 1})));
+  Tensor t = ops::Tanh(x);
+  EXPECT_NEAR(t[0], std::tanh(-1.0f), 1e-6);
+  Tensor s = ops::Sigmoid(x);
+  EXPECT_NEAR(s[1], 0.5f, 1e-6);
+  Tensor e = ops::Exp(Tensor({1}, {0}));
+  EXPECT_NEAR(e[0], 1.0f, 1e-6);
+}
+
+TEST(TensorOpsTest, GeluValues) {
+  // Known reference values for tanh-approximated GELU.
+  Tensor x({3}, {-1.0f, 0.0f, 2.0f});
+  Tensor y = ops::Gelu(x);
+  EXPECT_NEAR(y[0], -0.1588f, 1e-3);
+  EXPECT_NEAR(y[1], 0.0f, 1e-7);
+  EXPECT_NEAR(y[2], 1.9546f, 1e-3);
+}
+
+// ---- MatMul ----------------------------------------------------------------
+
+TEST(MatMulTest, Basic2D) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(MatMulTest, TransposeFlagsAgree) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({4, 6}, &rng);
+  Tensor b = Tensor::Randn({6, 5}, &rng);
+  Tensor ref = ops::MatMul(a, b);
+  Tensor at = ops::TransposeLast2(a);  // [6, 4]
+  Tensor bt = ops::TransposeLast2(b);  // [5, 6]
+  EXPECT_TRUE(AllClose(ops::MatMul(at, b, true, false), ref, 1e-4f));
+  EXPECT_TRUE(AllClose(ops::MatMul(a, bt, false, true), ref, 1e-4f));
+  EXPECT_TRUE(AllClose(ops::MatMul(at, bt, true, true), ref, 1e-4f));
+}
+
+TEST(MatMulTest, BatchedMatchesPerSlice) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({3, 2, 4}, &rng);
+  Tensor b = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 5}));
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor as({2, 4});
+    Tensor bs({4, 5});
+    std::copy(a.data() + i * 8, a.data() + (i + 1) * 8, as.data());
+    std::copy(b.data() + i * 20, b.data() + (i + 1) * 20, bs.data());
+    Tensor cs = ops::MatMul(as, bs);
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(c[i * 10 + j], cs[j], 1e-5);
+    }
+  }
+}
+
+TEST(MatMulTest, BroadcastRank2Rhs) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor w = Tensor::Randn({4, 6}, &rng);
+  Tensor c = ops::MatMul(a, w);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 6}));
+  // Compare against flattening the batch.
+  Tensor flat = a.Reshape({6, 4});
+  Tensor ref = ops::MatMul(flat, w);
+  EXPECT_TRUE(AllClose(c.Reshape({6, 6}), ref, 1e-5f));
+}
+
+TEST(MatMulTest, LargeSingleMatrixParallelPathMatchesSmall) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({130, 17}, &rng);
+  Tensor b = Tensor::Randn({17, 19}, &rng);
+  Tensor c = ops::MatMul(a, b);  // goes through the blocked parallel path
+  // Reference: row-by-row dot products.
+  for (int64_t i = 0; i < 130; i += 37) {
+    for (int64_t j = 0; j < 19; j += 7) {
+      float acc = 0;
+      for (int64_t k = 0; k < 17; ++k) acc += a[i * 17 + k] * b[k * 19 + j];
+      EXPECT_NEAR(c[i * 19 + j], acc, 1e-4);
+    }
+  }
+}
+
+// ---- Permute / reshape ------------------------------------------------------
+
+TEST(PermuteTest, TransposeLast2) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_TRUE(AllClose(t, Tensor({3, 2}, {1, 4, 2, 5, 3, 6})));
+}
+
+TEST(PermuteTest, HeadSplitRoundTrip) {
+  // [B, T, nh, dh] -> [B, nh, T, dh] -> back.
+  Rng rng(9);
+  Tensor x = Tensor::Randn({2, 5, 3, 4}, &rng);
+  Tensor p = ops::Permute(x, {0, 2, 1, 3});
+  EXPECT_EQ(p.shape(), (Shape{2, 3, 5, 4}));
+  Tensor back = ops::Permute(p, {0, 2, 1, 3});
+  EXPECT_TRUE(AllClose(back, x));
+}
+
+TEST(PermuteTest, ExplicitSmallCase) {
+  Tensor x({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor p = ops::Permute(x, {2, 0, 1});
+  // p[i,j,k] = x[j,k,i].
+  EXPECT_EQ(p.At({0, 1, 1}), x.At({1, 1, 0}));
+  EXPECT_EQ(p.At({1, 0, 1}), x.At({0, 1, 1}));
+}
+
+// ---- Reductions -------------------------------------------------------------
+
+TEST(ReductionTest, SumMeanAll) {
+  Tensor x({2, 2}, {1, 2, 3, 4});
+  EXPECT_NEAR(ops::SumAll(x)[0], 10.0f, 1e-6);
+  EXPECT_NEAR(ops::MeanAll(x)[0], 2.5f, 1e-6);
+}
+
+TEST(ReductionTest, SumLastAxis) {
+  Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = ops::SumLastAxis(x);
+  EXPECT_TRUE(AllClose(s, Tensor({2}, {6, 15})));
+}
+
+TEST(ReductionTest, ArgMaxLastAxis) {
+  Tensor x({2, 3}, {0.1f, 0.9f, 0.3f, 5, 4, 6});
+  auto idx = ops::ArgMaxLastAxis(x);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 2);
+}
+
+// ---- Softmax family ----------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn({4, 7}, &rng, 3.0f);
+  Tensor y = ops::Softmax(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int64_t j = 0; j < 7; ++j) {
+      float v = y[r * 7 + j];
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeInputs) {
+  Tensor x({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor y = ops::Softmax(x);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(y[i], 1.0f / 3, 1e-6);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(11);
+  Tensor x = Tensor::Randn({3, 5}, &rng);
+  Tensor a = ops::LogSoftmax(x);
+  Tensor b = ops::Log(ops::Softmax(x));
+  EXPECT_TRUE(AllClose(a, b, 1e-5f));
+}
+
+TEST(SoftmaxTest, MaskedAddExactShape) {
+  Tensor x({1, 1, 1, 3}, {1, 2, 3});
+  Tensor mask({1, 1, 1, 3}, {0, 1, 0});
+  Tensor y = ops::MaskedAdd(x, mask, -100.0f);
+  EXPECT_EQ(y[1], -98.0f);
+  EXPECT_EQ(y[0], 1.0f);
+}
+
+TEST(SoftmaxTest, MaskedAddBroadcast) {
+  // x: [2, 2, 2, 3], mask: [2, 1, 1, 3].
+  Tensor x = Tensor::Zeros({2, 2, 2, 3});
+  Tensor mask({2, 1, 1, 3}, {0, 0, 1, 1, 0, 0});
+  Tensor y = ops::MaskedAdd(x, mask, -9.0f);
+  // Batch 0 masks position 2 everywhere.
+  EXPECT_EQ(y.At({0, 0, 0, 2}), -9.0f);
+  EXPECT_EQ(y.At({0, 1, 1, 2}), -9.0f);
+  EXPECT_EQ(y.At({0, 0, 0, 0}), 0.0f);
+  // Batch 1 masks position 0 everywhere.
+  EXPECT_EQ(y.At({1, 1, 0, 0}), -9.0f);
+  EXPECT_EQ(y.At({1, 0, 1, 1}), 0.0f);
+}
+
+// ---- Gather / scatter ---------------------------------------------------------
+
+TEST(GatherTest, GatherRows) {
+  Tensor table({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = ops::GatherRows(table, {2, 0, 2});
+  EXPECT_TRUE(AllClose(out, Tensor({3, 2}, {5, 6, 1, 2, 5, 6})));
+}
+
+TEST(GatherTest, ScatterAddAccumulatesDuplicates) {
+  Tensor grad({3, 2}, {1, 1, 2, 2, 4, 4});
+  Tensor table_grad = Tensor::Zeros({3, 2});
+  ops::ScatterAddRows(grad, {2, 0, 2}, &table_grad);
+  EXPECT_TRUE(AllClose(table_grad, Tensor({3, 2}, {2, 2, 0, 0, 5, 5})));
+}
+
+TEST(GatherTest, SelectAndAddTimeStep) {
+  Tensor x({2, 3, 2}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor s = ops::SelectTimeStep(x, 1);
+  EXPECT_TRUE(AllClose(s, Tensor({2, 2}, {2, 3, 8, 9})));
+  Tensor grad = Tensor::Zeros({2, 3, 2});
+  ops::AddToTimeStep(s, 2, &grad);
+  EXPECT_EQ(grad.At({0, 2, 0}), 2.0f);
+  EXPECT_EQ(grad.At({1, 2, 1}), 9.0f);
+  EXPECT_EQ(grad.At({0, 0, 0}), 0.0f);
+}
+
+// ---- Concat / split --------------------------------------------------------
+
+TEST(ConcatTest, LastAxis) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 1}, {9, 8});
+  Tensor c = ops::Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(c, Tensor({2, 3}, {1, 2, 9, 3, 4, 8})));
+}
+
+TEST(ConcatTest, FirstAxis) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = ops::Concat({a, b}, 0);
+  EXPECT_TRUE(AllClose(c, Tensor({3, 2}, {1, 2, 3, 4, 5, 6})));
+}
+
+TEST(ConcatTest, SplitInvertsConcat) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 2, 4}, &rng);
+  Tensor c = ops::Concat({a, b}, 1);
+  auto parts = ops::SplitAxis(c, 1, {3, 2});
+  EXPECT_TRUE(AllClose(parts[0], a));
+  EXPECT_TRUE(AllClose(parts[1], b));
+}
+
+// ---- LayerNorm -----------------------------------------------------------
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(13);
+  Tensor x = Tensor::Randn({4, 8}, &rng, 5.0f);
+  Tensor gamma = Tensor::Ones({8});
+  Tensor beta = Tensor::Zeros({8});
+  Tensor mean, rstd;
+  Tensor y = ops::LayerNormForward(x, gamma, beta, 1e-5f, &mean, &rstd);
+  for (int64_t r = 0; r < 4; ++r) {
+    float mu = 0, var = 0;
+    for (int64_t j = 0; j < 8; ++j) mu += y[r * 8 + j];
+    mu /= 8;
+    for (int64_t j = 0; j < 8; ++j) {
+      var += (y[r * 8 + j] - mu) * (y[r * 8 + j] - mu);
+    }
+    var /= 8;
+    EXPECT_NEAR(mu, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, AffineApplied) {
+  Tensor x({1, 2}, {1, 3});
+  Tensor gamma({2}, {2, 2});
+  Tensor beta({2}, {10, 10});
+  Tensor mean, rstd;
+  Tensor y = ops::LayerNormForward(x, gamma, beta, 1e-5f, &mean, &rstd);
+  // Normalized values are -1 and +1 (up to eps), so outputs ~ 8 and 12.
+  EXPECT_NEAR(y[0], 8.0f, 1e-2);
+  EXPECT_NEAR(y[1], 12.0f, 1e-2);
+}
+
+// ---- AllClose helpers ------------------------------------------------------
+
+TEST(AllCloseTest, DetectsDifference) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1, 2.1f});
+  EXPECT_FALSE(ops::AllClose(a, b, 1e-3f, 1e-3f));
+  EXPECT_TRUE(ops::AllClose(a, b, 0.2f, 0.0f));
+  EXPECT_NEAR(ops::MaxAbsDiff(a, b), 0.1f, 1e-6);
+}
+
+TEST(AllCloseTest, ShapeMismatchNotClose) {
+  EXPECT_FALSE(ops::AllClose(Tensor({2}), Tensor({3})));
+}
+
+}  // namespace
+}  // namespace emx

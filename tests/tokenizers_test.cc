@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "tokenizers/byte_bpe.h"
+#include "tokenizers/tokenizer.h"
+#include "tokenizers/unigram.h"
+#include "tokenizers/vocab.h"
+#include "tokenizers/wordpiece.h"
+
+namespace emx {
+namespace tokenizers {
+namespace {
+
+std::vector<std::string> TestCorpus() {
+  return {
+      "the new iphone xs is now available in white red and silver",
+      "apple iphone xs with 64 gb storage in silver",
+      "asus zenfone 4 pro with amoled display is thin and light",
+      "the zenfone 4 pro features an expansive display",
+      "nokia pure view 9 powered by pure android a smart device",
+      "robust design and long battery duration for heavy load",
+      "the brand new iphone available in three colors white silver red",
+      "storage options of 64 or 128 gb for the new apple device",
+      "display and battery are the features buyers compare most",
+      "pro devices feature amoled displays and robust storage",
+  };
+}
+
+// ---- Vocab -------------------------------------------------------------
+
+TEST(VocabTest, AddAndLookup) {
+  Vocab v;
+  int64_t a = v.AddToken("alpha");
+  int64_t b = v.AddToken("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(v.AddToken("alpha"), 0);  // idempotent
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.TokenToId("beta"), 1);
+  EXPECT_EQ(v.TokenToId("gamma"), -1);
+  EXPECT_EQ(v.IdToToken(0), "alpha");
+  EXPECT_TRUE(v.Contains("beta"));
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab v;
+  v.AddToken("[PAD]");
+  v.AddToken("hello");
+  v.AddToken("##lo");
+  std::string path = "/tmp/emx_vocab_test.txt";
+  ASSERT_TRUE(v.Save(path).ok());
+  auto loaded = Vocab::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 3);
+  EXPECT_EQ(loaded.value().TokenToId("##lo"), 2);
+  std::remove(path.c_str());
+}
+
+// ---- Pair encoding ----------------------------------------------------------
+
+TEST(TruncatePairTest, LongestFirst) {
+  std::vector<int64_t> a = {1, 2, 3, 4, 5, 6};
+  std::vector<int64_t> b = {7, 8};
+  TruncatePair(&a, &b, 5);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(TruncatePairTest, BothShrinkWhenEqual) {
+  std::vector<int64_t> a = {1, 2, 3, 4};
+  std::vector<int64_t> b = {5, 6, 7, 8};
+  TruncatePair(&a, &b, 4);
+  EXPECT_EQ(a.size() + b.size(), 4u);
+  EXPECT_LE(a.size(), 2u + 1);
+  EXPECT_LE(b.size(), 2u + 1);
+}
+
+// ---- WordPiece ---------------------------------------------------------------
+
+class WordPieceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WordPieceTrainerOptions opts;
+    opts.vocab_size = 200;
+    opts.min_frequency = 1;
+    tok_ = new WordPieceTokenizer(
+        WordPieceTokenizer::Train(TestCorpus(), opts));
+  }
+  static void TearDownTestSuite() {
+    delete tok_;
+    tok_ = nullptr;
+  }
+  static WordPieceTokenizer* tok_;
+};
+
+WordPieceTokenizer* WordPieceFixture::tok_ = nullptr;
+
+TEST_F(WordPieceFixture, SpecialsOccupyFirstSlots) {
+  EXPECT_EQ(tok_->specials().pad, 0);
+  EXPECT_EQ(tok_->specials().unk, 1);
+  EXPECT_EQ(tok_->specials().cls, 2);
+  EXPECT_EQ(tok_->specials().sep, 3);
+  EXPECT_EQ(tok_->specials().mask, 4);
+  EXPECT_EQ(tok_->vocab().IdToToken(0), "[PAD]");
+}
+
+TEST_F(WordPieceFixture, VocabSizeRespected) {
+  EXPECT_LE(tok_->vocab_size(), 200);
+  EXPECT_GT(tok_->vocab_size(), 30);  // alphabet + merges actually learned
+}
+
+TEST_F(WordPieceFixture, FrequentWordIsSingleToken) {
+  // "iphone" appears often; it should end up a single piece (or at most 2).
+  auto pieces = tok_->TokenizeWord("iphone");
+  EXPECT_LE(pieces.size(), 2u);
+  EXPECT_NE(pieces[0], "[UNK]");
+}
+
+TEST_F(WordPieceFixture, ContinuationPrefixUsed) {
+  // A word unseen in training decomposes into pieces where non-initial
+  // ones carry "##".
+  auto pieces = tok_->TokenizeWord("displaying");
+  ASSERT_GE(pieces.size(), 2u);
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    EXPECT_TRUE(pieces[i].rfind("##", 0) == 0) << pieces[i];
+  }
+}
+
+TEST_F(WordPieceFixture, UnknownCharactersBecomeUnk) {
+  auto pieces = tok_->TokenizeWord("\xc3\xa9\xc3\xa9");  // unseen bytes
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "[UNK]");
+}
+
+TEST_F(WordPieceFixture, RoundTripDecode) {
+  std::string text = "the new iphone in silver";
+  auto ids = tok_->Encode(text);
+  EXPECT_EQ(tok_->Decode(ids), text);
+}
+
+TEST_F(WordPieceFixture, EncodeLowercases) {
+  auto a = tok_->Encode("IPHONE");
+  auto b = tok_->Encode("iphone");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(WordPieceFixture, EncodePairLayout) {
+  EncodedPair p = tok_->EncodePair("iphone xs", "zenfone pro", 16);
+  ASSERT_EQ(p.ids.size(), 16u);
+  ASSERT_EQ(p.segment_ids.size(), 16u);
+  ASSERT_EQ(p.attention_mask.size(), 16u);
+  EXPECT_EQ(p.ids[0], tok_->specials().cls);
+  // Exactly two separators.
+  EXPECT_EQ(std::count(p.ids.begin(), p.ids.end(), tok_->specials().sep), 2);
+  // Segment ids: 0 until the first [SEP] inclusive, then 1 for entity B.
+  auto first_sep =
+      std::find(p.ids.begin(), p.ids.end(), tok_->specials().sep);
+  size_t sep_pos = static_cast<size_t>(first_sep - p.ids.begin());
+  EXPECT_EQ(p.segment_ids[sep_pos], 0);
+  EXPECT_EQ(p.segment_ids[sep_pos + 1], 1);
+  // Padding is masked.
+  for (size_t i = 0; i < p.ids.size(); ++i) {
+    if (p.ids[i] == tok_->specials().pad) EXPECT_EQ(p.attention_mask[i], 1.0f);
+  }
+}
+
+TEST_F(WordPieceFixture, EncodePairTruncatesToMaxLen) {
+  std::string long_text;
+  for (int i = 0; i < 50; ++i) long_text += "display battery storage ";
+  EncodedPair p = tok_->EncodePair(long_text, long_text, 24);
+  EXPECT_EQ(p.ids.size(), 24u);
+  // No padding when fully occupied.
+  EXPECT_EQ(std::count(p.ids.begin(), p.ids.end(), tok_->specials().pad), 0);
+}
+
+TEST_F(WordPieceFixture, EncodeSingleLayout) {
+  EncodedPair p = tok_->EncodeSingle("iphone", 8);
+  EXPECT_EQ(p.ids.size(), 8u);
+  EXPECT_EQ(p.ids[0], tok_->specials().cls);
+  EXPECT_EQ(std::count(p.ids.begin(), p.ids.end(), tok_->specials().sep), 1);
+}
+
+TEST_F(WordPieceFixture, SaveLoadPreservesTokenization) {
+  std::string path = "/tmp/emx_wp_vocab.txt";
+  ASSERT_TRUE(tok_->vocab().Save(path).ok());
+  auto loaded = WordPieceTokenizer::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  std::string text = "zenfone 4 pro with amoled display";
+  EXPECT_EQ(loaded.value().Encode(text), tok_->Encode(text));
+  std::remove(path.c_str());
+}
+
+TEST(WordPieceTest, FromVocabRejectsMissingSpecials) {
+  Vocab v;
+  v.AddToken("[PAD]");
+  v.AddToken("foo");
+  auto r = WordPieceTokenizer::FromVocab(std::move(v), true);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- Byte-level BPE -------------------------------------------------------------
+
+class ByteBpeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ByteBpeTrainerOptions opts;
+    opts.vocab_size = 240;
+    opts.min_frequency = 1;
+    tok_ = new ByteBpeTokenizer(ByteBpeTokenizer::Train(TestCorpus(), opts));
+  }
+  static void TearDownTestSuite() {
+    delete tok_;
+    tok_ = nullptr;
+  }
+  static ByteBpeTokenizer* tok_;
+};
+
+ByteBpeTokenizer* ByteBpeFixture::tok_ = nullptr;
+
+TEST(ByteBpePreTokenizeTest, SplitsContractionsAndClasses) {
+  auto pre = ByteBpeTokenizer::PreTokenize("it's 5.5-inch, nice");
+  // Expected: "Ġit" "'s" "Ġ5" "." "5" "-" "inch" "," "Ġnice"
+  ASSERT_EQ(pre.size(), 9u);
+  EXPECT_EQ(pre[1], "'s");
+  EXPECT_EQ(pre[3], ".");
+  EXPECT_EQ(pre[5], "-");
+  EXPECT_EQ(pre[8], std::string("\xc4\xa0") + "nice");
+}
+
+TEST(ByteBpePreTokenizeTest, LeadingSpaceMarker) {
+  auto pre = ByteBpeTokenizer::PreTokenize("hello world");
+  ASSERT_EQ(pre.size(), 2u);
+  EXPECT_EQ(pre[0], std::string("\xc4\xa0") + "hello");
+  EXPECT_EQ(pre[1], std::string("\xc4\xa0") + "world");
+}
+
+TEST_F(ByteBpeFixture, SpecialsRoberta) {
+  EXPECT_EQ(tok_->vocab().IdToToken(tok_->specials().cls), "<s>");
+  EXPECT_EQ(tok_->vocab().IdToToken(tok_->specials().sep), "</s>");
+  EXPECT_EQ(tok_->vocab().IdToToken(tok_->specials().mask), "<mask>");
+}
+
+TEST_F(ByteBpeFixture, MergesLearned) {
+  EXPECT_GT(tok_->num_merges(), 20);
+}
+
+TEST_F(ByteBpeFixture, FrequentWordFewPieces) {
+  auto pieces = tok_->BpeWord(std::string("\xc4\xa0") + "iphone");
+  EXPECT_LE(pieces.size(), 3u);
+}
+
+TEST_F(ByteBpeFixture, NoUnkForArbitraryAscii) {
+  // Byte-level coverage: any ASCII string tokenizes without <unk>.
+  auto ids = tok_->Encode("zzzqqq 999 @@@");
+  for (int64_t id : ids) EXPECT_NE(id, tok_->specials().unk);
+}
+
+TEST_F(ByteBpeFixture, RoundTripDecode) {
+  std::string text = "the new iphone with amoled display";
+  EXPECT_EQ(tok_->Decode(tok_->Encode(text)), text);
+}
+
+TEST_F(ByteBpeFixture, SaveLoadPreservesTokenization) {
+  std::string vp = "/tmp/emx_bpe_vocab.txt";
+  std::string mp = "/tmp/emx_bpe_merges.txt";
+  ASSERT_TRUE(tok_->Save(vp, mp).ok());
+  auto loaded = ByteBpeTokenizer::Load(vp, mp);
+  ASSERT_TRUE(loaded.ok());
+  std::string text = "pure android with 128 gb storage";
+  EXPECT_EQ(loaded.value().Encode(text), tok_->Encode(text));
+  std::remove(vp.c_str());
+  std::remove(mp.c_str());
+}
+
+TEST_F(ByteBpeFixture, EncodePairUsesRobertaSpecials) {
+  EncodedPair p = tok_->EncodePair("iphone", "zenfone", 12);
+  EXPECT_EQ(p.ids[0], tok_->specials().cls);
+  EXPECT_EQ(std::count(p.ids.begin(), p.ids.end(), tok_->specials().sep), 2);
+}
+
+// ---- Unigram / SentencePiece ------------------------------------------------------
+
+class UnigramFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UnigramTrainerOptions opts;
+    opts.vocab_size = 220;
+    opts.em_iterations = 3;
+    tok_ = new UnigramTokenizer(UnigramTokenizer::Train(TestCorpus(), opts));
+  }
+  static void TearDownTestSuite() {
+    delete tok_;
+    tok_ = nullptr;
+  }
+  static UnigramTokenizer* tok_;
+};
+
+UnigramTokenizer* UnigramFixture::tok_ = nullptr;
+
+TEST_F(UnigramFixture, VocabTargetRespected) {
+  EXPECT_LE(tok_->vocab_size(), 220);
+  EXPECT_GT(tok_->vocab_size(), 40);
+}
+
+TEST_F(UnigramFixture, SpecialsXlnet) {
+  EXPECT_EQ(tok_->vocab().IdToToken(tok_->specials().cls), "<cls>");
+  EXPECT_EQ(tok_->vocab().IdToToken(tok_->specials().sep), "<sep>");
+}
+
+TEST_F(UnigramFixture, TokensCarrySpaceMarker) {
+  auto toks = tok_->Tokenize("iphone display");
+  ASSERT_GE(toks.size(), 2u);
+  // First piece of each word starts with the marker.
+  EXPECT_EQ(toks[0].rfind(kUnigramSpaceMarker, 0), 0u);
+}
+
+TEST_F(UnigramFixture, SegmentationIsMostProbable) {
+  // Segmenting a frequent word should produce few pieces.
+  std::string marked = std::string(kUnigramSpaceMarker) + "iphone";
+  auto pieces = tok_->SegmentWord(marked);
+  EXPECT_LE(pieces.size(), 3u);
+  // Concatenation reproduces the input.
+  std::string joined;
+  for (const auto& p : pieces) joined += p;
+  EXPECT_EQ(joined, marked);
+}
+
+TEST_F(UnigramFixture, ViterbiConcatAlwaysReconstructs) {
+  for (const auto& word : {"display", "unseenzzz", "a", "4"}) {
+    std::string marked = std::string(kUnigramSpaceMarker) + word;
+    auto pieces = tok_->SegmentWord(marked);
+    std::string joined;
+    for (const auto& p : pieces) joined += p;
+    EXPECT_EQ(joined, marked) << word;
+  }
+}
+
+TEST_F(UnigramFixture, RoundTripDecode) {
+  std::string text = "the new iphone in silver";
+  auto ids = tok_->Encode(text);
+  EXPECT_EQ(tok_->Decode(ids), text);
+}
+
+TEST_F(UnigramFixture, SaveLoadPreservesTokenization) {
+  std::string path = "/tmp/emx_unigram_vocab.txt";
+  ASSERT_TRUE(tok_->Save(path).ok());
+  auto loaded = UnigramTokenizer::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::string text = "robust design and long battery duration";
+  EXPECT_EQ(loaded.value().Encode(text), tok_->Encode(text));
+  std::remove(path.c_str());
+}
+
+TEST_F(UnigramFixture, PieceLogProbsAreNegative) {
+  std::string marked = std::string(kUnigramSpaceMarker) + "the";
+  for (const auto& p : tok_->SegmentWord(marked)) {
+    EXPECT_LT(tok_->PieceLogProb(p), 0.0f);
+    EXPECT_GT(tok_->PieceLogProb(p), -21.0f);
+  }
+}
+
+// ---- Cross-tokenizer property tests ------------------------------------------------
+
+class AllTokenizersTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const Tokenizer& Get(int which) {
+    static WordPieceTokenizer* wp = [] {
+      WordPieceTrainerOptions o;
+      o.vocab_size = 180;
+      o.min_frequency = 1;
+      return new WordPieceTokenizer(WordPieceTokenizer::Train(TestCorpus(), o));
+    }();
+    static ByteBpeTokenizer* bpe = [] {
+      ByteBpeTrainerOptions o;
+      o.vocab_size = 220;
+      o.min_frequency = 1;
+      return new ByteBpeTokenizer(ByteBpeTokenizer::Train(TestCorpus(), o));
+    }();
+    static UnigramTokenizer* uni = [] {
+      UnigramTrainerOptions o;
+      o.vocab_size = 200;
+      o.em_iterations = 2;
+      return new UnigramTokenizer(UnigramTokenizer::Train(TestCorpus(), o));
+    }();
+    switch (which) {
+      case 0:
+        return *wp;
+      case 1:
+        return *bpe;
+      default:
+        return *uni;
+    }
+  }
+};
+
+TEST_P(AllTokenizersTest, PairEncodingInvariants) {
+  const Tokenizer& tok = Get(GetParam());
+  for (int64_t max_len : {8, 16, 32, 64}) {
+    EncodedPair p = tok.EncodePair(
+        "apple iphone xs with 64 gb storage in silver",
+        "asus zenfone 4 pro with amoled display", max_len);
+    ASSERT_EQ(static_cast<int64_t>(p.ids.size()), max_len);
+    ASSERT_EQ(p.ids.size(), p.segment_ids.size());
+    ASSERT_EQ(p.ids.size(), p.attention_mask.size());
+    EXPECT_EQ(p.ids[0], tok.specials().cls);
+    // All ids in range.
+    for (int64_t id : p.ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, tok.vocab_size());
+    }
+    // Segments are 0 then 1 then 0 (padding); never 1 -> 0 -> 1.
+    bool seen_pad = false;
+    for (size_t i = 0; i < p.ids.size(); ++i) {
+      if (p.attention_mask[i] == 1.0f) seen_pad = true;
+      if (seen_pad) EXPECT_EQ(p.segment_ids[i], 0);
+    }
+  }
+}
+
+TEST_P(AllTokenizersTest, EncodeIsDeterministic) {
+  const Tokenizer& tok = Get(GetParam());
+  std::string text = "nokia pure view 9 powered by pure android";
+  EXPECT_EQ(tok.Encode(text), tok.Encode(text));
+}
+
+TEST_P(AllTokenizersTest, EmptyTextEncodesToEmpty) {
+  const Tokenizer& tok = Get(GetParam());
+  EXPECT_TRUE(tok.Encode("").empty());
+  EncodedPair p = tok.EncodePair("", "", 8);
+  EXPECT_EQ(static_cast<int64_t>(p.ids.size()), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordPieceBpeUnigram, AllTokenizersTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("WordPiece");
+                             case 1:
+                               return std::string("ByteBpe");
+                             default:
+                               return std::string("Unigram");
+                           }
+                         });
+
+}  // namespace
+}  // namespace tokenizers
+}  // namespace emx

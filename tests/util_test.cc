@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace emx {
+namespace {
+
+// ---- Status ----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(Status::InvalidArgument("x").code());
+  codes.insert(Status::OutOfRange("x").code());
+  codes.insert(Status::NotFound("x").code());
+  codes.insert(Status::AlreadyExists("x").code());
+  codes.insert(Status::IoError("x").code());
+  codes.insert(Status::NotImplemented("x").code());
+  codes.insert(Status::Internal("x").code());
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+Status FailingHelper() { return Status::NotFound("missing"); }
+
+Status PropagatingHelper() {
+  EMX_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = PropagatingHelper();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Status UseResult(int x, int* out) {
+  EMX_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  *out = doubled;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.ValueOr(-7), -7);
+
+  int out = 0;
+  EXPECT_TRUE(UseResult(3, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_FALSE(UseResult(-3, &out).ok());
+}
+
+// ---- Rng ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextUint64Bounded) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) counts[rng.NextDiscrete(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(19);
+  auto perm = rng.Permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIndependentStream) {
+  Rng a(5);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.Next(), forked.Next());
+}
+
+// ---- Strings -----------------------------------------------------------
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo\t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringTest, ToLowerStrip) {
+  EXPECT_EQ(ToLower("AbC-123"), "abc-123");
+  EXPECT_EQ(Strip("  x y \t"), "x y");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("wordpiece", "word"));
+  EXPECT_FALSE(StartsWith("word", "wordpiece"));
+  EXPECT_TRUE(EndsWith("embedding", "ing"));
+  EXPECT_FALSE(EndsWith("ing", "embedding"));
+}
+
+TEST(StringTest, BasicTokenizeSplitsPunctuation) {
+  auto toks = BasicTokenize("ZenFone 4 Pro (ZS551KL), 5.5-inch!");
+  std::vector<std::string> expected = {"zenfone", "4",  "pro", "(", "zs551kl",
+                                       ")",       ",",  "5",   ".", "5",
+                                       "-",       "inch", "!"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(StringTest, BasicTokenizeCasePreserving) {
+  auto toks = BasicTokenize("iPhone XS", /*lower_case=*/false);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "iPhone");
+}
+
+TEST(StringTest, ParseFloatAndInt) {
+  float f = 0;
+  EXPECT_TRUE(ParseFloat("899.99", &f));
+  EXPECT_FLOAT_EQ(f, 899.99f);
+  EXPECT_FALSE(ParseFloat("12x", &f));
+  EXPECT_FALSE(ParseFloat("", &f));
+
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt("4.2", &i));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+// ---- CSV ---------------------------------------------------------------
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_EQ(t.header.size(), 3u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto r = ParseCsv("name,desc\nfoo,\"a, \"\"quoted\"\" value\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][1], "a, \"quoted\" value");
+}
+
+TEST(CsvTest, RowWidthMismatchRejected) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyContentRejected) {
+  auto r = ParseCsv("");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RoundTripWithEscapes) {
+  // Embedded newlines are a known simplification (line-based parser); the
+  // datasets this library generates never contain them.
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"plain", "has,comma"}, {"has\"quote", "tail"}};
+  auto parsed = ParseCsv(FormatCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rows[0][1], "has,comma");
+  EXPECT_EQ(parsed.value().rows[1][0], "has\"quote");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsv("/nonexistent/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// ---- Timer -------------------------------------------------------------
+
+TEST(TimerTest, FormatDuration) {
+  EXPECT_EQ(Timer::FormatDuration(162.0), "2m 42s");
+  EXPECT_EQ(Timer::FormatDuration(12.4), "12s");
+  EXPECT_EQ(Timer::FormatDuration(3.5), "3.5s");
+  EXPECT_EQ(Timer::FormatDuration(-1.0), "0.0s");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(1000, 10, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  bool called = false;
+  ParallelFor(0, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace emx
