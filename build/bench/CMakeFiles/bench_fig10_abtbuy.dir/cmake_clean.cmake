@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_abtbuy.dir/bench_fig10_abtbuy.cc.o"
+  "CMakeFiles/bench_fig10_abtbuy.dir/bench_fig10_abtbuy.cc.o.d"
+  "bench_fig10_abtbuy"
+  "bench_fig10_abtbuy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_abtbuy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

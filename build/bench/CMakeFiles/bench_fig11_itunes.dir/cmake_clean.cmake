@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_itunes.dir/bench_fig11_itunes.cc.o"
+  "CMakeFiles/bench_fig11_itunes.dir/bench_fig11_itunes.cc.o.d"
+  "bench_fig11_itunes"
+  "bench_fig11_itunes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_itunes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

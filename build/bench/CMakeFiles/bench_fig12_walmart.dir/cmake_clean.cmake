@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_walmart.dir/bench_fig12_walmart.cc.o"
+  "CMakeFiles/bench_fig12_walmart.dir/bench_fig12_walmart.cc.o.d"
+  "bench_fig12_walmart"
+  "bench_fig12_walmart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_walmart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dblp_acm.dir/bench_fig13_dblp_acm.cc.o"
+  "CMakeFiles/bench_fig13_dblp_acm.dir/bench_fig13_dblp_acm.cc.o.d"
+  "bench_fig13_dblp_acm"
+  "bench_fig13_dblp_acm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dblp_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dblp_scholar.dir/bench_fig14_dblp_scholar.cc.o"
+  "CMakeFiles/bench_fig14_dblp_scholar.dir/bench_fig14_dblp_scholar.cc.o.d"
+  "bench_fig14_dblp_scholar"
+  "bench_fig14_dblp_scholar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dblp_scholar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

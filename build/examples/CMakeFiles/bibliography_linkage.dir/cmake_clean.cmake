@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_linkage.dir/bibliography_linkage.cpp.o"
+  "CMakeFiles/bibliography_linkage.dir/bibliography_linkage.cpp.o.d"
+  "bibliography_linkage"
+  "bibliography_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_deduplication.dir/product_deduplication.cpp.o"
+  "CMakeFiles/product_deduplication.dir/product_deduplication.cpp.o.d"
+  "product_deduplication"
+  "product_deduplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_deduplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

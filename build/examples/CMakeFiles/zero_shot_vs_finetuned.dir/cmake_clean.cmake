@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_shot_vs_finetuned.dir/zero_shot_vs_finetuned.cpp.o"
+  "CMakeFiles/zero_shot_vs_finetuned.dir/zero_shot_vs_finetuned.cpp.o.d"
+  "zero_shot_vs_finetuned"
+  "zero_shot_vs_finetuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_shot_vs_finetuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

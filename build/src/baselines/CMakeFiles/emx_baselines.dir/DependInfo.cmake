@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/classical_ml.cc" "src/baselines/CMakeFiles/emx_baselines.dir/classical_ml.cc.o" "gcc" "src/baselines/CMakeFiles/emx_baselines.dir/classical_ml.cc.o.d"
+  "/root/repo/src/baselines/deepmatcher.cc" "src/baselines/CMakeFiles/emx_baselines.dir/deepmatcher.cc.o" "gcc" "src/baselines/CMakeFiles/emx_baselines.dir/deepmatcher.cc.o.d"
+  "/root/repo/src/baselines/magellan.cc" "src/baselines/CMakeFiles/emx_baselines.dir/magellan.cc.o" "gcc" "src/baselines/CMakeFiles/emx_baselines.dir/magellan.cc.o.d"
+  "/root/repo/src/baselines/similarity.cc" "src/baselines/CMakeFiles/emx_baselines.dir/similarity.cc.o" "gcc" "src/baselines/CMakeFiles/emx_baselines.dir/similarity.cc.o.d"
+  "/root/repo/src/baselines/word2vec.cc" "src/baselines/CMakeFiles/emx_baselines.dir/word2vec.cc.o" "gcc" "src/baselines/CMakeFiles/emx_baselines.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/emx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/emx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/emx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_baselines.dir/classical_ml.cc.o"
+  "CMakeFiles/emx_baselines.dir/classical_ml.cc.o.d"
+  "CMakeFiles/emx_baselines.dir/deepmatcher.cc.o"
+  "CMakeFiles/emx_baselines.dir/deepmatcher.cc.o.d"
+  "CMakeFiles/emx_baselines.dir/magellan.cc.o"
+  "CMakeFiles/emx_baselines.dir/magellan.cc.o.d"
+  "CMakeFiles/emx_baselines.dir/similarity.cc.o"
+  "CMakeFiles/emx_baselines.dir/similarity.cc.o.d"
+  "CMakeFiles/emx_baselines.dir/word2vec.cc.o"
+  "CMakeFiles/emx_baselines.dir/word2vec.cc.o.d"
+  "libemx_baselines.a"
+  "libemx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_core.dir/entity_matcher.cc.o"
+  "CMakeFiles/emx_core.dir/entity_matcher.cc.o.d"
+  "CMakeFiles/emx_core.dir/experiment.cc.o"
+  "CMakeFiles/emx_core.dir/experiment.cc.o.d"
+  "libemx_core.a"
+  "libemx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

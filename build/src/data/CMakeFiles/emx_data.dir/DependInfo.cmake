@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/blocking.cc" "src/data/CMakeFiles/emx_data.dir/blocking.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/blocking.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/emx_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/emx_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/data/CMakeFiles/emx_data.dir/noise.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/noise.cc.o.d"
+  "/root/repo/src/data/pools.cc" "src/data/CMakeFiles/emx_data.dir/pools.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/pools.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/emx_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/emx_data.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

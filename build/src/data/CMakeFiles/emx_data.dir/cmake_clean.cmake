@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_data.dir/blocking.cc.o"
+  "CMakeFiles/emx_data.dir/blocking.cc.o.d"
+  "CMakeFiles/emx_data.dir/dataset_io.cc.o"
+  "CMakeFiles/emx_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/emx_data.dir/generators.cc.o"
+  "CMakeFiles/emx_data.dir/generators.cc.o.d"
+  "CMakeFiles/emx_data.dir/noise.cc.o"
+  "CMakeFiles/emx_data.dir/noise.cc.o.d"
+  "CMakeFiles/emx_data.dir/pools.cc.o"
+  "CMakeFiles/emx_data.dir/pools.cc.o.d"
+  "CMakeFiles/emx_data.dir/record.cc.o"
+  "CMakeFiles/emx_data.dir/record.cc.o.d"
+  "libemx_data.a"
+  "libemx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

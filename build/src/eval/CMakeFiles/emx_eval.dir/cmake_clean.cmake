@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_eval.dir/metrics.cc.o"
+  "CMakeFiles/emx_eval.dir/metrics.cc.o.d"
+  "libemx_eval.a"
+  "libemx_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

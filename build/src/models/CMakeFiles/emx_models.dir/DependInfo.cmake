@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/classifier.cc" "src/models/CMakeFiles/emx_models.dir/classifier.cc.o" "gcc" "src/models/CMakeFiles/emx_models.dir/classifier.cc.o.d"
+  "/root/repo/src/models/config.cc" "src/models/CMakeFiles/emx_models.dir/config.cc.o" "gcc" "src/models/CMakeFiles/emx_models.dir/config.cc.o.d"
+  "/root/repo/src/models/encoder.cc" "src/models/CMakeFiles/emx_models.dir/encoder.cc.o" "gcc" "src/models/CMakeFiles/emx_models.dir/encoder.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/models/CMakeFiles/emx_models.dir/transformer.cc.o" "gcc" "src/models/CMakeFiles/emx_models.dir/transformer.cc.o.d"
+  "/root/repo/src/models/xlnet.cc" "src/models/CMakeFiles/emx_models.dir/xlnet.cc.o" "gcc" "src/models/CMakeFiles/emx_models.dir/xlnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/emx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

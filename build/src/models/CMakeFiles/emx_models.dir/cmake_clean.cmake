@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_models.dir/classifier.cc.o"
+  "CMakeFiles/emx_models.dir/classifier.cc.o.d"
+  "CMakeFiles/emx_models.dir/config.cc.o"
+  "CMakeFiles/emx_models.dir/config.cc.o.d"
+  "CMakeFiles/emx_models.dir/encoder.cc.o"
+  "CMakeFiles/emx_models.dir/encoder.cc.o.d"
+  "CMakeFiles/emx_models.dir/transformer.cc.o"
+  "CMakeFiles/emx_models.dir/transformer.cc.o.d"
+  "CMakeFiles/emx_models.dir/xlnet.cc.o"
+  "CMakeFiles/emx_models.dir/xlnet.cc.o.d"
+  "libemx_models.a"
+  "libemx_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_nn.dir/attention.cc.o"
+  "CMakeFiles/emx_nn.dir/attention.cc.o.d"
+  "CMakeFiles/emx_nn.dir/layers.cc.o"
+  "CMakeFiles/emx_nn.dir/layers.cc.o.d"
+  "CMakeFiles/emx_nn.dir/module.cc.o"
+  "CMakeFiles/emx_nn.dir/module.cc.o.d"
+  "CMakeFiles/emx_nn.dir/optimizer.cc.o"
+  "CMakeFiles/emx_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/emx_nn.dir/rnn.cc.o"
+  "CMakeFiles/emx_nn.dir/rnn.cc.o.d"
+  "libemx_nn.a"
+  "libemx_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

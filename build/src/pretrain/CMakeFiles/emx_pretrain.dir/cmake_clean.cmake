@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_pretrain.dir/corpus.cc.o"
+  "CMakeFiles/emx_pretrain.dir/corpus.cc.o.d"
+  "CMakeFiles/emx_pretrain.dir/lm_data.cc.o"
+  "CMakeFiles/emx_pretrain.dir/lm_data.cc.o.d"
+  "CMakeFiles/emx_pretrain.dir/model_zoo.cc.o"
+  "CMakeFiles/emx_pretrain.dir/model_zoo.cc.o.d"
+  "CMakeFiles/emx_pretrain.dir/pretrainer.cc.o"
+  "CMakeFiles/emx_pretrain.dir/pretrainer.cc.o.d"
+  "libemx_pretrain.a"
+  "libemx_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_tensor.dir/autograd_ops.cc.o"
+  "CMakeFiles/emx_tensor.dir/autograd_ops.cc.o.d"
+  "CMakeFiles/emx_tensor.dir/tensor.cc.o"
+  "CMakeFiles/emx_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/emx_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/emx_tensor.dir/tensor_ops.cc.o.d"
+  "CMakeFiles/emx_tensor.dir/variable.cc.o"
+  "CMakeFiles/emx_tensor.dir/variable.cc.o.d"
+  "libemx_tensor.a"
+  "libemx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenizers/byte_bpe.cc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/byte_bpe.cc.o" "gcc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/byte_bpe.cc.o.d"
+  "/root/repo/src/tokenizers/tokenizer.cc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/tokenizer.cc.o" "gcc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/tokenizer.cc.o.d"
+  "/root/repo/src/tokenizers/unigram.cc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/unigram.cc.o" "gcc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/unigram.cc.o.d"
+  "/root/repo/src/tokenizers/vocab.cc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/vocab.cc.o" "gcc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/vocab.cc.o.d"
+  "/root/repo/src/tokenizers/wordpiece.cc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/wordpiece.cc.o" "gcc" "src/tokenizers/CMakeFiles/emx_tokenizers.dir/wordpiece.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_tokenizers.dir/byte_bpe.cc.o"
+  "CMakeFiles/emx_tokenizers.dir/byte_bpe.cc.o.d"
+  "CMakeFiles/emx_tokenizers.dir/tokenizer.cc.o"
+  "CMakeFiles/emx_tokenizers.dir/tokenizer.cc.o.d"
+  "CMakeFiles/emx_tokenizers.dir/unigram.cc.o"
+  "CMakeFiles/emx_tokenizers.dir/unigram.cc.o.d"
+  "CMakeFiles/emx_tokenizers.dir/vocab.cc.o"
+  "CMakeFiles/emx_tokenizers.dir/vocab.cc.o.d"
+  "CMakeFiles/emx_tokenizers.dir/wordpiece.cc.o"
+  "CMakeFiles/emx_tokenizers.dir/wordpiece.cc.o.d"
+  "libemx_tokenizers.a"
+  "libemx_tokenizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_tokenizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emx_util.dir/csv.cc.o"
+  "CMakeFiles/emx_util.dir/csv.cc.o.d"
+  "CMakeFiles/emx_util.dir/logging.cc.o"
+  "CMakeFiles/emx_util.dir/logging.cc.o.d"
+  "CMakeFiles/emx_util.dir/rng.cc.o"
+  "CMakeFiles/emx_util.dir/rng.cc.o.d"
+  "CMakeFiles/emx_util.dir/status.cc.o"
+  "CMakeFiles/emx_util.dir/status.cc.o.d"
+  "CMakeFiles/emx_util.dir/string_util.cc.o"
+  "CMakeFiles/emx_util.dir/string_util.cc.o.d"
+  "CMakeFiles/emx_util.dir/thread_pool.cc.o"
+  "CMakeFiles/emx_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/emx_util.dir/timer.cc.o"
+  "CMakeFiles/emx_util.dir/timer.cc.o.d"
+  "libemx_util.a"
+  "libemx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

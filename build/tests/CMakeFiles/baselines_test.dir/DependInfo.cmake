@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/emx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/emx_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/emx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/emx_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/emx_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/emx_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizers/CMakeFiles/emx_tokenizers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenizers_test.dir/tokenizers_test.cc.o"
+  "CMakeFiles/tokenizers_test.dir/tokenizers_test.cc.o.d"
+  "tokenizers_test"
+  "tokenizers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
