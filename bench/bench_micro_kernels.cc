@@ -7,6 +7,7 @@
 
 #include "models/encoder.h"
 #include "nn/attention.h"
+#include "nn/optimizer.h"
 #include "pretrain/corpus.h"
 #include "tensor/autograd_ops.h"
 #include "tensor/tensor_ops.h"
@@ -30,7 +31,34 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// The pre-rewrite triple-loop kernel, kept as ops::MatMulNaive; the ratio
+/// BM_MatMul/256 : BM_MatMulNaive/256 is the blocked-GEMM speedup.
+void BM_MatMulNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMulNaive(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  // The attention-score shape: A [M,K] x B^T with B stored [N,K].
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b, false, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(256);
 
 void BM_BatchedAttentionMatMul(benchmark::State& state) {
   // The QK^T shape of a fine-tuning batch: [16, 2, 56, 32] x transpose.
@@ -137,6 +165,26 @@ void BM_UnigramEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnigramEncode);
+
+void BM_AdamStep(benchmark::State& state) {
+  // One optimizer step over a BERT-scale (for this repro) parameter set.
+  Rng rng(8);
+  std::vector<nn::NamedParam> params;
+  std::vector<Variable> vars;
+  for (int i = 0; i < 8; ++i) {
+    Variable v = Variable::Parameter(Tensor::Randn({256, 64}, &rng));
+    v.node()->EnsureGrad().AddInPlace(Tensor::Randn({256, 64}, &rng));
+    params.push_back({"w" + std::to_string(i), v});
+    vars.push_back(v);
+  }
+  nn::AdamOptions opts;
+  nn::Adam adam(params, opts);
+  for (auto _ : state) {
+    adam.Step();
+    benchmark::DoNotOptimize(vars[0].value()[0]);
+  }
+}
+BENCHMARK(BM_AdamStep);
 
 void BM_AutogradTapeOverhead(benchmark::State& state) {
   // Chain of cheap elementwise ops: measures tape bookkeeping per op.

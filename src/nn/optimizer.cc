@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace emx {
 namespace nn {
@@ -83,16 +84,21 @@ void Adam::Step(float lr_override) {
     const float* g = grad.data();
     float* m = s.m.data();
     float* v = s.v.data();
-    const int64_t n = value.size();
-    for (int64_t i = 0; i < n; ++i) {
-      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
-      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
-      const float m_hat = m[i] / bc1;
-      const float v_hat = v[i] / bc2;
-      float update = m_hat / (std::sqrt(v_hat) + options_.eps);
-      if (s.decay) update += options_.weight_decay * w[i];
-      w[i] -= lr * update;
-    }
+    const bool decay = s.decay;
+    // Elementwise over the parameter tensor; large tensors (embedding
+    // tables, projection matrices) dominate the step, so split within each
+    // slot rather than across slots.
+    ParallelFor(value.size(), 1 << 14, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
+        v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
+        const float m_hat = m[i] / bc1;
+        const float v_hat = v[i] / bc2;
+        float update = m_hat / (std::sqrt(v_hat) + options_.eps);
+        if (decay) update += options_.weight_decay * w[i];
+        w[i] -= lr * update;
+      }
+    });
   }
 }
 

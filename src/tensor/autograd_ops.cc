@@ -1,9 +1,11 @@
 #include "tensor/autograd_ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace emx {
 namespace autograd {
@@ -169,9 +171,11 @@ Variable Sigmoid(const Variable& x) {
         const float* py = saved.data();
         const float* pg = g.data();
         float* pd = dx.data();
-        for (int64_t i = 0; i < saved.size(); ++i) {
-          pd[i] = pg[i] * py[i] * (1.0f - py[i]);
-        }
+        ParallelFor(saved.size(), 1 << 15, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+          }
+        });
         AccumulateGrad(x, dx);
       });
 }
@@ -227,13 +231,16 @@ Variable LogSoftmax(const Variable& x) {
         const float* pg = g.data();
         const float* ps = saved.data();
         float* pd = dx.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          float gsum = 0.0f;
-          for (int64_t j = 0; j < n; ++j) gsum += pg[r * n + j];
-          for (int64_t j = 0; j < n; ++j) {
-            pd[r * n + j] = pg[r * n + j] - std::exp(ps[r * n + j]) * gsum;
+        const int64_t grain = std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n));
+        ParallelFor(rows, grain, [&](int64_t begin, int64_t end) {
+          for (int64_t r = begin; r < end; ++r) {
+            float gsum = 0.0f;
+            for (int64_t j = 0; j < n; ++j) gsum += pg[r * n + j];
+            for (int64_t j = 0; j < n; ++j) {
+              pd[r * n + j] = pg[r * n + j] - std::exp(ps[r * n + j]) * gsum;
+            }
           }
-        }
+        });
         AccumulateGrad(x, dx);
       });
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -16,13 +18,25 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
+/// Minimum elements per ParallelFor chunk for cheap elementwise loops;
+/// below this the dispatch overhead outweighs the work and the range runs
+/// inline on the caller.
+constexpr int64_t kElemGrain = 1 << 15;
+
+/// Row grain for rowwise kernels (softmax family, LayerNorm): batch enough
+/// rows per chunk that each task touches at least ~16K elements.
+int64_t RowGrain(int64_t row_width) {
+  return std::max<int64_t>(1, 16384 / std::max<int64_t>(1, row_width));
+}
+
 template <typename F>
 Tensor Elementwise(const Tensor& x, F f) {
   Tensor out(x.shape());
   const float* in = x.data();
   float* o = out.data();
-  const int64_t n = x.size();
-  for (int64_t i = 0; i < n; ++i) o[i] = f(in[i]);
+  ParallelFor(x.size(), kElemGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) o[i] = f(in[i]);
+  });
   return out;
 }
 
@@ -33,8 +47,9 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f, const char* op) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* o = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) o[i] = f(pa[i], pb[i]);
+  ParallelFor(a.size(), kElemGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) o[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -75,11 +90,13 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   const float* b = bias.data();
   float* o = out.data();
   const int64_t rows = x.size() / h;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = in + r * h;
-    float* dst = o + r * h;
-    for (int64_t j = 0; j < h; ++j) dst[j] = src[j] + b[j];
-  }
+  ParallelFor(rows, RowGrain(h), [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* src = in + r * h;
+      float* dst = o + r * h;
+      for (int64_t j = 0; j < h; ++j) dst[j] = src[j] + b[j];
+    }
+  });
   return out;
 }
 
@@ -149,19 +166,171 @@ Tensor TanhGradFromOutput(const Tensor& dy, const Tensor& y) {
                 "TanhGrad");
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+namespace {
+
+// ---- Blocked GEMM ----------------------------------------------------
+//
+// GotoBLAS/llama.cpp-style MC/KC/NC cache tiling with an MR x NR register
+// micro-kernel. Operand blocks are packed into contiguous per-thread
+// scratch before the inner loops, so one code path serves all four
+// trans_a/trans_b combinations: transposition is absorbed entirely by the
+// packing strides. The micro-kernel loads the C tile, accumulates k in
+// ascending order, and stores the tile back once per KC block; every
+// output element therefore sees the exact addition sequence of the naive
+// ascending-k loop, making results bit-identical to MatMulNaive at any
+// thread count.
+constexpr int64_t kMC = 64;   // A block rows per task
+constexpr int64_t kKC = 256;  // packed panel depth
+constexpr int64_t kNC = 128;  // packed B panel width
+constexpr int64_t kMR = 4;    // register tile rows
+constexpr int64_t kNR = 16;   // register tile cols
+
+/// Logical dims and element strides of C = op(A) * op(B) for one matrix.
+/// A(i,kk) = pa[i * a_rs + kk * a_cs]; B(kk,j) = pb[kk * b_rs + j * b_cs].
+struct GemmShape {
+  int64_t m, n, k;
+  int64_t a_rs, a_cs, b_rs, b_cs;
+};
+
+/// One rounding behaviour for every GEMM kernel. The default
+/// -ffp-contract=fast lets the compiler contract a*b+c into FMA in some
+/// loop shapes and split it into mul-then-add in others, which breaks the
+/// bitwise blocked-vs-naive guarantee; an explicit fused (or explicitly
+/// unfused) multiply-add pins it down.
+inline float MulAdd(float a, float b, float c) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+  return std::fma(a, b, c);
+#else
+  return c + a * b;
+#endif
+}
+
+/// Copies a rows x cols logical block (strided source) into row-major dst.
+void PackPanel(const float* src, int64_t row_stride, int64_t col_stride,
+               int64_t rows, int64_t cols, float* dst) {
+  if (col_stride == 1) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* s = src + r * row_stride;
+      std::copy(s, s + cols, dst + r * cols);
+    }
+  } else {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* s = src + r * row_stride;
+      float* d = dst + r * cols;
+      for (int64_t c = 0; c < cols; ++c) d[c] = s[c * col_stride];
+    }
+  }
+}
+
+/// Full MR x NR register tile: C += Ap[0:MR, 0:kc] * Bp[0:kc, 0:NR].
+void MicroKernel(int64_t kc, const float* __restrict__ ap, int64_t lda,
+                 const float* __restrict__ bp, int64_t ldb,
+                 float* __restrict__ c, int64_t ldc) {
+  // One named accumulator array per tile row (kMR unrolled by hand): GCC
+  // vectorizes each j-loop into NR-wide FMAs and keeps the whole tile in
+  // registers, where the acc[kMR][kNR] formulation degenerates into
+  // shuffle-heavy scalar code. Per output element the accumulation is still
+  // a single ascending-k MulAdd chain, so results stay bit-identical to
+  // MicroKernelEdge and MatMulNaive.
+  static_assert(kMR == 4, "accumulator rows below are unrolled for kMR == 4");
+  float a0[kNR], a1[kNR], a2[kNR], a3[kNR];
+  for (int64_t j = 0; j < kNR; ++j) {
+    a0[j] = c[0 * ldc + j];
+    a1[j] = c[1 * ldc + j];
+    a2[j] = c[2 * ldc + j];
+    a3[j] = c[3 * ldc + j];
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict__ b_row = bp + kk * ldb;
+    const float v0 = ap[0 * lda + kk];
+    const float v1 = ap[1 * lda + kk];
+    const float v2 = ap[2 * lda + kk];
+    const float v3 = ap[3 * lda + kk];
+    for (int64_t j = 0; j < kNR; ++j) {
+      a0[j] = MulAdd(v0, b_row[j], a0[j]);
+      a1[j] = MulAdd(v1, b_row[j], a1[j]);
+      a2[j] = MulAdd(v2, b_row[j], a2[j]);
+      a3[j] = MulAdd(v3, b_row[j], a3[j]);
+    }
+  }
+  for (int64_t j = 0; j < kNR; ++j) {
+    c[0 * ldc + j] = a0[j];
+    c[1 * ldc + j] = a1[j];
+    c[2 * ldc + j] = a2[j];
+    c[3 * ldc + j] = a3[j];
+  }
+}
+
+/// Partial tile at the block edges; same ascending-k accumulation order.
+void MicroKernelEdge(int64_t mr, int64_t nr, int64_t kc,
+                     const float* __restrict__ ap, int64_t lda,
+                     const float* __restrict__ bp, int64_t ldb,
+                     float* __restrict__ c, int64_t ldc) {
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) {
+      float acc = c[i * ldc + j];
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        acc = MulAdd(ap[i * lda + kk], bp[kk * ldb + j], acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+/// Computes output rows [i_begin, i_end) of one C = op(A) * op(B).
+/// abuf/bbuf are caller-provided scratch of kMC*kKC and kKC*kNC floats.
+void GemmRowRange(const GemmShape& d, const float* pa, const float* pb,
+                  float* pc, int64_t i_begin, int64_t i_end, float* abuf,
+                  float* bbuf) {
+  for (int64_t jc = 0; jc < d.n; jc += kNC) {
+    const int64_t ncb = std::min(kNC, d.n - jc);
+    for (int64_t p = 0; p < d.k; p += kKC) {
+      const int64_t kcb = std::min(kKC, d.k - p);
+      PackPanel(pb + p * d.b_rs + jc * d.b_cs, d.b_rs, d.b_cs, kcb, ncb, bbuf);
+      for (int64_t ic = i_begin; ic < i_end; ic += kMC) {
+        const int64_t mcb = std::min(kMC, i_end - ic);
+        PackPanel(pa + ic * d.a_rs + p * d.a_cs, d.a_rs, d.a_cs, mcb, kcb,
+                  abuf);
+        for (int64_t ir = 0; ir < mcb; ir += kMR) {
+          const int64_t mr = std::min(kMR, mcb - ir);
+          float* c_tile_row = pc + (ic + ir) * d.n + jc;
+          for (int64_t jr = 0; jr < ncb; jr += kNR) {
+            const int64_t nr = std::min(kNR, ncb - jr);
+            if (mr == kMR && nr == kNR) {
+              MicroKernel(kcb, abuf + ir * kcb, kcb, bbuf + jr, ncb,
+                          c_tile_row + jr, d.n);
+            } else {
+              MicroKernelEdge(mr, nr, kcb, abuf + ir * kcb, kcb, bbuf + jr,
+                              ncb, c_tile_row + jr, d.n);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Resolves shapes/batching shared by MatMul and MatMulNaive. Returns the
+/// zero-initialized output; the strides in *dims absorb the trans flags.
+Tensor PrepareMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b, GemmShape* dims, int64_t* batch,
+                     bool* a_broadcast, bool* b_broadcast) {
   EMX_CHECK_GE(a.ndim(), 2);
   EMX_CHECK_GE(b.ndim(), 2);
   const int64_t a_rows = a.dim(-2), a_cols = a.dim(-1);
   const int64_t b_rows = b.dim(-2), b_cols = b.dim(-1);
-  const int64_t m = trans_a ? a_cols : a_rows;
-  const int64_t k = trans_a ? a_rows : a_cols;
+  dims->m = trans_a ? a_cols : a_rows;
+  dims->k = trans_a ? a_rows : a_cols;
   const int64_t kb = trans_b ? b_cols : b_rows;
-  const int64_t n = trans_b ? b_rows : b_cols;
-  EMX_CHECK_EQ(k, kb) << "MatMul inner dim mismatch: "
-                      << ShapeToString(a.shape()) << (trans_a ? "^T" : "")
-                      << " x " << ShapeToString(b.shape())
-                      << (trans_b ? "^T" : "");
+  dims->n = trans_b ? b_rows : b_cols;
+  EMX_CHECK_EQ(dims->k, kb) << "MatMul inner dim mismatch: "
+                            << ShapeToString(a.shape()) << (trans_a ? "^T" : "")
+                            << " x " << ShapeToString(b.shape())
+                            << (trans_b ? "^T" : "");
+  dims->a_rs = trans_a ? 1 : a_cols;
+  dims->a_cs = trans_a ? a_cols : 1;
+  dims->b_rs = trans_b ? 1 : b_cols;
+  dims->b_cs = trans_b ? b_cols : 1;
 
   // Batch handling: equal leading dims, or rank-2 broadcast.
   Shape a_batch(a.shape().begin(), a.shape().end() - 2);
@@ -177,135 +346,84 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     EMX_CHECK(false) << "MatMul batch mismatch: " << ShapeToString(a.shape())
                      << " x " << ShapeToString(b.shape());
   }
-  const int64_t batch = NumElements(out_batch);
-  const bool a_broadcast = a_batch.empty() && !out_batch.empty();
-  const bool b_broadcast = b_batch.empty() && !out_batch.empty();
+  *batch = NumElements(out_batch);
+  *a_broadcast = a_batch.empty() && !out_batch.empty();
+  *b_broadcast = b_batch.empty() && !out_batch.empty();
 
   Shape out_shape = out_batch;
-  out_shape.push_back(m);
-  out_shape.push_back(n);
-  Tensor out(out_shape);
+  out_shape.push_back(dims->m);
+  out_shape.push_back(dims->n);
+  return Tensor(out_shape);
+}
 
-  const int64_t a_stride = a_rows * a_cols;
-  const int64_t b_stride = b_rows * b_cols;
-  const int64_t c_stride = m * n;
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  GemmShape dims;
+  int64_t batch;
+  bool a_broadcast, b_broadcast;
+  Tensor out = PrepareMatMul(a, b, trans_a, trans_b, &dims, &batch,
+                             &a_broadcast, &b_broadcast);
+  const int64_t a_stride = a.dim(-2) * a.dim(-1);
+  const int64_t b_stride = b.dim(-2) * b.dim(-1);
+  const int64_t c_stride = dims.m * dims.n;
   const float* pa0 = a.data();
   const float* pb0 = b.data();
   float* pc0 = out.data();
 
-  auto gemm = [&](int64_t batch_begin, int64_t batch_end) {
-    for (int64_t bi = batch_begin; bi < batch_end; ++bi) {
-      const float* A = pa0 + (a_broadcast ? 0 : bi * a_stride);
-      const float* B = pb0 + (b_broadcast ? 0 : bi * b_stride);
-      float* C = pc0 + bi * c_stride;
-      if (!trans_a && !trans_b) {
-        // C[i,j] += A[i,k] * B[k,j]; ikj order vectorizes over j.
-        for (int64_t i = 0; i < m; ++i) {
-          float* c_row = C + i * n;
-          const float* a_row = A + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = a_row[kk];
-            const float* b_row = B + kk * n;
-            for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-          }
+  // One work item = one kMC row block of one batch matrix. Chunks are
+  // contiguous item ranges, so a worker sweeps whole row blocks and packs
+  // its own B panels into private scratch.
+  const int64_t blocks_per_mat = (dims.m + kMC - 1) / kMC;
+  const int64_t total_items = batch * blocks_per_mat;
+  const int64_t item_flops = std::max<int64_t>(
+      1, 2 * std::min(kMC, dims.m) * dims.k * dims.n);
+  const int64_t grain = std::max<int64_t>(1, (1 << 18) / item_flops);
+
+  ParallelFor(total_items, grain, [&](int64_t begin, int64_t end) {
+    std::vector<float> abuf(kMC * kKC);
+    std::vector<float> bbuf(kKC * kNC);
+    for (int64_t item = begin; item < end; ++item) {
+      const int64_t bi = item / blocks_per_mat;
+      const int64_t blk = item % blocks_per_mat;
+      const int64_t i0 = blk * kMC;
+      const int64_t i1 = std::min(i0 + kMC, dims.m);
+      const float* pa = pa0 + (a_broadcast ? 0 : bi * a_stride);
+      const float* pb = pb0 + (b_broadcast ? 0 : bi * b_stride);
+      float* pc = pc0 + bi * c_stride;
+      GemmRowRange(dims, pa, pb, pc, i0, i1, abuf.data(), bbuf.data());
+    }
+  });
+  return out;
+}
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b) {
+  GemmShape dims;
+  int64_t batch;
+  bool a_broadcast, b_broadcast;
+  Tensor out = PrepareMatMul(a, b, trans_a, trans_b, &dims, &batch,
+                             &a_broadcast, &b_broadcast);
+  const int64_t a_stride = a.dim(-2) * a.dim(-1);
+  const int64_t b_stride = b.dim(-2) * b.dim(-1);
+  const float* pa0 = a.data();
+  const float* pb0 = b.data();
+  float* pc0 = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* pa = pa0 + (a_broadcast ? 0 : bi * a_stride);
+    const float* pb = pb0 + (b_broadcast ? 0 : bi * b_stride);
+    float* pc = pc0 + bi * dims.m * dims.n;
+    for (int64_t i = 0; i < dims.m; ++i) {
+      float* c_row = pc + i * dims.n;
+      for (int64_t j = 0; j < dims.n; ++j) {
+        float acc = c_row[j];
+        for (int64_t kk = 0; kk < dims.k; ++kk) {
+          acc = MulAdd(pa[i * dims.a_rs + kk * dims.a_cs],
+                       pb[kk * dims.b_rs + j * dims.b_cs], acc);
         }
-      } else if (!trans_a && trans_b) {
-        // C[i,j] = dot(A[i,:], B[j,:]).
-        for (int64_t i = 0; i < m; ++i) {
-          const float* a_row = A + i * k;
-          float* c_row = C + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            const float* b_row = B + j * k;
-            float acc = 0.0f;
-            for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-            c_row[j] = acc;
-          }
-        }
-      } else if (trans_a && !trans_b) {
-        // A is stored [K, M]; C[i,j] += A[kk,i] * B[kk,j].
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float* a_row = A + kk * m;
-          const float* b_row = B + kk * n;
-          for (int64_t i = 0; i < m; ++i) {
-            const float av = a_row[i];
-            float* c_row = C + i * n;
-            for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-          }
-        }
-      } else {
-        // Both transposed (rare): C[i,j] = sum_k A[k,i] * B[j,k].
-        for (int64_t i = 0; i < m; ++i) {
-          float* c_row = C + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            const float* b_row = B + j * k;
-            float acc = 0.0f;
-            for (int64_t kk = 0; kk < k; ++kk) acc += A[kk * m + i] * b_row[kk];
-            c_row[j] = acc;
-          }
-        }
+        c_row[j] = acc;
       }
     }
-  };
-
-  if (batch > 1) {
-    ParallelFor(batch, 1, gemm);
-  } else if (m >= 64) {
-    // Single large matrix: parallelize across row blocks.
-    const int64_t block = 32;
-    const int64_t num_blocks = (m + block - 1) / block;
-    ParallelFor(num_blocks, 1, [&](int64_t blk_begin, int64_t blk_end) {
-      for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
-        const int64_t i0 = blk * block;
-        const int64_t i1 = std::min(i0 + block, m);
-        const float* A = pa0;
-        const float* B = pb0;
-        float* C = pc0;
-        if (!trans_a && !trans_b) {
-          for (int64_t i = i0; i < i1; ++i) {
-            float* c_row = C + i * n;
-            const float* a_row = A + i * k;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const float av = a_row[kk];
-              const float* b_row = B + kk * n;
-              for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-            }
-          }
-        } else if (!trans_a && trans_b) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const float* a_row = A + i * k;
-            float* c_row = C + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-              const float* b_row = B + j * k;
-              float acc = 0.0f;
-              for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-              c_row[j] = acc;
-            }
-          }
-        } else if (trans_a && !trans_b) {
-          // Row-parallel over output rows i; A stored [K, M].
-          for (int64_t i = i0; i < i1; ++i) {
-            float* c_row = C + i * n;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const float av = A[kk * m + i];
-              const float* b_row = B + kk * n;
-              for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-            }
-          }
-        } else {
-          for (int64_t i = i0; i < i1; ++i) {
-            float* c_row = C + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-              const float* b_row = B + j * k;
-              float acc = 0.0f;
-              for (int64_t kk = 0; kk < k; ++kk) acc += A[kk * m + i] * b_row[kk];
-              c_row[j] = acc;
-            }
-          }
-        }
-      }
-    });
-  } else {
-    gemm(0, 1);
   }
   return out;
 }
@@ -414,19 +532,21 @@ Tensor Softmax(const Tensor& x) {
   const float* p = x.data();
   float* o = out.data();
   const int64_t rows = x.size() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = p + r * n;
-    float* dst = o + r * n;
-    float mx = src[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      denom += dst[j];
+  ParallelFor(rows, RowGrain(n), [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* src = p + r * n;
+      float* dst = o + r * n;
+      float mx = src[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        dst[j] = std::exp(src[j] - mx);
+        denom += dst[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -438,14 +558,16 @@ Tensor SoftmaxGradFromOutput(const Tensor& dy, const Tensor& y) {
   const float* py = y.data();
   float* pdx = dx.data();
   const int64_t rows = y.size() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* gy = pdy + r * n;
-    const float* yy = py + r * n;
-    float* gx = pdx + r * n;
-    float dot = 0.0f;
-    for (int64_t j = 0; j < n; ++j) dot += gy[j] * yy[j];
-    for (int64_t j = 0; j < n; ++j) gx[j] = yy[j] * (gy[j] - dot);
-  }
+  ParallelFor(rows, RowGrain(n), [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* gy = pdy + r * n;
+      const float* yy = py + r * n;
+      float* gx = pdx + r * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += gy[j] * yy[j];
+      for (int64_t j = 0; j < n; ++j) gx[j] = yy[j] * (gy[j] - dot);
+    }
+  });
   return dx;
 }
 
@@ -455,16 +577,18 @@ Tensor LogSoftmax(const Tensor& x) {
   const float* p = x.data();
   float* o = out.data();
   const int64_t rows = x.size() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = p + r * n;
-    float* dst = o + r * n;
-    float mx = src[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(src[j] - mx);
-    const float log_denom = std::log(denom) + mx;
-    for (int64_t j = 0; j < n; ++j) dst[j] = src[j] - log_denom;
-  }
+  ParallelFor(rows, RowGrain(n), [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* src = p + r * n;
+      float* dst = o + r * n;
+      float mx = src[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, src[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(src[j] - mx);
+      const float log_denom = std::log(denom) + mx;
+      for (int64_t j = 0; j < n; ++j) dst[j] = src[j] - log_denom;
+    }
+  });
   return out;
 }
 
@@ -653,25 +777,27 @@ Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
   float* o = out.data();
   float* pm = mean->data();
   float* pr = rstd->data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = p + r * h;
-    float* dst = o + r * h;
-    float mu = 0.0f;
-    for (int64_t j = 0; j < h; ++j) mu += src[j];
-    mu /= static_cast<float>(h);
-    float var = 0.0f;
-    for (int64_t j = 0; j < h; ++j) {
-      const float d = src[j] - mu;
-      var += d * d;
+  ParallelFor(rows, RowGrain(h), [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* src = p + r * h;
+      float* dst = o + r * h;
+      float mu = 0.0f;
+      for (int64_t j = 0; j < h; ++j) mu += src[j];
+      mu /= static_cast<float>(h);
+      float var = 0.0f;
+      for (int64_t j = 0; j < h; ++j) {
+        const float d = src[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(h);
+      const float r_std = 1.0f / std::sqrt(var + eps);
+      pm[r] = mu;
+      pr[r] = r_std;
+      for (int64_t j = 0; j < h; ++j) {
+        dst[j] = (src[j] - mu) * r_std * g[j] + b[j];
+      }
     }
-    var /= static_cast<float>(h);
-    const float r_std = 1.0f / std::sqrt(var + eps);
-    pm[r] = mu;
-    pr[r] = r_std;
-    for (int64_t j = 0; j < h; ++j) {
-      dst[j] = (src[j] - mu) * r_std * g[j] + b[j];
-    }
-  }
+  });
   return out;
 }
 
@@ -689,30 +815,42 @@ Tensor LayerNormBackward(const Tensor& dy, const Tensor& x,
   float* pdx = dx.data();
   float* pdg = dgamma->data();
   float* pdb = dbeta->data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* gy = pdy + r * h;
-    const float* xx = px + r * h;
-    float* gx = pdx + r * h;
-    const float mu = pm[r];
-    const float rs = pr[r];
-    // xhat_j = (x_j - mu) * rs; dxhat_j = gy_j * gamma_j.
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_xhat = 0.0f;
-    for (int64_t j = 0; j < h; ++j) {
-      const float xhat = (xx[j] - mu) * rs;
-      const float dxhat = gy[j] * pg[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xhat;
-      pdg[j] += gy[j] * xhat;
-      pdb[j] += gy[j];
+  // Rows are independent for dx, but dgamma/dbeta reduce across rows: each
+  // chunk accumulates private partials and merges them under a mutex.
+  std::mutex merge_mu;
+  ParallelFor(rows, RowGrain(h), [&](int64_t begin, int64_t end) {
+    std::vector<float> local_dg(h, 0.0f);
+    std::vector<float> local_db(h, 0.0f);
+    for (int64_t r = begin; r < end; ++r) {
+      const float* gy = pdy + r * h;
+      const float* xx = px + r * h;
+      float* gx = pdx + r * h;
+      const float mu = pm[r];
+      const float rs = pr[r];
+      // xhat_j = (x_j - mu) * rs; dxhat_j = gy_j * gamma_j.
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (int64_t j = 0; j < h; ++j) {
+        const float xhat = (xx[j] - mu) * rs;
+        const float dxhat = gy[j] * pg[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        local_dg[j] += gy[j] * xhat;
+        local_db[j] += gy[j];
+      }
+      const float inv_h = 1.0f / static_cast<float>(h);
+      for (int64_t j = 0; j < h; ++j) {
+        const float xhat = (xx[j] - mu) * rs;
+        const float dxhat = gy[j] * pg[j];
+        gx[j] = rs * (dxhat - inv_h * sum_dxhat - xhat * inv_h * sum_dxhat_xhat);
+      }
     }
-    const float inv_h = 1.0f / static_cast<float>(h);
+    std::lock_guard<std::mutex> lock(merge_mu);
     for (int64_t j = 0; j < h; ++j) {
-      const float xhat = (xx[j] - mu) * rs;
-      const float dxhat = gy[j] * pg[j];
-      gx[j] = rs * (dxhat - inv_h * sum_dxhat - xhat * inv_h * sum_dxhat_xhat);
+      pdg[j] += local_dg[j];
+      pdb[j] += local_db[j];
     }
-  }
+  });
   return dx;
 }
 

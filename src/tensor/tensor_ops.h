@@ -53,9 +53,18 @@ Tensor TanhGradFromOutput(const Tensor& dy, const Tensor& y);
 /// Batched matrix multiply: a has shape [..., M, K] (or [K, M] when
 /// trans_a), b has shape [..., K, N] (or [N, K] when trans_b). Leading
 /// batch dims must match exactly, or either operand may be rank-2 and is
-/// broadcast across the other's batch. Parallelized across batch*rows.
+/// broadcast across the other's batch. Cache-blocked (MC/KC/NC tiling with
+/// packed panels) and parallelized across batch x row blocks; per-output
+/// accumulation is ascending-k, so results are bit-identical to
+/// MatMulNaive at any thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
+
+/// Single-threaded triple-loop reference GEMM with the same shape and
+/// broadcast rules as MatMul. Golden reference for tests and the baseline
+/// side of the kernel micro-benchmarks; do not use on hot paths.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b, bool trans_a = false,
+                   bool trans_b = false);
 
 /// Generic axis permutation (materializes the result).
 /// `perm` must be a permutation of [0, ndim).

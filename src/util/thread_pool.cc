@@ -1,8 +1,18 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace emx {
+
+namespace {
+
+/// Set while a worker runs its loop; lets ParallelFor detect that it was
+/// invoked from inside the pool it is about to block on. A worker of pool A
+/// may still block on a distinct pool B.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -21,23 +31,38 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> task) {
+  SubmitToGroup(&default_group_, std::move(task));
+}
+
+void ThreadPool::SubmitToGroup(TaskGroup* group, std::function<void()> fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push(Task{group, std::move(fn)});
+    ++group->pending;
   }
   task_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
+  std::exception_ptr error = WaitGroup(&default_group_);
+  if (error) std::rethrow_exception(error);
+}
+
+std::exception_ptr ThreadPool::WaitGroup(TaskGroup* group) {
   std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  group->done.wait(lock, [group] { return group->pending == 0; });
+  std::exception_ptr error = group->error;
+  group->error = nullptr;
+  return error;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -45,42 +70,67 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (error && !task.group->error) task.group->error = error;
+      if (--task.group->pending == 0) task.group->done.notify_all();
     }
   }
 }
 
-ThreadPool* GlobalThreadPool() {
-  // Function-local static pointer per the style guide: constructed once,
-  // never destroyed, so worker threads outlive all static destructors.
-  static ThreadPool* pool =
-      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
-  return pool;
-}
-
-void ParallelFor(int64_t total, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+void ThreadPool::ParallelFor(int64_t total, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
   if (total <= 0) return;
-  ThreadPool* pool = GlobalThreadPool();
-  const int64_t workers = static_cast<int64_t>(pool->num_threads());
   if (grain < 1) grain = 1;
-  if (total <= grain || workers <= 1) {
+  const int64_t workers = static_cast<int64_t>(num_threads());
+  if (total <= grain || workers <= 1 || InWorkerThread()) {
     fn(0, total);
     return;
   }
   const int64_t num_chunks = std::min(workers, (total + grain - 1) / grain);
   const int64_t chunk = (total + num_chunks - 1) / num_chunks;
-  // The caller's lambda runs on pool threads; it must not recursively call
-  // ParallelFor (kernels in this library do not).
-  for (int64_t begin = 0; begin < total; begin += chunk) {
+
+  TaskGroup group;
+  for (int64_t begin = chunk; begin < total; begin += chunk) {
     const int64_t end = std::min(begin + chunk, total);
-    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    SubmitToGroup(&group, [&fn, begin, end] { fn(begin, end); });
   }
-  pool->Wait();
+  // The caller works on the first chunk instead of idling in Wait.
+  std::exception_ptr caller_error;
+  try {
+    fn(0, std::min(chunk, total));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr group_error = WaitGroup(&group);
+  if (group_error) std::rethrow_exception(group_error);
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+ThreadPool* GlobalThreadPool() {
+  // Function-local static pointer per the style guide: constructed once,
+  // never destroyed, so worker threads outlive all static destructors.
+  static ThreadPool* pool = [] {
+    size_t n = std::max(1u, std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("EMX_NUM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v > 0) n = static_cast<size_t>(v);
+    }
+    return new ThreadPool(n);
+  }();
+  return pool;
+}
+
+void ParallelFor(int64_t total, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  GlobalThreadPool()->ParallelFor(total, grain, fn);
 }
 
 }  // namespace emx

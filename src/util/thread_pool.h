@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -13,6 +14,16 @@ namespace emx {
 
 /// A fixed-size worker pool. Tensor kernels use the process-wide pool via
 /// ParallelFor; destroying the pool joins all workers.
+///
+/// Completion tracking is scoped to *task groups*: every ParallelFor call
+/// owns a private group, so concurrent callers never wait on each other's
+/// tasks. Submit/Wait operate on a pool-default group and keep the old
+/// fire-and-forget semantics. An exception escaping a task is captured in
+/// its group and rethrown (first one wins) from ParallelFor / Wait on the
+/// calling thread instead of terminating the process. ParallelFor invoked
+/// from one of this pool's own workers runs the whole range inline, which
+/// makes nested parallel kernels safe (no worker is left to drain the
+/// queue, so blocking would deadlock).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -21,32 +32,61 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution on the pool-default group.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted via Submit() has finished. If any of
+  /// those tasks threw, rethrows the first captured exception (and clears
+  /// it, so a later Wait() does not rethrow again). Tasks spawned by
+  /// ParallelFor belong to per-call groups and are NOT waited on here.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True iff the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+  /// Runs fn(begin, end) over [0, total) split into contiguous chunks.
+  /// Runs inline when total <= grain, the pool has a single worker, or the
+  /// caller is itself one of this pool's workers (nested call). Otherwise
+  /// the caller executes the first chunk while workers run the rest, and
+  /// the call blocks until the whole range is done. The first exception
+  /// thrown by any chunk is rethrown on the calling thread.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
  private:
+  /// Per-call completion state; lives on the waiting caller's stack.
+  /// `pending` and `error` are guarded by the pool mutex `mu_`.
+  struct TaskGroup {
+    size_t pending = 0;
+    std::exception_ptr error;
+    std::condition_variable done;
+  };
+  struct Task {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
+  void SubmitToGroup(TaskGroup* group, std::function<void()> fn);
+  /// Blocks until the group drains; returns (and clears) its first error.
+  std::exception_ptr WaitGroup(TaskGroup* group);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
+  TaskGroup default_group_;
   bool shutdown_ = false;
 };
 
-/// Returns the shared process-wide pool (hardware_concurrency workers).
+/// Returns the shared process-wide pool. Sized by the EMX_NUM_THREADS
+/// environment variable when set (and positive), otherwise by
+/// hardware_concurrency.
 ThreadPool* GlobalThreadPool();
 
-/// Runs fn(begin, end) over [0, total) split into contiguous chunks across
-/// the global pool. Runs inline when total is small or the pool has a
-/// single worker. Blocks until complete.
+/// ParallelFor on the global pool; see ThreadPool::ParallelFor.
 void ParallelFor(int64_t total, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 

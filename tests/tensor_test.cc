@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -10,6 +12,14 @@ namespace emx {
 namespace {
 
 using ops::AllClose;
+
+// Force a multi-worker global pool even on single-core CI boxes so the
+// threaded kernel paths are exercised. Runs before the pool is first built
+// (it is created lazily on the first ParallelFor call after main starts).
+const bool kForceThreadedPool = [] {
+  setenv("EMX_NUM_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 // ---- Tensor storage ------------------------------------------------------
 
@@ -193,6 +203,63 @@ TEST(MatMulTest, LargeSingleMatrixParallelPathMatchesSmall) {
       EXPECT_NEAR(c[i * 19 + j], acc, 1e-4);
     }
   }
+}
+
+// Golden tests: the blocked GEMM must agree with the naive triple-loop
+// reference *bitwise*. Both accumulate each output in ascending-k order, so
+// the match must be exact for every trans flag combination, odd/prime
+// sizes that exercise the tile-edge kernels, and any thread count (the
+// global pool is forced to 4 workers above).
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                           static_cast<size_t>(got.size()) * sizeof(float)));
+}
+
+TEST(MatMulGoldenTest, BlockedMatchesNaiveAllTransCombos) {
+  Rng rng(42);
+  // (m, k, n) triples: tiny, prime, tile-edge-straddling, and block-sized.
+  const int64_t sizes[][3] = {{1, 1, 1},   {2, 3, 1},    {7, 13, 17},
+                              {31, 61, 29}, {67, 129, 65}, {64, 256, 128},
+                              {70, 257, 130}};
+  for (const auto& s : sizes) {
+    const int64_t m = s[0], k = s[1], n = s[2];
+    for (const bool trans_a : {false, true}) {
+      for (const bool trans_b : {false, true}) {
+        Tensor a = trans_a ? Tensor::Randn({k, m}, &rng)
+                           : Tensor::Randn({m, k}, &rng);
+        Tensor b = trans_b ? Tensor::Randn({n, k}, &rng)
+                           : Tensor::Randn({k, n}, &rng);
+        SCOPED_TRACE(testing::Message()
+                     << "m=" << m << " k=" << k << " n=" << n
+                     << " trans_a=" << trans_a << " trans_b=" << trans_b);
+        ExpectBitIdentical(ops::MatMul(a, b, trans_a, trans_b),
+                           ops::MatMulNaive(a, b, trans_a, trans_b));
+      }
+    }
+  }
+}
+
+TEST(MatMulGoldenTest, BatchedMatchesNaive) {
+  Rng rng(43);
+  Tensor a = Tensor::Randn({5, 23, 31}, &rng);
+  Tensor b = Tensor::Randn({5, 31, 19}, &rng);
+  ExpectBitIdentical(ops::MatMul(a, b), ops::MatMulNaive(a, b));
+  Tensor bt = Tensor::Randn({5, 19, 31}, &rng);
+  ExpectBitIdentical(ops::MatMul(a, bt, false, true),
+                     ops::MatMulNaive(a, bt, false, true));
+}
+
+TEST(MatMulGoldenTest, BroadcastMatchesNaive) {
+  Rng rng(44);
+  // Rank-2 rhs broadcast across lhs batch, and the reverse.
+  Tensor a = Tensor::Randn({4, 3, 37, 41}, &rng);
+  Tensor w = Tensor::Randn({41, 13}, &rng);
+  ExpectBitIdentical(ops::MatMul(a, w), ops::MatMulNaive(a, w));
+  Tensor lhs = Tensor::Randn({9, 41}, &rng);
+  Tensor rhs = Tensor::Randn({6, 41, 11}, &rng);
+  ExpectBitIdentical(ops::MatMul(lhs, rhs), ops::MatMulNaive(lhs, rhs));
 }
 
 // ---- Permute / reshape ------------------------------------------------------

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/rng.h"
@@ -336,6 +340,112 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool called = false;
   ParallelFor(0, 1, [&](int64_t, int64_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  // 4 external threads issue ParallelFor on the same pool simultaneously.
+  // Per-call task groups mean each caller returns when *its* range is done;
+  // the pool-global completion counter of the old design serialized them.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int64_t kRange = 5000;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kRange, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        pool.ParallelFor(kRange, 16, [&hits, c](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) hits[c][i]++;
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (int64_t i = 0; i < kRange; ++i) ASSERT_EQ(hits[c][i], 20);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor body that itself calls ParallelFor on the same pool must
+  // not deadlock: the nested call detects worker context and runs inline.
+  ThreadPool pool(2);
+  constexpr int64_t kOuter = 8, kInner = 64;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  pool.ParallelFor(kOuter, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t o = begin; o < end; ++o) {
+      pool.ParallelFor(kInner, 1, [&, o](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) cells[o * kInner + i]++;
+      });
+    }
+  });
+  for (auto& c : cells) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> saw_worker{false};
+  pool.Submit([&] { saw_worker = pool.InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  auto throwing = [&] {
+    pool.ParallelFor(1000, 1, [](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        if (i == 737) throw std::runtime_error("kernel failed");
+      }
+    });
+  };
+  EXPECT_THROW(throwing(), std::runtime_error);
+  // The pool stays usable after a failed call.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, 1, [&](int64_t begin, int64_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionRethrownOnWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is cleared once delivered.
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersIsolateErrors) {
+  // One caller's throwing range must not leak its exception into (or block)
+  // an unrelated concurrent caller.
+  ThreadPool pool(4);
+  std::atomic<int> clean_total{0};
+  std::atomic<bool> threw{false};
+  std::thread bad([&] {
+    try {
+      pool.ParallelFor(2000, 1, [](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          if (i % 500 == 3) throw std::runtime_error("bad caller");
+        }
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  std::thread good([&] {
+    for (int repeat = 0; repeat < 50; ++repeat) {
+      pool.ParallelFor(1000, 8, [&](int64_t begin, int64_t end) {
+        clean_total += static_cast<int>(end - begin);
+      });
+    }
+  });
+  bad.join();
+  good.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(clean_total.load(), 50 * 1000);
 }
 
 }  // namespace
