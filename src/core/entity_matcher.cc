@@ -143,6 +143,9 @@ std::vector<EpochRecord> EntityMatcher::FineTune(const data::EmDataset& dataset,
 std::vector<int64_t> EntityMatcher::Predict(
     const data::EmDataset& dataset,
     const std::vector<data::RecordPair>& pairs) {
+  // Evaluation never back-propagates: skip the tape so the Table 5 /
+  // Figures 10-14 benches stop paying the autograd tax.
+  NoGradGuard no_grad;
   std::vector<int64_t> preds;
   preds.reserve(pairs.size());
   constexpr int64_t kEvalBatch = 32;
@@ -172,11 +175,33 @@ eval::PrfScores EntityMatcher::Evaluate(
 
 double EntityMatcher::MatchProbability(std::string_view text_a,
                                        std::string_view text_b) {
-  models::Batch batch = BuildBatch({std::string(text_a)},
-                                   {std::string(text_b)}, eval_max_seq_len_);
-  Variable logits = classifier_->Logits(batch, /*train=*/false, &rng_);
-  Tensor probs = ops::Softmax(logits.value());
-  return probs[1];
+  return MatchProbabilities({std::string(text_a)}, {std::string(text_b)})[0];
+}
+
+std::vector<double> EntityMatcher::MatchProbabilities(
+    const std::vector<std::string>& texts_a,
+    const std::vector<std::string>& texts_b) {
+  EMX_CHECK_EQ(texts_a.size(), texts_b.size());
+  NoGradGuard no_grad;
+  std::vector<double> out;
+  out.reserve(texts_a.size());
+  constexpr int64_t kEvalBatch = 32;
+  for (size_t start = 0; start < texts_a.size();
+       start += static_cast<size_t>(kEvalBatch)) {
+    const size_t end =
+        std::min(texts_a.size(), start + static_cast<size_t>(kEvalBatch));
+    std::vector<std::string> slice_a(texts_a.begin() + start,
+                                     texts_a.begin() + end);
+    std::vector<std::string> slice_b(texts_b.begin() + start,
+                                     texts_b.begin() + end);
+    models::Batch batch = BuildBatch(slice_a, slice_b, eval_max_seq_len_);
+    Variable logits = classifier_->Logits(batch, /*train=*/false, &rng_);
+    Tensor probs = ops::Softmax(logits.value());
+    for (size_t i = 0; i < end - start; ++i) {
+      out.push_back(probs[static_cast<int64_t>(i) * 2 + 1]);
+    }
+  }
+  return out;
 }
 
 bool EntityMatcher::Match(std::string_view text_a, std::string_view text_b) {

@@ -84,6 +84,12 @@ class EntityMatcher {
   bool Match(std::string_view text_a, std::string_view text_b);
   /// P(match) for two free-text entity descriptions.
   double MatchProbability(std::string_view text_a, std::string_view text_b);
+  /// P(match) for a batch of free-text pairs, one grad-free forward per
+  /// internal slice — the bulk path the serving engine and the evaluation
+  /// benches share.
+  std::vector<double> MatchProbabilities(
+      const std::vector<std::string>& texts_a,
+      const std::vector<std::string>& texts_b);
 
   models::Architecture arch() const {
     return classifier_->config().arch;
@@ -93,6 +99,11 @@ class EntityMatcher {
   }
   const tokenizers::Tokenizer& tokenizer() const { return *tokenizer_; }
   models::SequencePairClassifier* classifier() { return classifier_.get(); }
+
+  /// Token budget used by the prediction paths (FineTune overwrites it with
+  /// the fine-tuning budget; serving engines may pin their own).
+  int64_t eval_max_seq_len() const { return eval_max_seq_len_; }
+  void set_eval_max_seq_len(int64_t n) { eval_max_seq_len_ = n; }
 
   /// Persists / restores all weights (backbone + head).
   Status Save(const std::string& path);

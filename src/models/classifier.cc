@@ -51,6 +51,7 @@ Variable SequencePairClassifier::Logits(const Batch& batch, bool train,
 
 std::vector<int64_t> SequencePairClassifier::Predict(const Batch& batch,
                                                      Rng* rng) {
+  NoGradGuard no_grad;  // prediction never back-propagates
   Variable logits = Logits(batch, /*train=*/false, rng);
   return ops::ArgMaxLastAxis(logits.value());
 }

@@ -1,0 +1,260 @@
+#include "serve/matcher_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/tensor_ops.h"
+#include "tensor/variable.h"
+#include "util/logging.h"
+
+namespace emx {
+namespace serve {
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
+                             const EngineOptions& options)
+    : matcher_(matcher),
+      options_(options),
+      cache_(&matcher->tokenizer(), options.cache_capacity,
+             options.max_seq_len),
+      metrics_(options.max_batch_size),
+      paused_(options.start_paused) {
+  EMX_CHECK(matcher != nullptr);
+  EMX_CHECK_GT(options_.max_batch_size, 0);
+  EMX_CHECK_GT(options_.max_wait_us, 0);
+  EMX_CHECK_GT(options_.queue_capacity, 0);
+  EMX_CHECK_GT(options_.bucket_width, 0);
+  EMX_CHECK_GT(options_.num_workers, 0);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back(&MatcherEngine::WorkerLoop, this,
+                          static_cast<uint64_t>(w));
+  }
+}
+
+MatcherEngine::~MatcherEngine() { Shutdown(); }
+
+std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
+                                               std::string text_b) {
+  return Submit(std::move(text_a), std::move(text_b),
+                options_.default_timeout_us);
+}
+
+std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
+                                               std::string text_b,
+                                               int64_t timeout_us) {
+  Request req;
+  req.enqueued = Clock::now();
+  req.deadline = timeout_us > 0
+                     ? req.enqueued + std::chrono::microseconds(timeout_us)
+                     : Clock::time_point::max();
+  std::future<MatchResult> fut = req.promise.get_future();
+
+  {
+    // Fail fast before paying for tokenization.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      MatchResult r;
+      r.status = Status::Unavailable("engine is shut down");
+      req.promise.set_value(std::move(r));
+      return fut;
+    }
+  }
+
+  bool hit = false;
+  req.enc = cache_.Get(text_a, text_b, &hit);
+  req.cache_hit = hit;
+  metrics_.RecordCacheLookup(hit);
+  req.bucket = std::max<int64_t>(
+      1, (req.enc.length + options_.bucket_width - 1) / options_.bucket_width);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    MatchResult r;
+    r.status = Status::Unavailable("engine is shut down");
+    req.promise.set_value(std::move(r));
+  } else if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+    metrics_.RecordRejected();
+    MatchResult r;
+    r.status = Status::ResourceExhausted("request queue is full");
+    r.cache_hit = hit;
+    req.promise.set_value(std::move(r));
+  } else {
+    queue_.push_back(std::move(req));
+    metrics_.RecordSubmitted(static_cast<int64_t>(queue_.size()));
+    work_cv_.notify_all();
+  }
+  return fut;
+}
+
+MatchResult MatcherEngine::Match(std::string text_a, std::string text_b) {
+  return Submit(std::move(text_a), std::move(text_b)).get();
+}
+
+void MatcherEngine::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void MatcherEngine::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void MatcherEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+MetricsSnapshot MatcherEngine::Metrics() const {
+  return metrics_.Snapshot(queue_depth());
+}
+
+std::string MatcherEngine::MetricsJson() const { return Metrics().ToJson(); }
+
+int64_t MatcherEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void MatcherEngine::ExpireQueuedLocked(Clock::time_point now) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      MatchResult r;
+      r.status = Status::DeadlineExceeded("deadline passed while queued");
+      r.queue_us = ElapsedUs(it->enqueued, now);
+      r.total_us = r.queue_us;
+      r.cache_hit = it->cache_hit;
+      metrics_.RecordTimeout();
+      it->promise.set_value(std::move(r));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MatcherEngine::WorkerLoop(uint64_t worker_id) {
+  // Per-worker Rng (the eval forward never consumes randomness, but the
+  // Logits API takes one).
+  Rng rng(0x5e7e + worker_id);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (!paused_ && !queue_.empty());
+    });
+    const Clock::time_point now = Clock::now();
+    // Shutdown overrides pause: queued work is drained either way.
+    if (!paused_ || shutdown_) ExpireQueuedLocked(now);
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+
+    // The oldest request defines the bucket to serve and the flush clock.
+    const int64_t bucket = queue_.front().bucket;
+    const Clock::time_point flush_at =
+        queue_.front().enqueued +
+        std::chrono::microseconds(options_.max_wait_us);
+    int64_t in_bucket = 0;
+    for (const Request& r : queue_) {
+      if (r.bucket == bucket && ++in_bucket >= options_.max_batch_size) break;
+    }
+
+    if (!shutdown_ && in_bucket < options_.max_batch_size && now < flush_at) {
+      // Not full and not due: sleep until the flush deadline or the next
+      // per-request deadline, whichever comes first (or a new submission).
+      Clock::time_point wake = flush_at;
+      for (const Request& r : queue_) wake = std::min(wake, r.deadline);
+      work_cv_.wait_until(lock, wake);
+      continue;
+    }
+
+    std::vector<Request> batch;
+    batch.reserve(static_cast<size_t>(in_bucket));
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<int64_t>(batch.size()) < options_.max_batch_size;) {
+      if (it->bucket == bucket) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    RunBatch(std::move(batch), &rng);
+    lock.lock();
+  }
+}
+
+void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
+  const Clock::time_point formed = Clock::now();
+  const int64_t b = static_cast<int64_t>(batch.size());
+
+  // Pad only to the bucket top (rounded up from the longest member), not to
+  // the engine-wide max_seq_len: short pairs never pay for long ones.
+  int64_t longest = 1;
+  for (const Request& r : batch) longest = std::max(longest, r.enc.length);
+  const int64_t target_len = std::min(
+      options_.max_seq_len,
+      (longest + options_.bucket_width - 1) / options_.bucket_width *
+          options_.bucket_width);
+
+  models::Batch mb;
+  mb.batch_size = b;
+  mb.seq_len = target_len;
+  mb.ids.reserve(static_cast<size_t>(b * target_len));
+  mb.segment_ids.reserve(static_cast<size_t>(b * target_len));
+  std::vector<float> pad_flags;
+  pad_flags.reserve(static_cast<size_t>(b * target_len));
+  for (const Request& r : batch) {
+    // Cached encodings are padded to max_seq_len; the batch keeps only the
+    // first target_len positions (>= every member's real length, so only
+    // pad tokens are dropped and masked attention is unchanged).
+    const auto& enc = r.enc.enc;
+    mb.ids.insert(mb.ids.end(), enc.ids.begin(), enc.ids.begin() + target_len);
+    mb.segment_ids.insert(mb.segment_ids.end(), enc.segment_ids.begin(),
+                          enc.segment_ids.begin() + target_len);
+    pad_flags.insert(pad_flags.end(), enc.attention_mask.begin(),
+                     enc.attention_mask.begin() + target_len);
+  }
+  mb.attention_mask = models::Batch::MakeMask(pad_flags, b, target_len);
+
+  NoGradGuard no_grad;
+  Variable logits = matcher_->classifier()->Logits(mb, /*train=*/false, rng);
+  Tensor probs = ops::Softmax(logits.value());
+  const Clock::time_point done = Clock::now();
+
+  metrics_.RecordBatch(b);
+  for (int64_t i = 0; i < b; ++i) {
+    Request& r = batch[static_cast<size_t>(i)];
+    MatchResult result;
+    result.status = Status::OK();
+    result.probability = probs[i * 2 + 1];
+    result.is_match = result.probability >= 0.5;
+    result.queue_us = ElapsedUs(r.enqueued, formed);
+    result.total_us = ElapsedUs(r.enqueued, done);
+    result.batch_size = b;
+    result.cache_hit = r.cache_hit;
+    metrics_.RecordCompletion(result.total_us);
+    r.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace serve
+}  // namespace emx

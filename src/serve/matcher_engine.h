@@ -1,0 +1,160 @@
+#ifndef EMX_SERVE_MATCHER_ENGINE_H_
+#define EMX_SERVE_MATCHER_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "serve/serving_metrics.h"
+#include "serve/token_cache.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emx {
+namespace serve {
+
+/// Tuning knobs for the serving engine.
+struct EngineOptions {
+  /// Flush a micro-batch as soon as this many same-bucket requests are
+  /// queued...
+  int64_t max_batch_size = 16;
+  /// ...or as soon as the oldest queued request has waited this long.
+  int64_t max_wait_us = 2000;
+  /// Submissions beyond this bound are rejected with ResourceExhausted.
+  int64_t queue_capacity = 1024;
+  /// Token budget per pair (requests are truncated/padded like the
+  /// training path).
+  int64_t max_seq_len = 48;
+  /// Length-bucket granularity in tokens: a request of real length L lands
+  /// in bucket ceil(L / bucket_width) and is only batched with requests of
+  /// the same bucket, padded to the bucket top instead of max_seq_len.
+  int64_t bucket_width = 16;
+  /// Tokenization LRU capacity (pairs).
+  int64_t cache_capacity = 4096;
+  /// Deadline applied to Submit calls that don't carry their own;
+  /// 0 = no deadline.
+  int64_t default_timeout_us = 0;
+  /// Batch workers running concurrent grad-free forwards. A NoGradGuard
+  /// forward only *reads* the shared parameter nodes (no tape, no gradient
+  /// buffers), so multiple workers are race-free; on a multi-core host this
+  /// overlaps batches the kernels are too small to parallelize internally.
+  int64_t num_workers = 1;
+  /// Construct with the batching worker paused (tests / drain control);
+  /// call Resume() to start serving.
+  bool start_paused = false;
+};
+
+/// Outcome of one serving request.
+struct MatchResult {
+  /// OK, DeadlineExceeded (deadline passed while queued), ResourceExhausted
+  /// (queue full at submit) or Unavailable (engine shut down).
+  Status status;
+  double probability = 0;
+  bool is_match = false;
+  /// Time from submit to micro-batch formation, µs.
+  double queue_us = 0;
+  /// Time from submit to completion, µs.
+  double total_us = 0;
+  /// Size of the micro-batch this request was served in.
+  int64_t batch_size = 0;
+  /// Whether tokenization was served from the LRU cache.
+  bool cache_hit = false;
+};
+
+/// Batched, grad-free inference serving for a fine-tuned (or
+/// checkpoint-loaded) EntityMatcher.
+///
+/// Pipeline: Submit() tokenizes on the caller thread through the LRU cache,
+/// length-buckets the request and enqueues it (bounded). A single batching
+/// worker groups the oldest request with its bucket peers, flushes on
+/// batch-size or max-wait, runs one NoGradGuard forward per micro-batch
+/// padded only to the bucket top, and fulfills the per-request futures.
+/// Metrics (throughput, latency percentiles, queue depth, batch-size
+/// histogram, cache hit rate) are snapshotable as JSON at any time.
+///
+/// All model access happens on the engine's worker threads and is read-only
+/// (grad-free forwards never touch gradient buffers or tapes); the wrapped
+/// matcher must not be trained, loaded into, or otherwise *mutated* while
+/// the engine is live. Submit() is thread-safe and non-blocking.
+class MatcherEngine {
+ public:
+  /// `matcher` must outlive the engine (typically fine-tuned first, or
+  /// populated via EntityMatcher::Load from a checkpoint).
+  explicit MatcherEngine(core::EntityMatcher* matcher,
+                         const EngineOptions& options = {});
+  ~MatcherEngine();
+
+  MatcherEngine(const MatcherEngine&) = delete;
+  MatcherEngine& operator=(const MatcherEngine&) = delete;
+
+  /// Enqueues a pair with the default deadline; the future resolves when
+  /// the request is served, times out, or is rejected (check `status`).
+  std::future<MatchResult> Submit(std::string text_a, std::string text_b);
+  /// Enqueues with an explicit deadline (µs from now; 0 = none).
+  std::future<MatchResult> Submit(std::string text_a, std::string text_b,
+                                  int64_t timeout_us);
+
+  /// Convenience: Submit + wait.
+  MatchResult Match(std::string text_a, std::string text_b);
+
+  /// Stops/starts micro-batch formation; queued requests are held (their
+  /// deadlines are only evaluated while running).
+  void Pause();
+  void Resume();
+
+  /// Drains the queue (without waiting out max_wait) and stops the worker.
+  /// Subsequent Submit calls fail with Unavailable. Idempotent; also run
+  /// by the destructor.
+  void Shutdown();
+
+  MetricsSnapshot Metrics() const;
+  std::string MetricsJson() const;
+
+  int64_t queue_depth() const;
+  const TokenizationCache& cache() const { return cache_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::promise<MatchResult> promise;
+    CachedEncoding enc;
+    bool cache_hit = false;
+    int64_t bucket = 0;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() when none
+  };
+
+  void WorkerLoop(uint64_t worker_id);
+  /// Completes every queued request whose deadline has passed. Caller holds
+  /// `mu_`; promises are fulfilled after collecting, outside the queue scan.
+  void ExpireQueuedLocked(Clock::time_point now);
+  /// Runs one micro-batch (no lock held): bucket-padded batch build,
+  /// grad-free forward, promise fulfillment.
+  void RunBatch(std::vector<Request> batch, Rng* rng);
+
+  core::EntityMatcher* matcher_;
+  const EngineOptions options_;
+  TokenizationCache cache_;
+  ServingMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace emx
+
+#endif  // EMX_SERVE_MATCHER_ENGINE_H_

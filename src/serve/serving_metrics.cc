@@ -1,0 +1,146 @@
+#include "serve/serving_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace emx {
+namespace serve {
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (q in [0, 1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void AppendField(std::string* out, const char* name, double value,
+                 bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %.3f", *first ? "" : ", ", name,
+                value);
+  *out += buf;
+  *first = false;
+}
+
+void AppendField(std::string* out, const char* name, int64_t value,
+                 bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %lld", *first ? "" : ", ", name,
+                static_cast<long long>(value));
+  *out += buf;
+  *first = false;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  AppendField(&out, "submitted", submitted, &first);
+  AppendField(&out, "completed", completed, &first);
+  AppendField(&out, "timed_out", timed_out, &first);
+  AppendField(&out, "rejected", rejected, &first);
+  AppendField(&out, "cache_hits", cache_hits, &first);
+  AppendField(&out, "cache_misses", cache_misses, &first);
+  AppendField(&out, "cache_hit_rate", cache_hit_rate, &first);
+  AppendField(&out, "batches", batches, &first);
+  AppendField(&out, "mean_batch_size", mean_batch_size, &first);
+  AppendField(&out, "queue_depth", queue_depth, &first);
+  AppendField(&out, "max_queue_depth", max_queue_depth, &first);
+  AppendField(&out, "uptime_seconds", uptime_seconds, &first);
+  AppendField(&out, "throughput_pairs_per_sec", throughput_pairs_per_sec,
+              &first);
+  AppendField(&out, "p50_latency_us", p50_latency_us, &first);
+  AppendField(&out, "p95_latency_us", p95_latency_us, &first);
+  AppendField(&out, "p99_latency_us", p99_latency_us, &first);
+  AppendField(&out, "max_latency_us", max_latency_us, &first);
+  out += ", \"batch_size_histogram\": [";
+  for (size_t s = 1; s < batch_size_histogram.size(); ++s) {
+    if (s > 1) out += ", ";
+    out += std::to_string(batch_size_histogram[s]);
+  }
+  out += "]}";
+  return out;
+}
+
+ServingMetrics::ServingMetrics(int64_t max_batch_size)
+    : batch_hist_(static_cast<size_t>(max_batch_size) + 1, 0) {
+  latencies_.resize(kLatencyWindow, 0);
+}
+
+void ServingMetrics::RecordSubmitted(int64_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+}
+
+void ServingMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServingMetrics::RecordTimeout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++timed_out_;
+}
+
+void ServingMetrics::RecordBatch(int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+  const size_t slot = std::min(batch_hist_.size() - 1,
+                               static_cast<size_t>(std::max<int64_t>(0, batch_size)));
+  ++batch_hist_[slot];
+}
+
+void ServingMetrics::RecordCompletion(double total_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  latencies_[latency_next_] = total_us;
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  latency_count_ = std::min(latency_count_ + 1, kLatencyWindow);
+}
+
+void ServingMetrics::RecordCacheLookup(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+  }
+}
+
+MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.timed_out = timed_out_;
+  s.rejected = rejected_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  const int64_t lookups = cache_hits_ + cache_misses_;
+  s.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(cache_hits_) / lookups : 0;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(batched_requests_) / batches_ : 0;
+  s.batch_size_histogram = batch_hist_;
+  s.queue_depth = queue_depth;
+  s.max_queue_depth = max_queue_depth_;
+  s.uptime_seconds = uptime_.ElapsedSeconds();
+  s.throughput_pairs_per_sec =
+      s.uptime_seconds > 0 ? completed_ / s.uptime_seconds : 0;
+  std::vector<double> window(latencies_.begin(),
+                             latencies_.begin() + latency_count_);
+  std::sort(window.begin(), window.end());
+  s.p50_latency_us = Percentile(window, 0.50);
+  s.p95_latency_us = Percentile(window, 0.95);
+  s.p99_latency_us = Percentile(window, 0.99);
+  s.max_latency_us = window.empty() ? 0 : window.back();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace emx

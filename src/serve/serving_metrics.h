@@ -1,0 +1,94 @@
+#ifndef EMX_SERVE_SERVING_METRICS_H_
+#define EMX_SERVE_SERVING_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace emx {
+namespace serve {
+
+/// Point-in-time view of the serving counters. All totals are cumulative
+/// since engine construction; latencies are computed over a bounded window
+/// of the most recent completions (see ServingMetrics).
+struct MetricsSnapshot {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t timed_out = 0;
+  int64_t rejected = 0;
+
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// hits / (hits + misses); 0 when no lookups happened.
+  double cache_hit_rate = 0;
+
+  int64_t batches = 0;
+  double mean_batch_size = 0;
+  /// histogram[s] = number of micro-batches served with exactly s requests
+  /// (index 0 unused).
+  std::vector<int64_t> batch_size_histogram;
+
+  int64_t queue_depth = 0;
+  int64_t max_queue_depth = 0;
+
+  double uptime_seconds = 0;
+  /// completed / uptime.
+  double throughput_pairs_per_sec = 0;
+
+  /// Submit-to-completion latency percentiles over the recent window, µs.
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+  double p99_latency_us = 0;
+  double max_latency_us = 0;
+
+  /// Serializes every field as a flat JSON object.
+  std::string ToJson() const;
+};
+
+/// Thread-safe counters for the matcher engine: throughput, latency
+/// percentiles, queue depth, batch-size histogram and tokenization-cache
+/// hit rate. Latencies are kept in a fixed-size ring (most recent
+/// `kLatencyWindow` completions) so a long-running server never grows.
+class ServingMetrics {
+ public:
+  explicit ServingMetrics(int64_t max_batch_size);
+
+  void RecordSubmitted(int64_t queue_depth_after);
+  void RecordRejected();
+  void RecordTimeout();
+  /// One micro-batch of `batch_size` requests was served.
+  void RecordBatch(int64_t batch_size);
+  /// One request finished OK, `total_us` after submission.
+  void RecordCompletion(double total_us);
+  void RecordCacheLookup(bool hit);
+
+  /// `queue_depth` is the current depth sampled by the caller.
+  MetricsSnapshot Snapshot(int64_t queue_depth) const;
+
+ private:
+  static constexpr size_t kLatencyWindow = 8192;
+
+  mutable std::mutex mu_;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t timed_out_ = 0;
+  int64_t rejected_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_requests_ = 0;
+  int64_t max_queue_depth_ = 0;
+  std::vector<int64_t> batch_hist_;
+  std::vector<double> latencies_;  // ring buffer, valid up to latency_count_
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+  Timer uptime_;
+};
+
+}  // namespace serve
+}  // namespace emx
+
+#endif  // EMX_SERVE_SERVING_METRICS_H_

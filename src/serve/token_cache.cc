@@ -1,0 +1,75 @@
+#include "serve/token_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace serve {
+namespace {
+
+/// 0x1f (unit separator) cannot appear in tokenizer input text, so the
+/// joined key is collision-free.
+std::string MakeKey(std::string_view a, std::string_view b) {
+  std::string key;
+  key.reserve(a.size() + b.size() + 1);
+  key.append(a);
+  key.push_back('\x1f');
+  key.append(b);
+  return key;
+}
+
+}  // namespace
+
+TokenizationCache::TokenizationCache(const tokenizers::Tokenizer* tokenizer,
+                                     int64_t capacity, int64_t max_seq_len)
+    : tokenizer_(tokenizer), capacity_(capacity), max_seq_len_(max_seq_len) {
+  EMX_CHECK(tokenizer != nullptr);
+  EMX_CHECK_GT(capacity, 0);
+  EMX_CHECK_GT(max_seq_len, 0);
+}
+
+CachedEncoding TokenizationCache::Get(std::string_view a, std::string_view b,
+                                      bool* hit) {
+  std::string key = MakeKey(a, b);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+      if (hit != nullptr) *hit = true;
+      return it->second->value;
+    }
+  }
+  if (hit != nullptr) *hit = false;
+
+  CachedEncoding fresh;
+  fresh.enc = tokenizer_->EncodePair(a, b, max_seq_len_);
+  // attention_mask is 1.0 at padded positions; everything else is real.
+  for (float pad : fresh.enc.attention_mask) {
+    if (pad == 0.0f) ++fresh.length;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a race with another miss on the same key; keep the winner.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+  lru_.push_front(Entry{std::move(key), fresh});
+  index_.emplace(lru_.front().key, lru_.begin());
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return fresh;
+}
+
+int64_t TokenizationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+}  // namespace serve
+}  // namespace emx

@@ -1,0 +1,68 @@
+#ifndef EMX_SERVE_TOKEN_CACHE_H_
+#define EMX_SERVE_TOKEN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tokenizers/tokenizer.h"
+
+namespace emx {
+namespace serve {
+
+/// A pair encoding plus its real (non-pad) token count, which the engine
+/// uses to length-bucket requests.
+struct CachedEncoding {
+  tokenizers::EncodedPair enc;
+  int64_t length = 0;
+};
+
+/// Thread-safe LRU cache of pair tokenizations keyed on the two input
+/// texts. Subword tokenization is a meaningful slice of per-request cost
+/// and EM traffic is heavily skewed (hot catalog entries are compared
+/// against many candidates), so repeated texts should tokenize once.
+///
+/// On a miss the texts are tokenized *outside* the lock; two threads
+/// missing on the same key may both tokenize, and the second insert is
+/// dropped — wasted work, never inconsistency, since encodings are pure
+/// functions of the key.
+class TokenizationCache {
+ public:
+  /// `tokenizer` must outlive the cache. `capacity` is the max number of
+  /// cached pairs; `max_seq_len` is the fixed token budget every encoding
+  /// is padded/truncated to.
+  TokenizationCache(const tokenizers::Tokenizer* tokenizer, int64_t capacity,
+                    int64_t max_seq_len);
+
+  /// Returns the encoding for (a, b), tokenizing and caching on miss.
+  /// `*hit` (optional) reports whether the cache already held the pair.
+  CachedEncoding Get(std::string_view a, std::string_view b,
+                     bool* hit = nullptr);
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  int64_t max_seq_len() const { return max_seq_len_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedEncoding value;
+  };
+  using EntryList = std::list<Entry>;
+
+  const tokenizers::Tokenizer* tokenizer_;
+  const int64_t capacity_;
+  const int64_t max_seq_len_;
+
+  mutable std::mutex mu_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+};
+
+}  // namespace serve
+}  // namespace emx
+
+#endif  // EMX_SERVE_TOKEN_CACHE_H_

@@ -117,6 +117,10 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
 
 Variable Reshape(const Variable& x, Shape shape) {
   Tensor value = x.value().Reshape(std::move(shape));
+  if (!GradMode::IsEnabled()) {
+    // No tape to protect: share storage with the input instead of cloning.
+    return Variable::Constant(std::move(value));
+  }
   const Shape orig = x.value().shape();
   return Variable::MakeOpResult(value.Clone(), {x},
                                 [x, orig](const Tensor& g) {

@@ -14,6 +14,11 @@ namespace autograd {
 // Differentiable operations on Variables. Each builds the forward value via
 // the kernels in tensor_ops.h and records a backward closure. All ops are
 // pure: they never mutate their inputs.
+//
+// Inference mode: inside a NoGradGuard scope (variable.h) every op here
+// degrades to its forward kernel alone — no parents retained, no backward
+// closure allocated — while producing bit-identical values, because the
+// value path is shared with the training forward.
 
 // ---- Arithmetic ------------------------------------------------------
 

@@ -18,6 +18,16 @@ Tensor& VarNode::EnsureGrad() {
 
 }  // namespace internal
 
+namespace {
+// Default-on so that training code never has to opt in; only inference
+// scopes (NoGradGuard) flip it, and only for their own thread.
+thread_local bool t_grad_mode_enabled = true;
+}  // namespace
+
+bool GradMode::IsEnabled() { return t_grad_mode_enabled; }
+
+void GradMode::SetEnabled(bool enabled) { t_grad_mode_enabled = enabled; }
+
 Variable::Variable(Tensor value) {
   node_ = std::make_shared<internal::VarNode>();
   node_->value = std::move(value);
@@ -67,6 +77,7 @@ Variable Variable::MakeOpResult(
     Tensor value, std::vector<Variable> parents,
     std::function<void(const Tensor& grad_out)> backward_fn) {
   Variable v(std::move(value));
+  if (!t_grad_mode_enabled) return v;
   bool any_grad = false;
   for (const auto& p : parents) {
     if (p.requires_grad()) {

@@ -15,6 +15,39 @@ namespace internal {
 struct VarNode;
 }  // namespace internal
 
+/// Thread-local switch for autograd tape construction. While disabled,
+/// Variable::MakeOpResult returns plain constants: no parents are retained,
+/// no backward closure is recorded, and activation tensors die as soon as
+/// the forward expression releases them. The forward *values* are computed
+/// by exactly the same kernels either way, so inference-mode outputs are
+/// bit-identical to training-mode outputs.
+///
+/// The flag is per-thread: a serving thread can run grad-free batches while
+/// a training loop builds tapes on another thread.
+class GradMode {
+ public:
+  /// True (the default) when ops record the autograd tape on this thread.
+  static bool IsEnabled();
+  static void SetEnabled(bool enabled);
+};
+
+/// RAII scope that disables gradient recording on the current thread.
+/// Nests: each guard restores the mode that was active when it was built.
+///
+///   NoGradGuard guard;                   // inference mode
+///   Variable logits = model.Forward(x);  // no tape, no retained activations
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::IsEnabled()) { GradMode::SetEnabled(false); }
+  ~NoGradGuard() { GradMode::SetEnabled(prev_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// A node in a dynamically built reverse-mode autodiff graph.
 ///
 /// Variable is a cheap handle (shared_ptr) to a value tensor plus, when
@@ -64,6 +97,8 @@ class Variable {
 
   /// Creates an op result node. `parents` are the inputs whose gradients
   /// `backward_fn` fills; `backward_fn` receives the result node's gradient.
+  /// When GradMode is disabled on the calling thread, `parents` and
+  /// `backward_fn` are discarded and the result is a plain constant.
   static Variable MakeOpResult(
       Tensor value, std::vector<Variable> parents,
       std::function<void(const Tensor& grad_out)> backward_fn);

@@ -19,6 +19,12 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  /// A bounded resource (e.g. a serving request queue) is at capacity.
+  kResourceExhausted,
+  /// A per-request deadline expired before the work completed.
+  kDeadlineExceeded,
+  /// The service cannot accept work (e.g. the engine is shut down).
+  kUnavailable,
 };
 
 /// A Status carries a code and, for errors, a human-readable message.
@@ -57,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

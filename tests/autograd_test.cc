@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <thread>
 
 #include "tensor/autograd_ops.h"
 #include "tensor/tensor.h"
@@ -427,6 +428,93 @@ TEST(EndToEndTest, TrainingReducesLoss) {
     for (int64_t i = 0; i < v.size(); ++i) v[i] -= 0.5f * g[i];
   }
   EXPECT_LT(last, first * 0.8f);
+}
+
+// ---- Inference mode (GradMode / NoGradGuard) -------------------------------
+
+TEST(GradModeTest, EnabledByDefault) { EXPECT_TRUE(GradMode::IsEnabled()); }
+
+TEST(GradModeTest, OpsUnderGuardProduceConstants) {
+  Variable w = Variable::Parameter(Tensor::Ones({2, 2}));
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradMode::IsEnabled());
+    Variable y = ag::MulScalar(w, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_EQ(y.value()[0], 3.0f);
+    // The leaf itself keeps its requires_grad flag.
+    EXPECT_TRUE(w.requires_grad());
+  }
+  EXPECT_TRUE(GradMode::IsEnabled());
+}
+
+TEST(GradModeTest, GuardNestsAndRestores) {
+  NoGradGuard outer;
+  EXPECT_FALSE(GradMode::IsEnabled());
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(GradMode::IsEnabled());
+  }
+  // The inner guard restores the *outer* guard's state, not the default.
+  EXPECT_FALSE(GradMode::IsEnabled());
+}
+
+TEST(GradModeTest, ThreadLocalIsolation) {
+  NoGradGuard guard;
+  bool other_thread_enabled = false;
+  std::thread t([&] { other_thread_enabled = GradMode::IsEnabled(); });
+  t.join();
+  // A fresh thread records tapes even while this thread is in a guard.
+  EXPECT_TRUE(other_thread_enabled);
+  EXPECT_FALSE(GradMode::IsEnabled());
+}
+
+TEST(GradModeTest, TrainingStillWorksAfterGuardScope) {
+  Variable w = Variable::Parameter(Tensor({4}, {1, 2, 3, 4}));
+  {
+    NoGradGuard guard;
+    Variable y = ag::MeanAll(ag::MulScalar(w, 2.0f));
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Variable loss = ag::MeanAll(ag::MulScalar(w, 2.0f));
+  Backward(loss);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.grad()[i], 0.5f, 1e-6);
+}
+
+TEST(GradModeTest, ForwardBitIdenticalUnderNoGrad) {
+  // The grad-free fast path must not change a single output bit: same
+  // kernels, same accumulation order, only the tape is skipped.
+  Rng rng(7);
+  Tensor x_in = Tensor::Randn({6, 8}, &rng);
+  Tensor w1_in = Tensor::Randn({8, 8}, &rng);
+  Tensor w2_in = Tensor::Randn({8, 4}, &rng);
+  Tensor gamma_in = Tensor::Ones({8});
+  Tensor beta_in = Tensor(Shape{8});
+
+  auto forward = [&]() {
+    Variable x = Variable::Constant(x_in);
+    Variable w1 = Variable::Parameter(w1_in);
+    Variable w2 = Variable::Parameter(w2_in);
+    Variable gamma = Variable::Parameter(gamma_in);
+    Variable beta = Variable::Parameter(beta_in);
+    Variable h = ag::Gelu(ag::MatMul(x, w1));
+    h = ag::LayerNorm(h, gamma, beta);
+    h = ag::Reshape(h, {6, 8});
+    return ag::Softmax(ag::MatMul(h, w2));
+  };
+
+  Variable with_tape = forward();
+  EXPECT_TRUE(with_tape.requires_grad());
+  Variable without_tape;
+  {
+    NoGradGuard guard;
+    without_tape = forward();
+  }
+  EXPECT_FALSE(without_tape.requires_grad());
+  ASSERT_EQ(with_tape.value().shape(), without_tape.value().shape());
+  for (int64_t i = 0; i < with_tape.value().size(); ++i) {
+    EXPECT_EQ(with_tape.value()[i], without_tape.value()[i]) << "index " << i;
+  }
 }
 
 }  // namespace

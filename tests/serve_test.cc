@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "pretrain/model_zoo.h"
+#include "serve/matcher_engine.h"
+#include "serve/serving_metrics.h"
+#include "serve/token_cache.h"
+#include "tensor/variable.h"
+
+namespace emx {
+namespace serve {
+namespace {
+
+/// Shared matcher for the engine tests. Weights are random
+/// (skip_pretraining) but deterministic, which is all batching/status
+/// semantics need; only the tokenizer is trained (and cached).
+class ServeFixture : public ::testing::Test {
+ protected:
+  static constexpr const char* kCacheDir = "/tmp/emx_zoo_serve_test";
+  static constexpr int64_t kSeqLen = 32;
+
+  static pretrain::ZooOptions Zoo() {
+    pretrain::ZooOptions zoo;
+    zoo.cache_dir = kCacheDir;
+    zoo.vocab_size = 500;
+    zoo.corpus.num_documents = 150;
+    zoo.skip_pretraining = true;
+    return zoo;
+  }
+
+  static core::EntityMatcher* Matcher() {
+    static std::unique_ptr<core::EntityMatcher> matcher = [] {
+      auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+      EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+      auto m = std::make_unique<core::EntityMatcher>(std::move(bundle).value());
+      m->set_eval_max_seq_len(kSeqLen);
+      return m;
+    }();
+    return matcher.get();
+  }
+
+  static EngineOptions BaseOptions() {
+    EngineOptions opts;
+    opts.max_seq_len = kSeqLen;
+    opts.bucket_width = kSeqLen;  // single bucket unless a test says otherwise
+    return opts;
+  }
+
+  static void TearDownTestSuite() { std::filesystem::remove_all(kCacheDir); }
+};
+
+// ---- Micro-batching --------------------------------------------------------
+
+TEST_F(ServeFixture, FlushesWhenBatchFills) {
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 10'000'000;  // would stall for 10s without a size flush
+  MatcherEngine engine(Matcher(), opts);
+
+  std::vector<std::future<MatchResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(engine.Submit("acer laptop model " + std::to_string(i),
+                                    "acer notebook model " + std::to_string(i)));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+    MatchResult r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.batch_size, 4);
+    EXPECT_GE(r.probability, 0.0);
+    EXPECT_LE(r.probability, 1.0);
+  }
+  EXPECT_EQ(engine.Metrics().batches, 1);
+}
+
+TEST_F(ServeFixture, FlushesOnMaxWaitDeadline) {
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 16;   // never fills
+  opts.max_wait_us = 20'000;  // 20ms
+  MatcherEngine engine(Matcher(), opts);
+
+  auto fut = engine.Submit("lone request", "with no batch peers");
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  MatchResult r = fut.get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.batch_size, 1);
+  // It waited for peers before flushing.
+  EXPECT_GE(r.total_us, static_cast<double>(opts.max_wait_us) * 0.5);
+}
+
+TEST_F(ServeFixture, LengthBucketsAreServedSeparately) {
+  EngineOptions opts = BaseOptions();
+  opts.bucket_width = 8;
+  opts.max_batch_size = 2;
+  opts.max_wait_us = 20'000;
+  MatcherEngine engine(Matcher(), opts);
+
+  // Two short pairs (bucket ~1) and two long pairs (higher bucket).
+  const std::string longa =
+      "sony professional studio monitor headphones mdr 7506 with closed back "
+      "large diaphragm drivers and detachable coiled cable";
+  const std::string longb =
+      "sony mdr7506 professional large diaphragm headphone closed back studio "
+      "monitoring with coiled cord and case";
+  auto s1 = engine.Submit("tv", "a tv");
+  auto s2 = engine.Submit("mug", "a mug");
+  auto l1 = engine.Submit(longa, longb);
+  auto l2 = engine.Submit(longb, longa);
+
+  MatchResult rs1 = s1.get(), rs2 = s2.get(), rl1 = l1.get(), rl2 = l2.get();
+  for (const MatchResult* r : {&rs1, &rs2, &rl1, &rl2}) {
+    EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+    // No batch mixed buckets, so nothing exceeded the pair count.
+    EXPECT_LE(r->batch_size, 2);
+  }
+}
+
+// ---- Overload and deadlines ------------------------------------------------
+
+TEST_F(ServeFixture, QueueFullRejectsWithResourceExhausted) {
+  EngineOptions opts = BaseOptions();
+  opts.queue_capacity = 2;
+  opts.start_paused = true;  // hold the queue so it can fill
+  MatcherEngine engine(Matcher(), opts);
+
+  auto f1 = engine.Submit("pair one a", "pair one b");
+  auto f2 = engine.Submit("pair two a", "pair two b");
+  auto f3 = engine.Submit("pair three a", "pair three b");
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f3.get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.Metrics().rejected, 1);
+
+  engine.Resume();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+}
+
+TEST_F(ServeFixture, PerRequestDeadlineTimesOutWhileQueued) {
+  EngineOptions opts = BaseOptions();
+  opts.start_paused = true;
+  MatcherEngine engine(Matcher(), opts);
+
+  auto expired = engine.Submit("slow a", "slow b", /*timeout_us=*/1000);
+  auto alive = engine.Submit("fast a", "fast b");  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  engine.Resume();
+
+  MatchResult r = expired.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(alive.get().status.ok());
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.timed_out, 1);
+  EXPECT_EQ(m.completed, 1);
+}
+
+TEST_F(ServeFixture, SubmitAfterShutdownIsUnavailable) {
+  EngineOptions opts = BaseOptions();
+  MatcherEngine engine(Matcher(), opts);
+  EXPECT_TRUE(engine.Match("a pair", "to warm up").status.ok());
+  engine.Shutdown();
+  EXPECT_EQ(engine.Submit("too", "late").get().status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ServeFixture, ShutdownDrainsQueuedRequests) {
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 16;
+  opts.max_wait_us = 10'000'000;  // drain must not wait this out
+  MatcherEngine engine(Matcher(), opts);
+  auto f1 = engine.Submit("queued a", "queued b");
+  auto f2 = engine.Submit("queued c", "queued d");
+  engine.Shutdown();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+}
+
+// ---- Tokenization cache ----------------------------------------------------
+
+TEST_F(ServeFixture, TokenCacheLruEviction) {
+  TokenizationCache cache(&Matcher()->tokenizer(), /*capacity=*/2, kSeqLen);
+  bool hit = true;
+  cache.Get("alpha", "one", &hit);
+  EXPECT_FALSE(hit);
+  cache.Get("beta", "two", &hit);
+  EXPECT_FALSE(hit);
+  cache.Get("alpha", "one", &hit);  // promotes alpha
+  EXPECT_TRUE(hit);
+  cache.Get("gamma", "three", &hit);  // evicts beta (least recent)
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2);
+  cache.Get("alpha", "one", &hit);
+  EXPECT_TRUE(hit);
+  cache.Get("beta", "two", &hit);
+  EXPECT_FALSE(hit);  // was evicted
+}
+
+TEST_F(ServeFixture, CachedEncodingMatchesDirectTokenization) {
+  TokenizationCache cache(&Matcher()->tokenizer(), 8, kSeqLen);
+  CachedEncoding c = cache.Get("asus zenbook 14", "zenbook 14 by asus");
+  tokenizers::EncodedPair direct =
+      Matcher()->tokenizer().EncodePair("asus zenbook 14", "zenbook 14 by asus",
+                                        kSeqLen);
+  EXPECT_EQ(c.enc.ids, direct.ids);
+  EXPECT_EQ(c.enc.segment_ids, direct.segment_ids);
+  int64_t real = 0;
+  for (float pad : direct.attention_mask) real += pad == 0.0f ? 1 : 0;
+  EXPECT_EQ(c.length, real);
+}
+
+TEST_F(ServeFixture, EngineReportsCacheHits) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  MatcherEngine engine(Matcher(), opts);
+  MatchResult first = engine.Match("iphone 12", "apple iphone 12");
+  MatchResult second = engine.Match("iphone 12", "apple iphone 12");
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.cache_hits, 1);
+  EXPECT_EQ(m.cache_misses, 1);
+  EXPECT_NEAR(m.cache_hit_rate, 0.5, 1e-9);
+}
+
+// ---- Correctness vs. the one-pair path -------------------------------------
+
+TEST_F(ServeFixture, GradFreeLogitsBitIdenticalToTrainingForward) {
+  // The acceptance-criteria golden test: the same batch through the same
+  // forward, with and without tape construction, must agree on every bit.
+  models::Batch batch = Matcher()->BuildBatch(
+      {"dell xps 13 9310", "nikon d750 dslr"},
+      {"dell xps 13 laptop 2021", "nikon d850 dslr body"}, kSeqLen);
+  Rng rng(1);
+  Variable with_tape =
+      Matcher()->classifier()->Logits(batch, /*train=*/false, &rng);
+  EXPECT_TRUE(with_tape.requires_grad());
+  Variable grad_free;
+  {
+    NoGradGuard guard;
+    grad_free = Matcher()->classifier()->Logits(batch, /*train=*/false, &rng);
+  }
+  EXPECT_FALSE(grad_free.requires_grad());
+  ASSERT_EQ(with_tape.value().shape(), grad_free.value().shape());
+  for (int64_t i = 0; i < with_tape.value().size(); ++i) {
+    EXPECT_EQ(with_tape.value()[i], grad_free.value()[i]) << "logit " << i;
+  }
+}
+
+TEST_F(ServeFixture, MultiWorkerResultsMatchSingleWorker) {
+  // Two workers run concurrent forwards against the same weights; every
+  // result must equal the serialized single-worker answer.
+  std::vector<std::string> as, bs;
+  for (int i = 0; i < 24; ++i) {
+    as.push_back("widget model " + std::to_string(i));
+    bs.push_back("widget mk " + std::to_string(i % 6));
+  }
+  std::vector<double> expected = Matcher()->MatchProbabilities(as, bs);
+
+  EngineOptions opts = BaseOptions();
+  opts.num_workers = 2;
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 500;
+  MatcherEngine engine(Matcher(), opts);
+  std::vector<std::future<MatchResult>> futures;
+  for (size_t i = 0; i < as.size(); ++i) {
+    futures.push_back(engine.Submit(as[i], bs[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    MatchResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_NEAR(r.probability, expected[i], 1e-6) << "pair " << i;
+  }
+}
+
+TEST_F(ServeFixture, EngineProbabilityMatchesDirectMatchProbability) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  MatcherEngine engine(Matcher(), opts);
+  const std::string a = "canon eos r6 mirrorless camera body";
+  const std::string b = "canon r6 mirrorless digital camera";
+  MatchResult served = engine.Match(a, b);
+  ASSERT_TRUE(served.status.ok());
+  const double direct = Matcher()->MatchProbability(a, b);
+  EXPECT_NEAR(served.probability, direct, 1e-6);
+  EXPECT_EQ(served.is_match, direct >= 0.5);
+}
+
+// ---- Checkpoint round-trip -------------------------------------------------
+
+TEST_F(ServeFixture, CheckpointRoundTripPreservesProbabilities) {
+  const std::string path = "/tmp/emx_serve_roundtrip.params";
+  const std::vector<std::string> as = {"lenovo thinkpad x1", "red mug",
+                                       "galaxy s21 ultra"};
+  const std::vector<std::string> bs = {"thinkpad x1 carbon by lenovo",
+                                       "blue plate", "samsung galaxy s21"};
+  std::vector<double> before = Matcher()->MatchProbabilities(as, bs);
+  ASSERT_TRUE(Matcher()->Save(path).ok());
+
+  // A fresh matcher with a different head seed: every weight differs until
+  // the checkpoint overwrites it, so name/shape drift cannot hide.
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+  ASSERT_TRUE(bundle.ok());
+  core::EntityMatcher restored(std::move(bundle).value(), /*head_seed=*/12345);
+  restored.set_eval_max_seq_len(kSeqLen);
+  Status load = restored.Load(path);
+  ASSERT_TRUE(load.ok()) << load.ToString();
+
+  std::vector<double> after = restored.MatchProbabilities(as, bs);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "pair " << i;
+  }
+
+  // And identical when served through an engine wrapping the restored model.
+  MatcherEngine engine(&restored, BaseOptions());
+  for (size_t i = 0; i < as.size(); ++i) {
+    MatchResult r = engine.Match(as[i], bs[i]);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_NEAR(r.probability, before[i], 1e-6) << "pair " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- Metrics ---------------------------------------------------------------
+
+TEST_F(ServeFixture, MetricsJsonCarriesServingCounters) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  MatcherEngine engine(Matcher(), opts);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.Match("pixel 6 pro", "google pixel 6").status.ok());
+  }
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.submitted, 3);
+  EXPECT_EQ(m.completed, 3);
+  EXPECT_GT(m.throughput_pairs_per_sec, 0.0);
+  EXPECT_GT(m.p50_latency_us, 0.0);
+  EXPECT_GE(m.p99_latency_us, m.p50_latency_us);
+  EXPECT_EQ(m.cache_hits, 2);
+
+  const std::string json = m.ToJson();
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"throughput_pairs_per_sec\"",
+        "\"p99_latency_us\"", "\"batch_size_histogram\"",
+        "\"cache_hit_rate\"", "\"queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// ---- Concurrency hammer (run under -DEMX_SANITIZE=thread in CI) ------------
+
+TEST_F(ServeFixture, ConcurrentSubmittersHammer) {
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 8;
+  opts.max_wait_us = 500;
+  opts.queue_capacity = 4096;
+  opts.cache_capacity = 64;
+  opts.num_workers = 2;  // concurrent grad-free forwards on shared weights
+  MatcherEngine engine(Matcher(), opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> ok{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<MatchResult>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        // A small hot set so the LRU sees hits, evictions and races.
+        const int slot = (t * 7 + i) % 16;
+        futures.push_back(
+            engine.Submit("product number " + std::to_string(slot),
+                          "item number " + std::to_string(slot)));
+      }
+      for (auto& f : futures) {
+        if (f.get().status.ok()) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(failed.load(), 0);
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.completed, kThreads * kPerThread);
+  EXPECT_EQ(m.queue_depth, 0);
+  EXPECT_GT(m.mean_batch_size, 1.0);  // batching actually happened
+  EXPECT_GT(m.cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace emx
