@@ -5,11 +5,16 @@
 // simulated client threads, then prints per-request decisions and the
 // engine's metrics snapshot — the JSON a real deployment would scrape.
 //
-//   ./matcher_server [--finetune] [--clients N] [--requests N] [cache_dir]
+//   ./matcher_server [--finetune] [--precision=int8] [--clients N]
+//                    [--requests N] [cache_dir]
 //
 // By default the backbone keeps its random init so the demo starts in
 // seconds; pass --finetune to briefly fine-tune on a generated
 // Walmart-Amazon slice first (slower, but the decisions become meaningful).
+//
+// --precision=int8 post-training-quantizes the matcher (calibrating on the
+// held-out validation slice) and serves the simulated traffic through BOTH
+// engines — fp32 and int8 — printing their metrics side by side.
 
 #include <cstdio>
 #include <cstring>
@@ -20,19 +25,81 @@
 
 #include "core/entity_matcher.h"
 #include "data/generators.h"
+#include "nn/layers.h"
 #include "pretrain/model_zoo.h"
+#include "quant/quantize_matcher.h"
 #include "serve/matcher_engine.h"
+
+namespace {
+
+struct TrafficResult {
+  double pairs_per_sec = 0;
+  emx::serve::MetricsSnapshot metrics;
+};
+
+/// Replays dataset pairs from `clients` threads with a hot-set skew so the
+/// tokenization cache earns its keep.
+TrafficResult RunTraffic(emx::core::EntityMatcher* matcher,
+                         emx::serve::Precision precision,
+                         const emx::data::EmDataset& dataset, int64_t clients,
+                         int64_t requests) {
+  using namespace emx;
+  serve::EngineOptions opts;
+  opts.precision = precision;
+  opts.max_batch_size = 16;
+  opts.max_wait_us = 2000;
+  opts.queue_capacity = 1024;
+  opts.max_seq_len = 48;
+  serve::MatcherEngine engine(matcher, opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::vector<std::future<serve::MatchResult>> futures;
+      const auto& pool = dataset.train;
+      for (int64_t i = 0; i < requests; ++i) {
+        // 1-in-4 requests hit a small hot set of popular entities.
+        const size_t idx = (i % 4 == 0)
+                               ? static_cast<size_t>(i % 8)
+                               : static_cast<size_t>(c * requests + i) %
+                                     pool.size();
+        const auto& p = pool[idx];
+        futures.push_back(
+            engine.Submit(dataset.SerializeA(p), dataset.SerializeB(p)));
+      }
+      for (auto& f : futures) (void)f.get();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  TrafficResult result;
+  result.metrics = engine.Metrics();
+  result.pairs_per_sec =
+      static_cast<double>(clients * requests) / (seconds > 0 ? seconds : 1);
+  return result;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace emx;
 
   bool finetune = false;
+  bool int8 = false;
   int64_t clients = 4;
   int64_t requests = 200;
   std::string cache_dir = "/tmp/emx_zoo_bench";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--finetune") == 0) {
       finetune = true;
+    } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
+      int8 = true;
+    } else if (std::strcmp(argv[i], "--precision=fp32") == 0) {
+      int8 = false;
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       clients = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
@@ -74,20 +141,29 @@ int main(int argc, char** argv) {
     matcher.FineTune(dataset, ft);
   }
 
-  // 2. Engine: micro-batch up to 16 pairs, flush after 2ms, cache 4096
-  //    tokenizations, reject beyond 1024 queued requests.
-  serve::EngineOptions opts;
-  opts.max_batch_size = 16;
-  opts.max_wait_us = 2000;
-  opts.queue_capacity = 1024;
-  opts.max_seq_len = 48;
-  serve::MatcherEngine engine(&matcher, opts);
-  std::printf("MatcherEngine up: batch<=%lld, flush %lldus, queue %lld\n\n",
-              static_cast<long long>(opts.max_batch_size),
-              static_cast<long long>(opts.max_wait_us),
-              static_cast<long long>(opts.queue_capacity));
+  // 2. Optional post-training quantization, calibrated on the held-out
+  //    validation slice (never part of fine-tuning).
+  if (int8) {
+    quant::CalibrationData calib;
+    const auto& held_out = dataset.valid;
+    for (size_t i = 0; i < held_out.size() && i < 64; ++i) {
+      calib.texts_a.push_back(dataset.SerializeA(held_out[i]));
+      calib.texts_b.push_back(dataset.SerializeB(held_out[i]));
+    }
+    auto report = quant::QuantizeMatcher(&matcher, calib);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Quantized to int8: %lld linears + %lld fused FFN blocks "
+                "(calibrated on %lld held-out pairs)\n",
+                static_cast<long long>(report.value().num_linears),
+                static_cast<long long>(report.value().num_ffns),
+                static_cast<long long>(report.value().calibration_pairs));
+  }
 
-  // 3. A few interactive-style requests.
+  // 3. A few interactive-style requests. With int8 enabled, show both
+  //    precisions' probabilities for the same pair.
   struct Demo {
     const char* a;
     const char* b;
@@ -100,38 +176,51 @@ int main(int argc, char** argv) {
       {"logitech wireless mouse m185 grey", "logitech m185 mouse wireless"},
   };
   for (const Demo& d : demos) {
-    serve::MatchResult r = engine.Match(d.a, d.b);
-    std::printf("Match('%s',\n      '%s')\n  -> %s p=%.3f (%.0fus, batch %lld)\n",
-                d.a, d.b, r.is_match ? "MATCH" : "no match", r.probability,
-                r.total_us, static_cast<long long>(r.batch_size));
+    double p_fp32;
+    {
+      nn::QuantModeGuard fp32_only(false);
+      p_fp32 = matcher.MatchProbability(d.a, d.b);
+    }
+    if (int8) {
+      const double p_int8 = matcher.MatchProbability(d.a, d.b);
+      std::printf("Match('%s',\n      '%s')\n  -> %s  p_fp32=%.3f  "
+                  "p_int8=%.3f\n",
+                  d.a, d.b, p_fp32 >= 0.5 ? "MATCH" : "no match", p_fp32,
+                  p_int8);
+    } else {
+      std::printf("Match('%s',\n      '%s')\n  -> %s  p=%.3f\n", d.a, d.b,
+                  p_fp32 >= 0.5 ? "MATCH" : "no match", p_fp32);
+    }
   }
 
-  // 4. Simulated traffic: `clients` threads replaying dataset pairs with a
-  //    hot-set skew so the tokenization cache earns its keep.
+  // 4. Simulated traffic through the engine(s).
   std::printf("\nServing %lld requests from %lld client threads...\n",
               static_cast<long long>(requests * clients),
               static_cast<long long>(clients));
-  std::vector<std::thread> workers;
-  for (int64_t c = 0; c < clients; ++c) {
-    workers.emplace_back([&, c] {
-      std::vector<std::future<serve::MatchResult>> futures;
-      const auto& pool = dataset.train;
-      for (int64_t i = 0; i < requests; ++i) {
-        // 1-in-4 requests hit a small hot set of popular entities.
-        const size_t idx = (i % 4 == 0)
-                               ? static_cast<size_t>(i % 8)
-                               : static_cast<size_t>(c * requests + i) %
-                                     pool.size();
-        const auto& p = pool[idx];
-        futures.push_back(
-            engine.Submit(dataset.SerializeA(p), dataset.SerializeB(p)));
-      }
-      for (auto& f : futures) (void)f.get();
-    });
+  TrafficResult fp32 = RunTraffic(&matcher, serve::Precision::kFp32, dataset,
+                                  clients, requests);
+  if (!int8) {
+    std::printf("\nmetrics: %s\n", fp32.metrics.ToJson().c_str());
+    return 0;
   }
-  for (auto& w : workers) w.join();
 
-  // 5. The scrape-able snapshot.
-  std::printf("\nmetrics: %s\n", engine.MetricsJson().c_str());
+  TrafficResult q = RunTraffic(&matcher, serve::Precision::kInt8, dataset,
+                               clients, requests);
+  std::printf("\n%-24s %12s %12s\n", "", "fp32", "int8");
+  std::printf("%-24s %12.1f %12.1f\n", "pairs/sec", fp32.pairs_per_sec,
+              q.pairs_per_sec);
+  std::printf("%-24s %12.0f %12.0f\n", "p50 latency (us)",
+              fp32.metrics.p50_latency_us, q.metrics.p50_latency_us);
+  std::printf("%-24s %12.0f %12.0f\n", "p95 latency (us)",
+              fp32.metrics.p95_latency_us, q.metrics.p95_latency_us);
+  std::printf("%-24s %12.2f %12.2f\n", "mean batch size",
+              fp32.metrics.mean_batch_size, q.metrics.mean_batch_size);
+  std::printf("%-24s %12.2f %12.2f\n", "cache hit rate",
+              fp32.metrics.cache_hit_rate, q.metrics.cache_hit_rate);
+  std::printf("%-24s %12s\n", "speedup",
+              (std::to_string(q.pairs_per_sec / fp32.pairs_per_sec) + "x")
+                  .c_str());
+  std::printf("\nfp32 metrics: %s\n", fp32.metrics.ToJson().c_str());
+  std::printf("int8 metrics: %s\n", q.metrics.ToJson().c_str());
   return 0;
 }

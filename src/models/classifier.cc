@@ -63,5 +63,14 @@ void SequencePairClassifier::CollectParameters(
   out_.CollectParameters(nn::JoinName(prefix, "cls_out"), out);
 }
 
+void SequencePairClassifier::CollectQuantTargets(const std::string& prefix,
+                                                 nn::QuantTargets* out) {
+  backbone_->CollectQuantTargets(nn::JoinName(prefix, "backbone"), out);
+  // The head (cls_dense + out_) stays fp32. Both run once per PAIR — a few
+  // thousand MACs against the backbone's per-TOKEN millions — so quantizing
+  // them buys no measurable throughput, while their error lands directly on
+  // the logits where a fraction of a step flips borderline matches.
+}
+
 }  // namespace models
 }  // namespace emx

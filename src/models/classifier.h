@@ -31,6 +31,8 @@ class SequencePairClassifier : public nn::Module {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           nn::QuantTargets* out) override;
 
   TransformerModel* backbone() { return backbone_.get(); }
   const TransformerConfig& config() const { return backbone_->config(); }

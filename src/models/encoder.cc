@@ -122,5 +122,17 @@ void EncoderModel::CollectParameters(const std::string& prefix,
   pair_head_.CollectParameters(nn::JoinName(prefix, "pair_head"), out);
 }
 
+void EncoderModel::CollectQuantTargets(const std::string& prefix,
+                                       nn::QuantTargets* out) {
+  // Only the encoder stack — the layers doing per-token work. The MLM / NSP
+  // heads never run at match time, and the pooler (one CLS row per pair)
+  // stays fp32 with the classifier head: quantizing it saves nothing
+  // measurable but injects error right before the match decision.
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectQuantTargets(
+        nn::JoinName(prefix, "layer" + std::to_string(i)), out);
+  }
+}
+
 }  // namespace models
 }  // namespace emx

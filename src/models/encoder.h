@@ -43,6 +43,8 @@ class EncoderModel : public TransformerModel {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           nn::QuantTargets* out) override;
 
   const TransformerConfig& config() const override { return config_; }
   void set_dropout(float p) override { config_.dropout = p; }

@@ -151,6 +151,17 @@ void XlnetLayer::CollectParameters(const std::string& prefix,
   ln_ffn_.CollectParameters(nn::JoinName(prefix, "ln_ffn"), out);
 }
 
+void XlnetLayer::CollectQuantTargets(const std::string& prefix,
+                                     nn::QuantTargets* out) {
+  // wr_ projects the relative sinusoids, which are input-independent — it
+  // runs once per sequence length, not per token, so it stays fp32.
+  wq_.CollectQuantTargets(nn::JoinName(prefix, "wq"), out);
+  wk_.CollectQuantTargets(nn::JoinName(prefix, "wk"), out);
+  wv_.CollectQuantTargets(nn::JoinName(prefix, "wv"), out);
+  wo_.CollectQuantTargets(nn::JoinName(prefix, "wo"), out);
+  ffn_.CollectQuantTargets(nn::JoinName(prefix, "ffn"), out);
+}
+
 Tensor XlnetModel::RelativeSinusoid(int64_t seq_len, int64_t hidden) {
   const int64_t l = 2 * seq_len - 1;
   Tensor out({l, hidden});
@@ -285,6 +296,17 @@ void XlnetModel::CollectParameters(const std::string& prefix,
   lm_ln_.CollectParameters(nn::JoinName(prefix, "lm_ln"), out);
   lm_decoder_.CollectParameters(nn::JoinName(prefix, "lm_decoder"), out);
   pair_head_.CollectParameters(nn::JoinName(prefix, "pair_head"), out);
+}
+
+void XlnetModel::CollectQuantTargets(const std::string& prefix,
+                                     nn::QuantTargets* out) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectQuantTargets(
+        nn::JoinName(prefix, "layer" + std::to_string(i)), out);
+  }
+  if (pooler_) {
+    pooler_->CollectQuantTargets(nn::JoinName(prefix, "pooler"), out);
+  }
 }
 
 }  // namespace models

@@ -46,6 +46,8 @@ class XlnetLayer : public nn::Module {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           nn::QuantTargets* out) override;
 
  private:
   int64_t hidden_;
@@ -97,6 +99,8 @@ class XlnetModel : public TransformerModel {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           nn::QuantTargets* out) override;
 
   const TransformerConfig& config() const override { return config_; }
   void set_dropout(float p) override { config_.dropout = p; }

@@ -64,6 +64,14 @@ void MultiHeadAttention::CollectParameters(const std::string& prefix,
   wo_.CollectParameters(JoinName(prefix, "wo"), out);
 }
 
+void MultiHeadAttention::CollectQuantTargets(const std::string& prefix,
+                                             QuantTargets* out) {
+  wq_.CollectQuantTargets(JoinName(prefix, "wq"), out);
+  wk_.CollectQuantTargets(JoinName(prefix, "wk"), out);
+  wv_.CollectQuantTargets(JoinName(prefix, "wv"), out);
+  wo_.CollectQuantTargets(JoinName(prefix, "wo"), out);
+}
+
 TransformerEncoderLayer::TransformerEncoderLayer(int64_t hidden,
                                                  int64_t num_heads,
                                                  int64_t intermediate, Rng* rng,
@@ -92,6 +100,12 @@ void TransformerEncoderLayer::CollectParameters(const std::string& prefix,
   ffn_.CollectParameters(JoinName(prefix, "ffn"), out);
   ln_attn_.CollectParameters(JoinName(prefix, "ln_attn"), out);
   ln_ffn_.CollectParameters(JoinName(prefix, "ln_ffn"), out);
+}
+
+void TransformerEncoderLayer::CollectQuantTargets(const std::string& prefix,
+                                                  QuantTargets* out) {
+  attention_.CollectQuantTargets(JoinName(prefix, "attn"), out);
+  ffn_.CollectQuantTargets(JoinName(prefix, "ffn"), out);
 }
 
 }  // namespace nn

@@ -39,6 +39,8 @@ class MultiHeadAttention : public Module {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           QuantTargets* out) override;
 
   int64_t hidden() const { return hidden_; }
   int64_t num_heads() const { return num_heads_; }
@@ -73,6 +75,8 @@ class TransformerEncoderLayer : public Module {
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>* out) override;
+  void CollectQuantTargets(const std::string& prefix,
+                           QuantTargets* out) override;
 
   const MultiHeadAttention& attention() const { return attention_; }
 

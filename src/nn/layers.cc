@@ -7,6 +7,13 @@ namespace nn {
 
 namespace ag = autograd;
 
+namespace {
+thread_local bool g_quant_mode_enabled = true;
+}  // namespace
+
+bool QuantMode::IsEnabled() { return g_quant_mode_enabled; }
+void QuantMode::SetEnabled(bool enabled) { g_quant_mode_enabled = enabled; }
+
 Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
                float init_stddev)
     : in_features_(in_features),
@@ -20,21 +27,44 @@ Variable Linear::Forward(const Variable& x) const {
   EMX_CHECK_EQ(in_shape.back(), in_features_)
       << "Linear: input last dim " << in_shape.back() << " != in_features "
       << in_features_;
-  if (x.value().ndim() == 2) {
-    return ag::AddBias(ag::MatMul(x, weight_), bias_);
-  }
-  // Flatten leading dims, multiply, restore.
   Shape out_shape(in_shape.begin(), in_shape.end() - 1);
   out_shape.push_back(out_features_);
-  Variable flat = ag::Reshape(x, {-1, in_features_});
-  Variable y = ag::AddBias(ag::MatMul(flat, weight_), bias_);
-  return ag::Reshape(y, out_shape);
+
+  // Backend routing is inference-only: training forwards (tape on) always
+  // take the fp32 path below, so the autograd graph never sees the backend.
+  const bool inference = backend_ != nullptr && !GradMode::IsEnabled();
+  if (inference && backend_->ready() && QuantMode::IsEnabled()) {
+    Tensor x2d = x.value().Reshape({-1, in_features_});
+    return Variable::Constant(backend_->Forward(x2d).Reshape(out_shape));
+  }
+  const bool calibrating = inference && !backend_->ready();
+  if (calibrating) {
+    backend_->ObserveInput(x.value().Reshape({-1, in_features_}));
+  }
+
+  Variable y;
+  if (x.value().ndim() == 2) {
+    y = ag::AddBias(ag::MatMul(x, weight_), bias_);
+  } else {
+    // Flatten leading dims, multiply, restore.
+    Variable flat = ag::Reshape(x, {-1, in_features_});
+    y = ag::Reshape(ag::AddBias(ag::MatMul(flat, weight_), bias_), out_shape);
+  }
+  if (calibrating) {
+    backend_->ObserveOutput(y.value().Reshape({-1, out_features_}));
+  }
+  return y;
 }
 
 void Linear::CollectParameters(const std::string& prefix,
                                std::vector<NamedParam>* out) {
   out->push_back({JoinName(prefix, "weight"), weight_});
   out->push_back({JoinName(prefix, "bias"), bias_});
+}
+
+void Linear::CollectQuantTargets(const std::string& prefix,
+                                 QuantTargets* out) {
+  out->linears.emplace_back(prefix, this);
 }
 
 Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng* rng,
@@ -95,6 +125,14 @@ FeedForward::FeedForward(int64_t hidden, int64_t intermediate, Rng* rng,
 
 Variable FeedForward::Forward(const Variable& x, float dropout_p, bool train,
                               Rng* rng) const {
+  if (backend_ != nullptr && backend_->ready() && !GradMode::IsEnabled() &&
+      QuantMode::IsEnabled()) {
+    // Fused inference path for the whole block. Dropout is identity at
+    // inference, so skipping it loses nothing.
+    const Shape& in_shape = x.shape();
+    Tensor x2d = x.value().Reshape({-1, in_shape.back()});
+    return Variable::Constant(backend_->Forward(x2d).Reshape(in_shape));
+  }
   Variable h = ApplyActivation(fc1_.Forward(x), activation_);
   h = ag::Dropout(h, dropout_p, train, rng);
   return fc2_.Forward(h);
@@ -104,6 +142,11 @@ void FeedForward::CollectParameters(const std::string& prefix,
                                     std::vector<NamedParam>* out) {
   fc1_.CollectParameters(JoinName(prefix, "fc1"), out);
   fc2_.CollectParameters(JoinName(prefix, "fc2"), out);
+}
+
+void FeedForward::CollectQuantTargets(const std::string& prefix,
+                                      QuantTargets* out) {
+  out->ffns.emplace_back(prefix, this);
 }
 
 }  // namespace nn

@@ -2,6 +2,7 @@
 #define EMX_NN_MODULE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/variable.h"
@@ -10,11 +11,25 @@
 namespace emx {
 namespace nn {
 
+class Linear;
+class FeedForward;
+
 /// A named trainable parameter. The Variable is a shared handle, so copies
 /// refer to the same underlying storage and gradient.
 struct NamedParam {
   std::string name;
   Variable var;
+};
+
+/// The quantizable layers of a module tree, collected by
+/// Module::CollectQuantTargets. FeedForward blocks are reported as whole
+/// units (not as their two inner Linears) so a quantization pass can fuse
+/// fc1 -> activation -> fc2 into a single integer pipeline; every other
+/// Linear (attention projections, pooler, classifier head) is reported
+/// individually.
+struct QuantTargets {
+  std::vector<std::pair<std::string, Linear*>> linears;
+  std::vector<std::pair<std::string, FeedForward*>> ffns;
 };
 
 /// Base class for trainable components. A Module owns parameter Variables
@@ -28,6 +43,17 @@ class Module {
   /// "encoder.layer0.attn.wq").
   virtual void CollectParameters(const std::string& prefix,
                                  std::vector<NamedParam>* out) = 0;
+
+  /// Appends the module's quantizable layers (see QuantTargets), with the
+  /// same name scheme as CollectParameters. The default reports nothing;
+  /// Linear/FeedForward report themselves and containers forward to their
+  /// children. Modules that never run on the serving path (MLM/NSP heads,
+  /// RNN baselines) keep the default.
+  virtual void CollectQuantTargets(const std::string& prefix,
+                                   QuantTargets* out) {
+    (void)prefix;
+    (void)out;
+  }
 
   /// Convenience: all parameters with an empty prefix.
   std::vector<NamedParam> Parameters() {

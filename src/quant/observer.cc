@@ -1,0 +1,126 @@
+#include "quant/observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace quant {
+
+QuantParams ChooseQuantParams(float lo, float hi) {
+  // The grid must contain 0 so that zeros (padding, ReLU) are exact.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  QuantParams p;
+  if (hi - lo < 1e-12f) {
+    p.scale = 1.0f;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = (hi - lo) / 255.0f;
+  const float zp = std::nearbyint(-lo / p.scale);
+  p.zero_point = static_cast<int32_t>(std::clamp(zp, 0.0f, 255.0f));
+  return p;
+}
+
+void MinMaxObserver::Observe(const float* data, int64_t n) {
+  if (n <= 0) return;
+  float lo = seen_ ? min_ : data[0];
+  float hi = seen_ ? max_ : data[0];
+  for (int64_t i = 0; i < n; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  min_ = lo;
+  max_ = hi;
+  seen_ = true;
+}
+
+QuantParams MinMaxObserver::ComputeQuantParams() const {
+  if (!seen_) return ChooseQuantParams(0.0f, 0.0f);
+  return ChooseQuantParams(min_, max_);
+}
+
+void HistogramObserver::GrowToCover(float v) {
+  float width = range_hi_ - range_lo_;
+  while (v < range_lo_ || v > range_hi_) {
+    // Double the covered range away from the out-of-range side, merging
+    // bin pairs 2:1 so every previously counted value stays counted.
+    const int64_t half = kNumBins / 2;
+    if (v > range_hi_) {
+      for (int64_t i = 0; i < half; ++i) {
+        bins_[i] = bins_[2 * i] + bins_[2 * i + 1];
+      }
+      std::fill(bins_.begin() + half, bins_.end(), 0);
+      range_hi_ = range_lo_ + 2 * width;
+    } else {
+      for (int64_t i = half - 1; i >= 0; --i) {
+        bins_[half + i] = bins_[2 * i] + bins_[2 * i + 1];
+      }
+      std::fill(bins_.begin(), bins_.begin() + half, 0);
+      range_lo_ = range_hi_ - 2 * width;
+    }
+    width *= 2;
+  }
+}
+
+void HistogramObserver::Observe(const float* data, int64_t n) {
+  if (n <= 0) return;
+  if (total_ == 0) {
+    float lo = data[0], hi = data[0];
+    for (int64_t i = 0; i < n; ++i) {
+      lo = std::min(lo, data[i]);
+      hi = std::max(hi, data[i]);
+    }
+    min_ = lo;
+    max_ = hi;
+    // Anchor the histogram on the first batch, always covering 0.
+    range_lo_ = std::min(lo, 0.0f);
+    range_hi_ = std::max(hi, 0.0f);
+    if (range_hi_ - range_lo_ < 1e-6f) range_hi_ = range_lo_ + 1.0f;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    if (v < range_lo_ || v > range_hi_) GrowToCover(v);
+    const float width = range_hi_ - range_lo_;
+    int64_t bin = static_cast<int64_t>((v - range_lo_) / width *
+                                       static_cast<float>(kNumBins));
+    bin = std::clamp<int64_t>(bin, 0, kNumBins - 1);
+    ++bins_[bin];
+    ++total_;
+  }
+}
+
+void HistogramObserver::ClippedRange(float* lo, float* hi) const {
+  EMX_CHECK_GT(total_, 0) << "HistogramObserver: nothing observed";
+  const auto threshold =
+      static_cast<int64_t>(clip_fraction_ * static_cast<double>(total_));
+  int64_t first = 0, last = kNumBins - 1;
+  int64_t mass = 0;
+  while (first < last && mass + bins_[first] <= threshold) {
+    mass += bins_[first];
+    ++first;
+  }
+  mass = 0;
+  while (last > first && mass + bins_[last] <= threshold) {
+    mass += bins_[last];
+    --last;
+  }
+  const float bin_width =
+      (range_hi_ - range_lo_) / static_cast<float>(kNumBins);
+  *lo = range_lo_ + static_cast<float>(first) * bin_width;
+  *hi = range_lo_ + static_cast<float>(last + 1) * bin_width;
+}
+
+QuantParams HistogramObserver::ComputeQuantParams() const {
+  if (total_ == 0) return ChooseQuantParams(0.0f, 0.0f);
+  float lo = 0, hi = 0;
+  ClippedRange(&lo, &hi);
+  return ChooseQuantParams(lo, hi);
+}
+
+}  // namespace quant
+}  // namespace emx

@@ -1,0 +1,92 @@
+#ifndef EMX_QUANT_OBSERVER_H_
+#define EMX_QUANT_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace emx {
+namespace quant {
+
+/// Affine uint8 quantization parameters for an activation tensor:
+///   q = clamp(round(x / scale) + zero_point, 0, 255)
+///   x ≈ scale * (q - zero_point)
+/// The grid always contains the real value 0 exactly (zero_point is the
+/// code of 0.0), so padding and ReLU zeros quantize without error.
+struct QuantParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+};
+
+/// Computes uint8 affine parameters covering [lo, hi]. The range is
+/// widened to include 0 and degenerate ranges get a harmless unit scale.
+QuantParams ChooseQuantParams(float lo, float hi);
+
+/// Which calibration statistic an activation observer reduces to.
+enum class ObserverKind {
+  kMinMax,      // absolute min/max of everything seen
+  kPercentile,  // clipped range from a histogram (robust to outliers)
+};
+
+/// Running min/max over every value fed to Observe. The cheapest observer;
+/// one outlier activation stretches the grid for everyone, which is why
+/// the percentile observer is the calibration default.
+class MinMaxObserver {
+ public:
+  void Observe(const float* data, int64_t n);
+
+  bool seen() const { return seen_; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+
+  QuantParams ComputeQuantParams() const;
+
+ private:
+  bool seen_ = false;
+  float min_ = 0;
+  float max_ = 0;
+};
+
+/// Histogram-based percentile observer. Values are binned over a range
+/// that grows by power-of-two rebinning when new data falls outside it, so
+/// a single calibration pass needs no prior range estimate. The quant
+/// range clips `clip_fraction` of total mass off each tail, which keeps
+/// rare outliers (huge pre-GELU activations, mostly) from wasting the
+/// 8-bit grid on values that almost never occur.
+class HistogramObserver {
+ public:
+  static constexpr int64_t kNumBins = 2048;
+
+  explicit HistogramObserver(double clip_fraction = 1e-3)
+      : clip_fraction_(clip_fraction), bins_(kNumBins, 0) {}
+
+  void Observe(const float* data, int64_t n);
+
+  bool seen() const { return total_ > 0; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+  int64_t total() const { return total_; }
+
+  /// The clipped [lo, hi] range: smallest histogram prefix/suffix whose
+  /// mass is >= clip_fraction is discarded from each side.
+  void ClippedRange(float* lo, float* hi) const;
+
+  QuantParams ComputeQuantParams() const;
+
+ private:
+  /// Widens [range_lo_, range_hi_] to cover v, merging existing bins 2:1
+  /// per doubling so no mass is lost.
+  void GrowToCover(float v);
+
+  double clip_fraction_;
+  std::vector<int64_t> bins_;
+  float range_lo_ = 0;   // histogram coverage (valid when total_ > 0)
+  float range_hi_ = 0;
+  float min_ = 0;        // true extrema, for diagnostics
+  float max_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace quant
+}  // namespace emx
+
+#endif  // EMX_QUANT_OBSERVER_H_

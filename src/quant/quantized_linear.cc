@@ -1,0 +1,171 @@
+#include "quant/quantized_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace quant {
+
+void Int8LinearBackend::ObserveInput(const Tensor& x2d) {
+  in_minmax_.Observe(x2d.data(), x2d.size());
+  in_hist_.Observe(x2d.data(), x2d.size());
+}
+
+void Int8LinearBackend::ObserveOutput(const Tensor& y2d) {
+  out_minmax_.Observe(y2d.data(), y2d.size());
+  out_hist_.Observe(y2d.data(), y2d.size());
+}
+
+QuantParams Int8LinearBackend::ObservedInputParams() const {
+  return kind_ == ObserverKind::kMinMax ? in_minmax_.ComputeQuantParams()
+                                        : in_hist_.ComputeQuantParams();
+}
+
+QuantParams Int8LinearBackend::ObservedOutputParams() const {
+  return kind_ == ObserverKind::kMinMax ? out_minmax_.ComputeQuantParams()
+                                        : out_hist_.ComputeQuantParams();
+}
+
+Status Int8LinearBackend::Freeze(const nn::Linear& layer) {
+  if (!observed()) {
+    return Status::InvalidArgument(
+        "Int8LinearBackend: no calibration data observed; run grad-free "
+        "forwards through the layer before freezing");
+  }
+  packed_ = PackWeights(layer.weight().value(), layer.bias().value(),
+                        ObservedInputParams());
+  ready_ = true;
+  return Status::OK();
+}
+
+void Int8LinearBackend::FreezeFromPacked(PackedWeights packed) {
+  packed_ = std::move(packed);
+  ready_ = true;
+}
+
+const PackedWeights& Int8LinearBackend::packed() const {
+  EMX_CHECK(ready_) << "Int8LinearBackend: packed() before Freeze";
+  return packed_;
+}
+
+Tensor Int8LinearBackend::Forward(const Tensor& x2d) const {
+  EMX_CHECK(ready_);
+  EMX_CHECK_EQ(x2d.ndim(), 2);
+  EMX_CHECK_EQ(x2d.dim(1), packed_.in);
+  const int64_t m = x2d.dim(0);
+  Tensor y({m, packed_.out});
+  Int8LinearForward(x2d.data(), m, packed_, y.data());
+  return y;
+}
+
+float ActivationScalar(float x, nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kGelu: {
+      constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+      return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+    }
+    case nn::Activation::kRelu:
+      return x > 0 ? x : 0;
+    case nn::Activation::kTanh:
+      return std::tanh(x);
+  }
+  EMX_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Int8FfnBackend::Int8FfnBackend(PackedWeights fc1, PackedWeights fc2,
+                               QuantParams mid_in, nn::Activation activation)
+    : fc1_(std::move(fc1)),
+      fc2_(std::move(fc2)),
+      mid_in_(mid_in),
+      activation_(activation) {
+  EMX_CHECK_EQ(fc1_.out, fc2_.in) << "FFN fc1/fc2 dims do not chain";
+  // Each u8 code on the pre-activation grid maps to the u8 code of its
+  // activated value on fc2's input grid.
+  const QuantParams out = fc2_.act;
+  const float inv_out = 1.0f / out.scale;
+  for (int32_t q = 0; q < 256; ++q) {
+    const float v = mid_in_.scale * static_cast<float>(q - mid_in_.zero_point);
+    const float f = ActivationScalar(v, activation_);
+    const float code = std::nearbyint(f * inv_out) +
+                       static_cast<float>(out.zero_point);
+    lut_[static_cast<size_t>(q)] =
+        static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f));
+  }
+}
+
+Tensor Int8FfnBackend::Forward(const Tensor& x2d) const {
+  EMX_CHECK_EQ(x2d.ndim(), 2);
+  EMX_CHECK_EQ(x2d.dim(1), fc1_.in);
+  const int64_t m = x2d.dim(0);
+
+  // Same thread-local scratch discipline as Int8LinearForward: the fc1
+  // accumulator alone is ~1MB at serving batch sizes, so per-call vectors
+  // would pay an mmap + kernel zero-fill on every forward.
+  thread_local std::vector<uint8_t> qa;
+  thread_local std::vector<int32_t> acc;
+  qa.resize(static_cast<size_t>(m * fc1_.k_padded));
+  acc.resize(static_cast<size_t>(m * fc1_.n_padded));
+  QuantizeActivations(x2d.data(), m, fc1_.in, fc1_.k_padded, fc1_.act,
+                      qa.data());
+  Int8GemmAccumulate(qa.data(), m, fc1_, acc.data());
+
+  // Fused epilogue: dequantize fc1, requantize onto the pre-activation
+  // grid, and look the activation up — the intermediate never exists in
+  // fp32, and no transcendental runs per element.
+  thread_local std::vector<uint8_t> qh;
+  qh.resize(static_cast<size_t>(m * fc2_.k_padded));
+  const int32_t zp1 = fc1_.act.zero_point;
+  const float inv_mid = 1.0f / mid_in_.scale;
+  const float mid_zp = static_cast<float>(mid_in_.zero_point);
+  const uint8_t pad = static_cast<uint8_t>(fc2_.act.zero_point);
+  for (int64_t i = 0; i < m; ++i) {
+    const int32_t* acc_row = acc.data() + i * fc1_.n_padded;
+    uint8_t* q_row = qh.data() + i * fc2_.k_padded;
+    for (int64_t j = 0; j < fc1_.out; ++j) {
+      const int32_t centered =
+          acc_row[j] - zp1 * fc1_.col_sums[static_cast<size_t>(j)];
+      const float v = fc1_.fused_scale[static_cast<size_t>(j)] *
+                          static_cast<float>(centered) +
+                      fc1_.bias[static_cast<size_t>(j)];
+      const float code = std::nearbyint(v * inv_mid) + mid_zp;
+      q_row[j] = lut_[static_cast<size_t>(
+          static_cast<uint8_t>(std::clamp(code, 0.0f, 255.0f)))];
+    }
+    for (int64_t j = fc1_.out; j < fc2_.k_padded; ++j) q_row[j] = pad;
+  }
+
+  thread_local std::vector<int32_t> acc2;
+  acc2.resize(static_cast<size_t>(m * fc2_.n_padded));
+  Int8GemmAccumulate(qh.data(), m, fc2_, acc2.data());
+  Tensor y({m, fc2_.out});
+  DequantEpilogue(acc2.data(), m, fc2_, y.data());
+  return y;
+}
+
+QuantizedLinear::QuantizedLinear(const nn::Linear& src,
+                                 const QuantParams& input_params)
+    : backend_(std::make_shared<Int8LinearBackend>()) {
+  backend_->FreezeFromPacked(PackWeights(src.weight().value(),
+                                         src.bias().value(), input_params));
+}
+
+QuantizedLinear::QuantizedLinear(std::shared_ptr<Int8LinearBackend> backend)
+    : backend_(std::move(backend)) {
+  EMX_CHECK(backend_ != nullptr && backend_->ready());
+}
+
+Variable QuantizedLinear::Forward(const Variable& x) const {
+  const Shape& in_shape = x.shape();
+  EMX_CHECK_EQ(in_shape.back(), in_features());
+  Shape out_shape(in_shape.begin(), in_shape.end() - 1);
+  out_shape.push_back(out_features());
+  Tensor x2d = x.value().Reshape({-1, in_features()});
+  return Variable::Constant(backend_->Forward(x2d).Reshape(out_shape));
+}
+
+}  // namespace quant
+}  // namespace emx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "nn/layers.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/variable.h"
 #include "util/logging.h"
@@ -14,6 +15,22 @@ namespace {
 double ElapsedUs(std::chrono::steady_clock::time_point from,
                  std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// True when any quant target of the model carries a frozen int8 backend
+/// (checked via the nn hooks only, so serve stays independent of emx_quant).
+bool HasReadyInt8Backends(core::EntityMatcher* matcher) {
+  nn::QuantTargets targets;
+  matcher->classifier()->CollectQuantTargets("", &targets);
+  for (auto& [name, linear] : targets.linears) {
+    if (linear->backend() != nullptr && linear->backend()->ready()) {
+      return true;
+    }
+  }
+  for (auto& [name, ffn] : targets.ffns) {
+    if (ffn->backend() != nullptr && ffn->backend()->ready()) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -32,6 +49,12 @@ MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
   EMX_CHECK_GT(options_.queue_capacity, 0);
   EMX_CHECK_GT(options_.bucket_width, 0);
   EMX_CHECK_GT(options_.num_workers, 0);
+  if (options_.precision == Precision::kInt8) {
+    EMX_CHECK(HasReadyInt8Backends(matcher))
+        << "EngineOptions::precision = kInt8 but the matcher has no frozen "
+           "int8 backends; run quant::QuantizeMatcher (or LoadQuantized) "
+           "before constructing the engine";
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back(&MatcherEngine::WorkerLoop, this,
@@ -236,6 +259,9 @@ void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
   mb.attention_mask = models::Batch::MakeMask(pad_flags, b, target_len);
 
   NoGradGuard no_grad;
+  // QuantMode is thread-local, so each worker pins the engine's precision
+  // for the duration of its own forward.
+  nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
   Variable logits = matcher_->classifier()->Logits(mb, /*train=*/false, rng);
   Tensor probs = ops::Softmax(logits.value());
   const Clock::time_point done = Clock::now();

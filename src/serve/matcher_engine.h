@@ -20,6 +20,15 @@
 namespace emx {
 namespace serve {
 
+/// Numeric precision of the engine's grad-free forwards.
+enum class Precision {
+  /// The plain fp32 path. Any attached int8 backends are bypassed.
+  kFp32,
+  /// int8 backends (attached by quant::QuantizeMatcher or LoadQuantized)
+  /// serve every quantized layer. Requires a quantized matcher.
+  kInt8,
+};
+
 /// Tuning knobs for the serving engine.
 struct EngineOptions {
   /// Flush a micro-batch as soon as this many same-bucket requests are
@@ -49,6 +58,10 @@ struct EngineOptions {
   /// Construct with the batching worker paused (tests / drain control);
   /// call Resume() to start serving.
   bool start_paused = false;
+  /// Forward precision. kInt8 requires the matcher to carry ready int8
+  /// backends (see quant::QuantizeMatcher); construction aborts otherwise
+  /// rather than silently serving fp32.
+  Precision precision = Precision::kFp32;
 };
 
 /// Outcome of one serving request.

@@ -5,14 +5,22 @@
 
 namespace emx {
 namespace serve {
-namespace {
 
-/// Nearest-rank percentile over a sorted sample (q in [0, 1]).
 double Percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0;
-  const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+  if (sorted.size() == 1) return sorted[0];
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Linear interpolation between the two closest ranks. The previous
+  // nearest-rank + 0.5 rounding jumped straight to the upper sample — for
+  // a 2-element buffer, p50 returned the max.
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
+
+namespace {
 
 void AppendField(std::string* out, const char* name, double value,
                  bool* first) {

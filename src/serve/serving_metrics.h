@@ -11,6 +11,10 @@
 namespace emx {
 namespace serve {
 
+/// Linearly interpolated percentile over an ascending-sorted sample
+/// (q in [0, 1], clamped). Empty input returns 0.
+double Percentile(const std::vector<double>& sorted, double q);
+
 /// Point-in-time view of the serving counters. All totals are cumulative
 /// since engine construction; latencies are computed over a bounded window
 /// of the most recent completions (see ServingMetrics).

@@ -25,12 +25,22 @@ TokenizationCache::TokenizationCache(const tokenizers::Tokenizer* tokenizer,
                                      int64_t capacity, int64_t max_seq_len)
     : tokenizer_(tokenizer), capacity_(capacity), max_seq_len_(max_seq_len) {
   EMX_CHECK(tokenizer != nullptr);
-  EMX_CHECK_GT(capacity, 0);
   EMX_CHECK_GT(max_seq_len, 0);
 }
 
 CachedEncoding TokenizationCache::Get(std::string_view a, std::string_view b,
                                       bool* hit) {
+  if (capacity_ <= 0) {
+    // Degenerate capacity disables caching: every lookup tokenizes fresh
+    // and counts as a miss; nothing is ever stored.
+    if (hit != nullptr) *hit = false;
+    CachedEncoding fresh;
+    fresh.enc = tokenizer_->EncodePair(a, b, max_seq_len_);
+    for (float pad : fresh.enc.attention_mask) {
+      if (pad == 0.0f) ++fresh.length;
+    }
+    return fresh;
+  }
   std::string key = MakeKey(a, b);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -32,8 +32,9 @@ struct CachedEncoding {
 class TokenizationCache {
  public:
   /// `tokenizer` must outlive the cache. `capacity` is the max number of
-  /// cached pairs; `max_seq_len` is the fixed token budget every encoding
-  /// is padded/truncated to.
+  /// cached pairs — zero or negative disables caching entirely (every Get
+  /// tokenizes fresh and reports a miss). `max_seq_len` is the fixed token
+  /// budget every encoding is padded/truncated to.
   TokenizationCache(const tokenizers::Tokenizer* tokenizer, int64_t capacity,
                     int64_t max_seq_len);
 

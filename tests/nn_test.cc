@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "nn/attention.h"
 #include "nn/layers.h"
@@ -302,6 +304,50 @@ TEST(SerializationTest, ShapeMismatchFails) {
   std::vector<NamedParam> pb;
   b.CollectParameters("m", &pb);
   EXPECT_FALSE(LoadParameters(path, pb).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileFails) {
+  Rng rng(22);
+  Linear a(6, 4, &rng);
+  std::string path = "/tmp/emx_nn_test_params_trunc.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+
+  // Chop the file mid-payload; the loader must fail cleanly, not read
+  // uninitialized memory or EMX_CHECK out.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  std::vector<NamedParam> pb;
+  a.CollectParameters("m", &pb);
+  Status s = LoadParameters(path, pb);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, NotAParameterFileFails) {
+  std::string path = "/tmp/emx_nn_test_params_magic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[] = "definitely not an emx parameter file";
+    out.write(garbage, sizeof(garbage));
+  }
+  Rng rng(23);
+  Linear a(2, 2, &rng);
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  Status s = LoadParameters(path, pa);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "pretrain/model_zoo.h"
+#include "quant/int8_gemm.h"
+#include "quant/observer.h"
+#include "quant/quantize_matcher.h"
+#include "quant/quantized_linear.h"
+#include "tensor/tensor.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emx {
+namespace quant {
+namespace {
+
+// ---- Quantization parameters ----------------------------------------------
+
+TEST(ObserverTest, ChooseQuantParamsCoversRangeAndZero) {
+  QuantParams p = ChooseQuantParams(-1.0f, 3.0f);
+  EXPECT_NEAR(p.scale, 4.0f / 255.0f, 1e-7);
+  // Zero is exactly representable: dequant(zero_point) == 0.
+  EXPECT_EQ(p.scale * (p.zero_point - p.zero_point), 0.0f);
+  // Both endpoints land within one step of the grid.
+  EXPECT_NEAR(p.scale * (0 - p.zero_point), -1.0f, p.scale);
+  EXPECT_NEAR(p.scale * (255 - p.zero_point), 3.0f, p.scale);
+}
+
+TEST(ObserverTest, ChooseQuantParamsWidensOneSidedRanges) {
+  // Positive-only data: the grid is anchored at 0.
+  QuantParams pos = ChooseQuantParams(2.0f, 6.0f);
+  EXPECT_EQ(pos.zero_point, 0);
+  EXPECT_NEAR(pos.scale, 6.0f / 255.0f, 1e-7);
+  // Negative-only data: 0 becomes the top code.
+  QuantParams neg = ChooseQuantParams(-4.0f, -1.0f);
+  EXPECT_EQ(neg.zero_point, 255);
+  EXPECT_NEAR(neg.scale, 4.0f / 255.0f, 1e-7);
+}
+
+TEST(ObserverTest, ChooseQuantParamsDegenerateRange) {
+  QuantParams p = ChooseQuantParams(0.0f, 0.0f);
+  EXPECT_EQ(p.scale, 1.0f);
+  EXPECT_EQ(p.zero_point, 0);
+}
+
+TEST(ObserverTest, MinMaxObserverTracksExtremes) {
+  MinMaxObserver obs;
+  EXPECT_FALSE(obs.seen());
+  const float a[] = {0.5f, -2.0f, 1.0f};
+  obs.Observe(a, 3);
+  const float b[] = {3.5f, 0.0f};
+  obs.Observe(b, 2);
+  EXPECT_TRUE(obs.seen());
+  EXPECT_EQ(obs.min(), -2.0f);
+  EXPECT_EQ(obs.max(), 3.5f);
+  QuantParams p = obs.ComputeQuantParams();
+  EXPECT_NEAR(p.scale, 5.5f / 255.0f, 1e-7);
+}
+
+TEST(ObserverTest, HistogramObserverClipsOutliers) {
+  Rng rng(7);
+  HistogramObserver obs(/*clip_fraction=*/1e-3);
+  Tensor bulk = Tensor::RandUniform({10000}, &rng, -1.0f, 1.0f);
+  obs.Observe(bulk.data(), bulk.size());
+  const float outlier = 100.0f;
+  obs.Observe(&outlier, 1);
+
+  EXPECT_EQ(obs.total(), 10001);
+  EXPECT_EQ(obs.max(), 100.0f);  // true extrema are still tracked
+  float lo = 0, hi = 0;
+  obs.ClippedRange(&lo, &hi);
+  // The single outlier is far below the 1e-3 tail mass, so the clipped
+  // range stays near the bulk instead of stretching the grid 100x.
+  EXPECT_LT(hi, 5.0f);
+  EXPECT_GT(lo, -5.0f);
+  QuantParams p = obs.ComputeQuantParams();
+  EXPECT_LT(p.scale, 10.0f / 255.0f);
+}
+
+TEST(ObserverTest, HistogramObserverGrowsToCoverNewData) {
+  HistogramObserver obs;
+  const float small[] = {-0.5f, 0.5f};
+  obs.Observe(small, 2);
+  const float wide[] = {-8.0f, 16.0f};
+  obs.Observe(wide, 2);
+  EXPECT_EQ(obs.min(), -8.0f);
+  EXPECT_EQ(obs.max(), 16.0f);
+  // No mass lost in the rebinnings.
+  EXPECT_EQ(obs.total(), 4);
+}
+
+// ---- Packing ----------------------------------------------------------------
+
+TEST(Int8GemmTest, PackUnpackRepackIsBitIdentical) {
+  Rng rng(11);
+  // Deliberately not multiples of the 4/16 packing blocks.
+  Tensor w = Tensor::Randn({7, 18}, &rng, 0.1f);
+  Tensor b = Tensor::Randn({18}, &rng, 0.05f);
+  QuantParams act = ChooseQuantParams(-2.0f, 2.0f);
+
+  PackedWeights fresh = PackWeights(w, b, act);
+  EXPECT_EQ(fresh.in, 7);
+  EXPECT_EQ(fresh.out, 18);
+  EXPECT_EQ(fresh.k_padded, 8);
+  EXPECT_EQ(fresh.n_padded, 32);
+
+  // The checkpoint round trip at the packing level: unpack to logical
+  // row-major int8, repack, and compare every derived field bit for bit.
+  std::vector<int8_t> qw = UnpackQuantizedWeights(fresh);
+  PackedWeights reloaded =
+      PackQuantizedWeights(fresh.in, fresh.out, qw, fresh.w_scales, fresh.bias,
+                           fresh.act);
+  EXPECT_EQ(fresh.data, reloaded.data);
+  EXPECT_EQ(fresh.col_sums, reloaded.col_sums);
+  EXPECT_EQ(fresh.w_scales, reloaded.w_scales);
+  EXPECT_EQ(fresh.fused_scale, reloaded.fused_scale);
+  EXPECT_EQ(fresh.bias, reloaded.bias);
+}
+
+TEST(Int8GemmTest, PerChannelScalesBoundQuantizationError) {
+  Rng rng(12);
+  Tensor w = Tensor::Randn({20, 9}, &rng, 0.1f);
+  Tensor b = Tensor::Zeros({9});
+  PackedWeights packed = PackWeights(w, b, ChooseQuantParams(-1.0f, 1.0f));
+  std::vector<int8_t> qw = UnpackQuantizedWeights(packed);
+  for (int64_t k = 0; k < 20; ++k) {
+    for (int64_t j = 0; j < 9; ++j) {
+      const float orig = w.data()[k * 9 + j];
+      const float deq = packed.w_scales[static_cast<size_t>(j)] *
+                        static_cast<float>(qw[static_cast<size_t>(k * 9 + j)]);
+      // Symmetric rounding error is at most half a step per channel.
+      EXPECT_LE(std::fabs(orig - deq),
+                0.5f * packed.w_scales[static_cast<size_t>(j)] + 1e-7f)
+          << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+// ---- Kernel exactness -------------------------------------------------------
+
+TEST(Int8GemmTest, VectorizedKernelMatchesScalarReference) {
+  Rng rng(13);
+  // Ragged sizes exercise every padding path (k and n remainders, a row
+  // count that is not a multiple of the VNNI 4-row unroll).
+  const int64_t m = 9, in = 50, out = 33;
+  Tensor x = Tensor::Randn({m, in}, &rng);
+  Tensor w = Tensor::Randn({in, out}, &rng, 0.1f);
+  Tensor b = Tensor::Randn({out}, &rng, 0.05f);
+  QuantParams act = ChooseQuantParams(-4.0f, 4.0f);
+  PackedWeights packed = PackWeights(w, b, act);
+
+  std::vector<uint8_t> qa(static_cast<size_t>(m * packed.k_padded));
+  QuantizeActivations(x.data(), m, in, packed.k_padded, act, qa.data());
+
+  std::vector<int32_t> fast(static_cast<size_t>(m * packed.n_padded), -1);
+  std::vector<int32_t> ref(static_cast<size_t>(m * packed.n_padded), -1);
+  Int8GemmAccumulate(qa.data(), m, packed, fast.data());
+  Int8GemmRowRangeScalar(qa.data(), 0, m, packed, ref.data());
+  // Integer accumulation is exact: every accumulator must agree, whichever
+  // kernel (VNNI or scalar) the build dispatched to.
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(Int8GemmTest, EpilogueFoldsZeroPointExactly) {
+  // An all-zero fp32 input quantizes to rows of zero_point; the epilogue's
+  // zp * col_sums correction must cancel them exactly, leaving just bias.
+  Rng rng(14);
+  const int64_t m = 3, in = 12, out = 5;
+  Tensor x = Tensor::Zeros({m, in});
+  Tensor w = Tensor::Randn({in, out}, &rng, 0.1f);
+  Tensor b = Tensor::Randn({out}, &rng);
+  PackedWeights packed = PackWeights(w, b, ChooseQuantParams(-2.0f, 2.0f));
+
+  std::vector<float> y(static_cast<size_t>(m * out));
+  Int8LinearForward(x.data(), m, packed, y.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < out; ++j) {
+      EXPECT_EQ(y[static_cast<size_t>(i * out + j)],
+                b[static_cast<size_t>(j)])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// ---- QuantizedLinear golden -------------------------------------------------
+
+TEST(QuantizedLinearTest, MatchesFp32LinearWithinTolerance) {
+  Rng rng(15);
+  nn::Linear lin(24, 17, &rng, /*init_stddev=*/0.1f);
+  Tensor x = Tensor::Randn({10, 24}, &rng);
+  float lo = x[0], hi = x[0];
+  for (int64_t i = 0; i < x.size(); ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+
+  QuantizedLinear ql(lin, ChooseQuantParams(lo, hi));
+  EXPECT_EQ(ql.in_features(), 24);
+  EXPECT_EQ(ql.out_features(), 17);
+
+  NoGradGuard no_grad;
+  nn::QuantModeGuard fp32_only(false);  // reference path, no backend routing
+  Tensor ref = lin.Forward(Variable::Constant(x)).value();
+  Tensor got = ql.Forward(Variable::Constant(x)).value();
+  ASSERT_EQ(ref.shape(), got.shape());
+  // Documented tolerance: with u8 activations over the observed range and
+  // s8 per-channel weights, the error budget is a few quantization steps —
+  // far below 0.08 at this layer size.
+  float max_err = 0, mean_err = 0;
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    const float e = std::fabs(ref[i] - got[i]);
+    max_err = std::max(max_err, e);
+    mean_err += e;
+  }
+  mean_err /= static_cast<float>(ref.size());
+  EXPECT_LT(max_err, 0.08f);
+  EXPECT_LT(mean_err, 0.02f);
+}
+
+TEST(QuantizedLinearTest, PreservesLeadingDims) {
+  Rng rng(16);
+  nn::Linear lin(8, 6, &rng);
+  QuantizedLinear ql(lin, ChooseQuantParams(-3.0f, 3.0f));
+  NoGradGuard no_grad;
+  Tensor x = Tensor::Randn({2, 5, 8}, &rng);
+  Variable y = ql.Forward(Variable::Constant(x));
+  EXPECT_EQ(y.value().shape(), (Shape{2, 5, 6}));
+  EXPECT_FALSE(y.requires_grad());
+}
+
+// ---- Activation LUT / fused FFN ---------------------------------------------
+
+TEST(QuantizedFfnTest, ActivationScalarMatchesFp32Ops) {
+  Tensor x({7}, {-3.0f, -1.0f, -0.1f, 0.0f, 0.1f, 1.0f, 3.0f});
+  for (nn::Activation act :
+       {nn::Activation::kGelu, nn::Activation::kRelu, nn::Activation::kTanh}) {
+    Tensor ref = nn::ApplyActivation(Variable::Constant(x), act).value();
+    for (int64_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(ActivationScalar(x[i], act), ref[i], 1e-6f)
+          << "activation " << static_cast<int>(act) << " x=" << x[i];
+    }
+  }
+}
+
+TEST(QuantizedFfnTest, FusedPipelineMatchesFp32FfnWithinTolerance) {
+  Rng rng(17);
+  nn::FeedForward ffn(16, 32, &rng, nn::Activation::kGelu,
+                      /*init_stddev=*/0.1f);
+  Tensor x = Tensor::Randn({8, 16}, &rng);
+
+  // Calibrate the inner Linears on the evaluation input itself (min/max
+  // observers, so the grid covers everything the test feeds in).
+  auto fc1_be = std::make_shared<Int8LinearBackend>(ObserverKind::kMinMax);
+  auto fc2_be = std::make_shared<Int8LinearBackend>(ObserverKind::kMinMax);
+  ffn.fc1()->set_backend(fc1_be);
+  ffn.fc2()->set_backend(fc2_be);
+  NoGradGuard no_grad;
+  Tensor ref =
+      ffn.Forward(Variable::Constant(x), /*dropout_p=*/0.0f, /*train=*/false,
+                  &rng)
+          .value();
+  ASSERT_TRUE(fc1_be->observed());
+  ASSERT_TRUE(fc2_be->observed());
+  ASSERT_TRUE(fc1_be->Freeze(*ffn.fc1()).ok());
+  ASSERT_TRUE(fc2_be->Freeze(*ffn.fc2()).ok());
+  ffn.set_backend(std::make_shared<Int8FfnBackend>(
+      fc1_be->packed(), fc2_be->packed(), fc1_be->ObservedOutputParams(),
+      ffn.activation()));
+
+  Tensor got =
+      ffn.Forward(Variable::Constant(x), 0.0f, false, &rng).value();
+  ASSERT_EQ(ref.shape(), got.shape());
+  float max_err = 0;
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(ref[i] - got[i]));
+  }
+  // Two GEMM quantizations plus the 256-entry GELU LUT; each contributes
+  // on the order of one grid step.
+  EXPECT_LT(max_err, 0.08f);
+
+  // Disabling QuantMode falls back to the exact fp32 result.
+  nn::QuantModeGuard fp32_only(false);
+  Tensor fp32 = ffn.Forward(Variable::Constant(x), 0.0f, false, &rng).value();
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(fp32[i], ref[i]);
+  }
+}
+
+TEST(QuantizedLinearTest, FreezeWithoutCalibrationFails) {
+  Rng rng(18);
+  nn::Linear lin(4, 4, &rng);
+  Int8LinearBackend backend;
+  Status s = backend.Freeze(lin);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- End-to-end matcher quantization ---------------------------------------
+
+class QuantMatcherTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kCacheDir = "/tmp/emx_zoo_quant_test";
+  static constexpr int64_t kSeqLen = 32;
+
+  static pretrain::ZooOptions Zoo() {
+    pretrain::ZooOptions zoo;
+    zoo.cache_dir = kCacheDir;
+    zoo.vocab_size = 500;
+    zoo.corpus.num_documents = 150;
+    zoo.skip_pretraining = true;
+    return zoo;
+  }
+
+  static std::unique_ptr<core::EntityMatcher> MakeMatcher() {
+    auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+    EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+    auto m = std::make_unique<core::EntityMatcher>(std::move(bundle).value());
+    m->set_eval_max_seq_len(kSeqLen);
+    return m;
+  }
+
+  static CalibrationData Calib() {
+    CalibrationData calib;
+    for (int i = 0; i < 12; ++i) {
+      calib.texts_a.push_back("canon powershot camera model " +
+                              std::to_string(i));
+      calib.texts_b.push_back("canon power shot digital camera " +
+                              std::to_string(i % 4));
+    }
+    calib.batch_size = 4;
+    return calib;
+  }
+
+  static void TearDownTestSuite() { std::filesystem::remove_all(kCacheDir); }
+};
+
+TEST_F(QuantMatcherTest, QuantizeMatcherEndToEnd) {
+  auto matcher = MakeMatcher();
+  const std::vector<std::string> as = {"apple iphone 12 mini",
+                                       "sony wh-1000xm4 headphones",
+                                       "generic usb c cable"};
+  const std::vector<std::string> bs = {"iphone 12 mini by apple",
+                                       "bose quietcomfort 45",
+                                       "usb-c charging cable 1m"};
+  std::vector<double> fp32 = matcher->MatchProbabilities(as, bs);
+  EXPECT_FALSE(IsQuantized(matcher.get()));
+
+  auto report = QuantizeMatcher(matcher.get(), Calib());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(IsQuantized(matcher.get()));
+
+  nn::QuantTargets targets;
+  matcher->classifier()->CollectQuantTargets("", &targets);
+  EXPECT_EQ(report.value().num_linears,
+            static_cast<int64_t>(targets.linears.size()));
+  EXPECT_EQ(report.value().num_ffns,
+            static_cast<int64_t>(targets.ffns.size()));
+  EXPECT_GT(report.value().num_ffns, 0);
+  EXPECT_EQ(report.value().calibration_pairs, 12);
+
+  // Grad-free prediction now runs int8 (QuantMode defaults on) and stays
+  // close to the fp32 answer.
+  std::vector<double> int8 = matcher->MatchProbabilities(as, bs);
+  ASSERT_EQ(int8.size(), fp32.size());
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_GE(int8[i], 0.0);
+    EXPECT_LE(int8[i], 1.0);
+    EXPECT_NEAR(int8[i], fp32[i], 0.15) << "pair " << i;
+  }
+
+  // With QuantMode off the attached backends are bypassed entirely.
+  {
+    nn::QuantModeGuard fp32_only(false);
+    std::vector<double> again = matcher->MatchProbabilities(as, bs);
+    for (size_t i = 0; i < fp32.size(); ++i) {
+      EXPECT_EQ(again[i], fp32[i]) << "pair " << i;
+    }
+  }
+
+  // Detaching restores pure fp32 behavior bit for bit.
+  ClearQuantization(matcher.get());
+  EXPECT_FALSE(IsQuantized(matcher.get()));
+  std::vector<double> cleared = matcher->MatchProbabilities(as, bs);
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_EQ(cleared[i], fp32[i]) << "pair " << i;
+  }
+}
+
+TEST_F(QuantMatcherTest, QuantizedCheckpointRoundTripIsBitIdentical) {
+  const std::string fp32_path = "/tmp/emx_quant_test_fp32.params";
+  const std::string quant_path = "/tmp/emx_quant_test_int8.params";
+  const std::vector<std::string> as = {"lenovo thinkpad x1 carbon",
+                                       "kitchenaid stand mixer"};
+  const std::vector<std::string> bs = {"thinkpad x1 carbon gen 9",
+                                       "kitchen aid artisan mixer"};
+
+  auto original = MakeMatcher();
+  ASSERT_TRUE(original->Save(fp32_path).ok());
+  auto report = QuantizeMatcher(original.get(), Calib());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  std::vector<double> expected = original->MatchProbabilities(as, bs);
+  ASSERT_TRUE(SaveQuantized(original.get(), quant_path).ok());
+
+  // A fresh matcher gets the fp32 weights (for the non-quantized layers:
+  // embeddings, layernorms, output head) plus the quantized checkpoint.
+  // No calibration pass — the saved grids are the calibration.
+  auto restored = MakeMatcher();
+  ASSERT_TRUE(restored->Load(fp32_path).ok());
+  Status load = LoadQuantized(restored.get(), quant_path);
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  EXPECT_TRUE(IsQuantized(restored.get()));
+
+  std::vector<double> got = restored->MatchProbabilities(as, bs);
+  ASSERT_EQ(got.size(), expected.size());
+  // The acceptance-criteria golden: save -> load -> Predict is
+  // bit-identical to the freshly quantized model.
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "pair " << i;
+  }
+
+  std::filesystem::remove(fp32_path);
+  std::filesystem::remove(quant_path);
+}
+
+TEST_F(QuantMatcherTest, SaveQuantizedRequiresQuantizedMatcher) {
+  auto matcher = MakeMatcher();
+  Status s = SaveQuantized(matcher.get(), "/tmp/emx_quant_test_unused.bin");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QuantMatcherTest, LoadQuantizedRejectsWrongMagic) {
+  const std::string path = "/tmp/emx_quant_test_badmagic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[] = "not a quantized checkpoint at all";
+    out.write(garbage, sizeof(garbage));
+  }
+  auto matcher = MakeMatcher();
+  Status s = LoadQuantized(matcher.get(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsQuantized(matcher.get()));
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, LoadQuantizedRejectsTruncatedFile) {
+  const std::string path = "/tmp/emx_quant_test_trunc.bin";
+  auto matcher = MakeMatcher();
+  auto report = QuantizeMatcher(matcher.get(), Calib());
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(SaveQuantized(matcher.get(), path).ok());
+
+  // Chop the checkpoint in half, landing mid-payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto fresh = MakeMatcher();
+  Status s = LoadQuantized(fresh.get(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // A failed load leaves the matcher untouched.
+  EXPECT_FALSE(IsQuantized(fresh.get()));
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, LoadQuantizedRejectsUnknownLayerName) {
+  const std::string path = "/tmp/emx_quant_test_unknown.bin";
+  {
+    // A syntactically valid file whose single entry names a layer the
+    // model does not have.
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t magic = 0x454d5851, version = 1;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const std::string name = "nope";
+    const uint64_t len = name.size();
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(name.data(), static_cast<std::streamsize>(len));
+    const int64_t in_dim = 2, out_dim = 2;
+    out.write(reinterpret_cast<const char*>(&in_dim), sizeof(in_dim));
+    out.write(reinterpret_cast<const char*>(&out_dim), sizeof(out_dim));
+    const float scale = 0.1f;
+    const int32_t zp = 128;
+    out.write(reinterpret_cast<const char*>(&scale), sizeof(scale));
+    out.write(reinterpret_cast<const char*>(&zp), sizeof(zp));
+  }
+  auto matcher = MakeMatcher();
+  Status s = LoadQuantized(matcher.get(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(IsQuantized(matcher.get()));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace quant
+}  // namespace emx

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/entity_matcher.h"
+#include "nn/layers.h"
 #include "pretrain/model_zoo.h"
+#include "quant/quantize_matcher.h"
 #include "serve/matcher_engine.h"
 #include "serve/serving_metrics.h"
 #include "serve/token_cache.h"
@@ -204,6 +206,55 @@ TEST_F(ServeFixture, TokenCacheLruEviction) {
   EXPECT_FALSE(hit);  // was evicted
 }
 
+TEST_F(ServeFixture, TokenCacheCapacityOneStillCaches) {
+  // The degenerate single-slot LRU: every insert evicts the previous
+  // entry, but a repeated key in a row still hits.
+  TokenizationCache cache(&Matcher()->tokenizer(), /*capacity=*/1, kSeqLen);
+  bool hit = true;
+  cache.Get("alpha", "one", &hit);
+  EXPECT_FALSE(hit);
+  cache.Get("alpha", "one", &hit);
+  EXPECT_TRUE(hit);
+  cache.Get("beta", "two", &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 1);
+  cache.Get("alpha", "one", &hit);
+  EXPECT_FALSE(hit);  // evicted by beta
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST_F(ServeFixture, TokenCacheZeroCapacityDisablesCaching) {
+  // Zero capacity must disable caching, not crash: every Get tokenizes
+  // fresh, reports a miss and stores nothing.
+  TokenizationCache cache(&Matcher()->tokenizer(), /*capacity=*/0, kSeqLen);
+  bool hit = true;
+  CachedEncoding c = cache.Get("asus zenbook", "zenbook by asus", &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 0);
+  cache.Get("asus zenbook", "zenbook by asus", &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 0);
+  // The uncached encoding is still correct, length included.
+  tokenizers::EncodedPair direct = Matcher()->tokenizer().EncodePair(
+      "asus zenbook", "zenbook by asus", kSeqLen);
+  EXPECT_EQ(c.enc.ids, direct.ids);
+  int64_t real = 0;
+  for (float pad : direct.attention_mask) real += pad == 0.0f ? 1 : 0;
+  EXPECT_EQ(c.length, real);
+}
+
+TEST_F(ServeFixture, EngineWithCacheDisabledStillServes) {
+  EngineOptions opts = BaseOptions();
+  opts.cache_capacity = 0;
+  opts.max_wait_us = 1000;
+  MatcherEngine engine(Matcher(), opts);
+  EXPECT_TRUE(engine.Match("pixel 7", "google pixel 7").status.ok());
+  EXPECT_TRUE(engine.Match("pixel 7", "google pixel 7").status.ok());
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.cache_hits, 0);
+  EXPECT_EQ(m.cache_misses, 2);
+}
+
 TEST_F(ServeFixture, CachedEncodingMatchesDirectTokenization) {
   TokenizationCache cache(&Matcher()->tokenizer(), 8, kSeqLen);
   CachedEncoding c = cache.Get("asus zenbook 14", "zenbook 14 by asus");
@@ -328,6 +379,107 @@ TEST_F(ServeFixture, CheckpointRoundTripPreservesProbabilities) {
     EXPECT_NEAR(r.probability, before[i], 1e-6) << "pair " << i;
   }
   std::filesystem::remove(path);
+}
+
+// ---- int8 precision --------------------------------------------------------
+
+TEST_F(ServeFixture, Int8EngineMatchesDirectQuantizedPath) {
+  // A private matcher: quantization attaches backends, which must not leak
+  // into the shared fixture the fp32 bit-identity tests rely on.
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  core::EntityMatcher matcher(std::move(bundle).value());
+  matcher.set_eval_max_seq_len(kSeqLen);
+
+  quant::CalibrationData calib;
+  for (int i = 0; i < 8; ++i) {
+    calib.texts_a.push_back("dell latitude laptop " + std::to_string(i));
+    calib.texts_b.push_back("dell latitude notebook " + std::to_string(i % 3));
+  }
+  calib.batch_size = 4;
+  auto report = quant::QuantizeMatcher(&matcher, calib);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::vector<std::string> as, bs;
+  for (int i = 0; i < 16; ++i) {
+    as.push_back("item number " + std::to_string(i));
+    bs.push_back("product number " + std::to_string(i % 5));
+  }
+  // Direct grad-free prediction runs int8 (QuantMode defaults on).
+  std::vector<double> expected = matcher.MatchProbabilities(as, bs);
+
+  EngineOptions opts = BaseOptions();
+  opts.precision = Precision::kInt8;
+  opts.num_workers = 2;  // concurrent int8 forwards on shared packed weights
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 500;
+  MatcherEngine engine(&matcher, opts);
+  std::vector<std::future<MatchResult>> futures;
+  for (size_t i = 0; i < as.size(); ++i) {
+    futures.push_back(engine.Submit(as[i], bs[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    MatchResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_NEAR(r.probability, expected[i], 1e-6) << "pair " << i;
+  }
+  EXPECT_GT(engine.Metrics().completed, 0);
+
+  // An fp32-precision engine over the same quantized matcher bypasses the
+  // backends per worker thread (QuantModeGuard), not globally.
+  double fp32_direct;
+  {
+    nn::QuantModeGuard fp32_only(false);
+    fp32_direct = matcher.MatchProbability(as[0], bs[0]);
+  }
+  MatcherEngine fp32_engine(&matcher, BaseOptions());
+  MatchResult r = fp32_engine.Match(as[0], bs[0]);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NEAR(r.probability, fp32_direct, 1e-6);
+}
+
+TEST_F(ServeFixture, Int8EngineHonorsDeadlinesAndShutdown) {
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+  ASSERT_TRUE(bundle.ok());
+  core::EntityMatcher matcher(std::move(bundle).value());
+  matcher.set_eval_max_seq_len(kSeqLen);
+  quant::CalibrationData calib;
+  calib.texts_a = {"hp spectre x360", "logitech mx master"};
+  calib.texts_b = {"hp spectre 13 convertible", "mx master 3 mouse"};
+  ASSERT_TRUE(quant::QuantizeMatcher(&matcher, calib).ok());
+
+  EngineOptions opts = BaseOptions();
+  opts.precision = Precision::kInt8;
+  opts.start_paused = true;
+  MatcherEngine engine(&matcher, opts);
+  auto expired = engine.Submit("slow a", "slow b", /*timeout_us=*/1000);
+  auto alive = engine.Submit("fast a", "fast b");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  engine.Resume();
+  EXPECT_EQ(expired.get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(alive.get().status.ok());
+  engine.Shutdown();
+  EXPECT_EQ(engine.Submit("too", "late").get().status.code(),
+            StatusCode::kUnavailable);
+}
+
+// ---- Percentiles -----------------------------------------------------------
+
+TEST(PercentileTest, LinearInterpolationOnSmallSamples) {
+  // Regression for the nearest-rank +0.5 rounding bug: a 2-sample buffer
+  // at q=0.5 returned the max instead of the midpoint.
+  EXPECT_EQ(Percentile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.99), 7.0);
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_EQ(Percentile(v, 0.5), 25.0);
+  EXPECT_EQ(Percentile(v, 0.25), 17.5);
+  EXPECT_EQ(Percentile(v, 0.75), 32.5);
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_EQ(Percentile(v, -0.5), 10.0);
+  EXPECT_EQ(Percentile(v, 2.0), 40.0);
 }
 
 // ---- Metrics ---------------------------------------------------------------
