@@ -71,6 +71,75 @@ void BM_BatchedAttentionMatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedAttentionMatMul);
 
+// ---- Fused attention micro-shapes ------------------------------------------
+// T in {32, 64, 128, 256} x heads in {4, 12}; hidden follows heads at
+// head_dim 16. Args: (seq, heads).
+
+void BM_FusedAttentionForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  const int64_t heads = state.range(1);
+  const int64_t hidden = heads * 16;
+  Rng rng(31);
+  NoGradGuard no_grad;
+  Variable q = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  Variable k = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  Variable v = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag::FusedAttention(q, k, v, Tensor(), heads, 0.0f, false, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * heads * t * t * 16 * 4);
+}
+BENCHMARK(BM_FusedAttentionForward)
+    ->ArgsProduct({{32, 64, 128, 256}, {4, 12}});
+
+void BM_ReferenceAttentionForward(benchmark::State& state) {
+  // The unfused chain at the same shapes: split heads, QK^T, scale,
+  // softmax, PV, merge heads.
+  const int64_t t = state.range(0);
+  const int64_t heads = state.range(1);
+  const int64_t hidden = heads * 16;
+  Rng rng(31);
+  NoGradGuard no_grad;
+  Variable q = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  Variable k = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  Variable v = Variable::Constant(Tensor::Randn({4, t, hidden}, &rng));
+  auto split = [&](const Variable& x) {
+    return ag::Permute(ag::Reshape(x, {4, t, heads, 16}), {0, 2, 1, 3});
+  };
+  const float scale = 0.25f;  // 1/sqrt(head_dim 16)
+  for (auto _ : state) {
+    Variable scores =
+        ag::MulScalar(ag::MatMul(split(q), split(k), false, true), scale);
+    Variable ctx = ag::MatMul(ag::Softmax(scores), split(v));
+    benchmark::DoNotOptimize(
+        ag::PermuteReshape(ctx, {0, 2, 1, 3}, {4, t, hidden}));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * heads * t * t * 16 * 4);
+}
+BENCHMARK(BM_ReferenceAttentionForward)
+    ->ArgsProduct({{32, 64, 128, 256}, {4, 12}});
+
+void BM_FusedAttentionForwardBackward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  const int64_t heads = state.range(1);
+  const int64_t hidden = heads * 16;
+  Rng rng(32);
+  Tensor qt = Tensor::Randn({4, t, hidden}, &rng);
+  Tensor kt = Tensor::Randn({4, t, hidden}, &rng);
+  Tensor vt = Tensor::Randn({4, t, hidden}, &rng);
+  for (auto _ : state) {
+    Variable q = Variable::Parameter(qt);
+    Variable k = Variable::Parameter(kt);
+    Variable v = Variable::Parameter(vt);
+    Backward(ag::SumAll(
+        ag::FusedAttention(q, k, v, Tensor(), heads, 0.0f, true, &rng)));
+    benchmark::DoNotOptimize(q.grad()[0]);
+  }
+}
+BENCHMARK(BM_FusedAttentionForwardBackward)
+    ->ArgsProduct({{32, 64, 128, 256}, {4, 12}});
+
 void BM_Softmax(benchmark::State& state) {
   Rng rng(3);
   Tensor x = Tensor::Randn({16 * 2 * 56, 56}, &rng);

@@ -10,6 +10,13 @@ namespace nn {
 
 namespace ag = autograd;
 
+Variable FusedAttentionBackend::Forward(const Variable& q, const Variable& k,
+                                        const Variable& v, const Tensor& mask,
+                                        int64_t num_heads, float dropout_p,
+                                        bool train, Rng* rng) const {
+  return ag::FusedAttention(q, k, v, mask, num_heads, dropout_p, train, rng);
+}
+
 MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t num_heads,
                                        Rng* rng, float init_stddev)
     : hidden_(hidden),
@@ -18,7 +25,8 @@ MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t num_heads,
       wq_(hidden, hidden, rng, init_stddev),
       wk_(hidden, hidden, rng, init_stddev),
       wv_(hidden, hidden, rng, init_stddev),
-      wo_(hidden, hidden, rng, init_stddev) {
+      wo_(hidden, hidden, rng, init_stddev),
+      backend_(std::make_shared<FusedAttentionBackend>()) {
   EMX_CHECK_EQ(head_dim_ * num_heads_, hidden_)
       << "hidden must be divisible by num_heads";
 }
@@ -33,13 +41,30 @@ Variable MultiHeadAttention::SplitHeads(const Variable& x) const {
 Variable MultiHeadAttention::MergeHeads(const Variable& x) const {
   const int64_t b = x.dim(0);
   const int64_t t = x.dim(2);
-  Variable p = ag::Permute(x, {0, 2, 1, 3});  // [B, T, heads, dh]
-  return ag::Reshape(p, {b, t, hidden_});
+  // Fused [B, heads, T, dh] -> [B, T, heads, dh] -> [B, T, H]: one
+  // materialization instead of the old Permute copy + Reshape clone.
+  return ag::PermuteReshape(x, {0, 2, 1, 3}, {b, t, hidden_});
 }
 
 Variable MultiHeadAttention::Forward(const Variable& query, const Variable& kv,
                                      const Tensor& mask, float dropout_p,
                                      bool train, Rng* rng) const {
+  if (backend_ == nullptr) {
+    return ForwardReference(query, kv, mask, dropout_p, train, rng);
+  }
+  Variable q = wq_.Forward(query);  // [B, Tq, H], heads interleaved
+  Variable k = wk_.Forward(kv);     // [B, Tk, H]
+  Variable v = wv_.Forward(kv);     // [B, Tk, H]
+  Variable context =
+      backend_->Forward(q, k, v, mask, num_heads_, dropout_p, train, rng);
+  return wo_.Forward(context);
+}
+
+Variable MultiHeadAttention::ForwardReference(const Variable& query,
+                                              const Variable& kv,
+                                              const Tensor& mask,
+                                              float dropout_p, bool train,
+                                              Rng* rng) const {
   Variable q = SplitHeads(wq_.Forward(query));  // [B, h, Tq, dh]
   Variable k = SplitHeads(wk_.Forward(kv));     // [B, h, Tk, dh]
   Variable v = SplitHeads(wv_.Forward(kv));     // [B, h, Tk, dh]

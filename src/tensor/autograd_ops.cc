@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/fused_attention.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -138,6 +139,64 @@ Variable Permute(const Variable& x, const std::vector<int64_t>& perm) {
                                 [x, inverse](const Tensor& g) {
                                   AccumulateGrad(x, ops::Permute(g, inverse));
                                 });
+}
+
+Variable PermuteReshape(const Variable& x, const std::vector<int64_t>& perm,
+                        Shape shape) {
+  Tensor permuted = ops::Permute(x.value(), perm);
+  const Shape mid_shape = permuted.shape();
+  // The reshaped result may share the permuted buffer: it is freshly
+  // materialized here, so no aliasing with the input's tape can occur.
+  Tensor value = permuted.Reshape(std::move(shape));
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  }
+  return Variable::MakeOpResult(
+      std::move(value), {x}, [x, mid_shape, inverse](const Tensor& g) {
+        AccumulateGrad(x, ops::Permute(g.Reshape(mid_shape), inverse));
+      });
+}
+
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const Tensor& mask,
+                        int64_t num_heads, float dropout_p, bool train,
+                        Rng* rng, float penalty) {
+  EMX_CHECK_EQ(q.value().ndim(), 3);
+  const int64_t hidden = q.dim(2);
+  EMX_CHECK_EQ(hidden % num_heads, 0);
+  ops::FusedAttentionConfig cfg;
+  cfg.num_heads = num_heads;
+  cfg.scale = 1.0f / std::sqrt(static_cast<float>(hidden / num_heads));
+  cfg.penalty = penalty;
+  if (train && dropout_p > 0.0f) {
+    EMX_CHECK_LT(dropout_p, 1.0f);
+    cfg.dropout = true;
+    cfg.dropout_p = dropout_p;
+    // One draw per forward keeps the layer Rng stream deterministic; the
+    // per-element decisions are pure functions of (seed, flat index).
+    cfg.dropout_seed = rng->Next();
+  }
+  const bool needs_grad =
+      GradMode::IsEnabled() &&
+      (q.requires_grad() || k.requires_grad() || v.requires_grad());
+  Tensor row_max, row_sum;
+  Tensor value = ops::FusedAttentionForward(
+      q.value(), k.value(), v.value(), mask, cfg,
+      needs_grad ? &row_max : nullptr, needs_grad ? &row_sum : nullptr);
+  if (!needs_grad) return Variable::Constant(std::move(value));
+  return Variable::MakeOpResult(
+      std::move(value), {q, k, v},
+      [q, k, v, mask, cfg, row_max, row_sum](const Tensor& g) {
+        Tensor dq(q.value().shape());
+        Tensor dk(k.value().shape());
+        Tensor dv(v.value().shape());
+        ops::FusedAttentionBackward(g, q.value(), k.value(), v.value(), mask,
+                                    cfg, row_max, row_sum, &dq, &dk, &dv);
+        AccumulateGrad(q, dq);
+        AccumulateGrad(k, dk);
+        AccumulateGrad(v, dv);
+      });
 }
 
 Variable Relu(const Variable& x) {

@@ -49,6 +49,29 @@ Variable Reshape(const Variable& x, Shape shape);
 /// Axis permutation; backward applies the inverse permutation.
 Variable Permute(const Variable& x, const std::vector<int64_t>& perm);
 
+/// Permute immediately followed by Reshape, in one node. The permutation
+/// materializes a fresh buffer which the reshaped result shares, so the
+/// separate Reshape clone of the Permute -> Reshape pair disappears (one
+/// materialization instead of two); backward reshapes the gradient back and
+/// applies the inverse permutation. `shape` must be fully specified (no -1).
+Variable PermuteReshape(const Variable& x, const std::vector<int64_t>& perm,
+                        Shape shape);
+
+/// Fused scaled-dot-product multi-head attention over projected q/k/v in
+/// [B, T, H] layout with heads interleaved in the last dimension (see
+/// tensor/fused_attention.h). Replaces the
+/// MatMul -> MulScalar -> MaskedSoftmax -> Dropout -> MatMul chain with one
+/// custom-VJP node: the forward streams K/V tiles and never materializes
+/// the [B, heads, Tq, Tk] prob tensor; the backward recomputes per-tile
+/// probs from saved row max/sum statistics. Forward values are
+/// bit-identical to the unfused chain (dropout off); with `train` and
+/// dropout_p > 0 a counter-seeded mask (one rng->Next() draw per call)
+/// preserves inverted-dropout semantics without storing the mask.
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const Tensor& mask,
+                        int64_t num_heads, float dropout_p, bool train,
+                        Rng* rng, float penalty = -1e9f);
+
 // ---- Activations -----------------------------------------------------
 
 Variable Relu(const Variable& x);

@@ -1,0 +1,26 @@
+#ifndef EMX_TENSOR_KERNEL_MATH_H_
+#define EMX_TENSOR_KERNEL_MATH_H_
+
+#include <cmath>
+
+namespace emx {
+namespace ops {
+
+/// One rounding behaviour for every accumulation kernel. The default
+/// -ffp-contract=fast lets the compiler contract a*b+c into FMA in some
+/// loop shapes and split it into mul-then-add in others, which would break
+/// the bitwise guarantees between the blocked GEMM, the naive reference and
+/// the fused attention kernel; an explicit fused (or explicitly unfused)
+/// multiply-add pins the rounding down once for all of them.
+inline float MulAdd(float a, float b, float c) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+  return std::fma(a, b, c);
+#else
+  return c + a * b;
+#endif
+}
+
+}  // namespace ops
+}  // namespace emx
+
+#endif  // EMX_TENSOR_KERNEL_MATH_H_

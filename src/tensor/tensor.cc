@@ -1,11 +1,54 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
 #include "util/logging.h"
 
 namespace emx {
+
+namespace {
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void OnBufferAlloc(int64_t bytes) {
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+/// Wraps a float buffer so that its release is observed by the accounting
+/// regardless of which Tensor copy drops the last reference.
+std::shared_ptr<std::vector<float>> TrackedBuffer(std::vector<float> values) {
+  auto* raw = new std::vector<float>(std::move(values));
+  const int64_t bytes =
+      static_cast<int64_t>(raw->capacity() * sizeof(float));
+  OnBufferAlloc(bytes);
+  return std::shared_ptr<std::vector<float>>(
+      raw, [bytes](std::vector<float>* p) {
+        g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+        delete p;
+      });
+}
+
+}  // namespace
+
+TensorMemStats GetTensorMemStats() {
+  TensorMemStats stats;
+  stats.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  stats.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetTensorMemPeak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -29,14 +72,15 @@ Tensor::Tensor() : Tensor(Shape{0}) {}
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       size_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(size_), 0.0f)) {
+      data_(TrackedBuffer(
+          std::vector<float>(static_cast<size_t>(size_), 0.0f))) {
   for (int64_t d : shape_) EMX_CHECK_GE(d, 0);
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)),
       size_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+      data_(TrackedBuffer(std::move(values))) {
   EMX_CHECK_EQ(size_, static_cast<int64_t>(data_->size()))
       << "value count does not match shape " << ShapeToString(shape_);
 }
@@ -109,7 +153,7 @@ Tensor Tensor::Clone() const {
   Tensor out;
   out.shape_ = shape_;
   out.size_ = size_;
-  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  out.data_ = TrackedBuffer(std::vector<float>(*data_));
   return out;
 }
 

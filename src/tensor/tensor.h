@@ -14,6 +14,25 @@ namespace emx {
 /// Shape of a dense tensor; dimension sizes in row-major order.
 using Shape = std::vector<int64_t>;
 
+/// Process-wide tensor-buffer accounting. Every buffer a Tensor allocates
+/// (constructors, Clone; not Reshape, which shares storage) bumps
+/// `live_bytes` until its last owner releases it; `peak_bytes` is the
+/// high-water mark since the last ResetTensorMemPeak(). Counters are plain
+/// relaxed atomics, so reading them while kernels run is safe; they exist
+/// so benches and tests can show a kernel *didn't* materialize something
+/// (e.g. the fused attention path never allocating the [B, h, T, T] prob
+/// tensor) without resorting to RSS, which never shrinks.
+struct TensorMemStats {
+  int64_t live_bytes = 0;
+  int64_t peak_bytes = 0;
+};
+
+/// Snapshot of the current accounting.
+TensorMemStats GetTensorMemStats();
+
+/// Sets peak_bytes to the current live_bytes.
+void ResetTensorMemPeak();
+
 /// Returns the number of elements implied by a shape (1 for rank 0).
 int64_t NumElements(const Shape& shape);
 

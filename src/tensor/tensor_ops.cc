@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "tensor/kernel_math.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -192,18 +193,9 @@ struct GemmShape {
   int64_t a_rs, a_cs, b_rs, b_cs;
 };
 
-/// One rounding behaviour for every GEMM kernel. The default
-/// -ffp-contract=fast lets the compiler contract a*b+c into FMA in some
-/// loop shapes and split it into mul-then-add in others, which breaks the
-/// bitwise blocked-vs-naive guarantee; an explicit fused (or explicitly
-/// unfused) multiply-add pins it down.
-inline float MulAdd(float a, float b, float c) {
-#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
-  return std::fma(a, b, c);
-#else
-  return c + a * b;
-#endif
-}
+// MulAdd (kernel_math.h) pins one rounding behaviour for every GEMM
+// accumulation; the fused attention kernel shares it so its score and
+// context chains stay bit-identical to this GEMM's.
 
 /// Copies a rows x cols logical block (strided source) into row-major dst.
 void PackPanel(const float* src, int64_t row_stride, int64_t col_stride,

@@ -463,5 +463,36 @@ TEST(AllCloseTest, ShapeMismatchNotClose) {
   EXPECT_FALSE(ops::AllClose(Tensor({2}), Tensor({3})));
 }
 
+// ---- Memory accounting -----------------------------------------------------
+
+TEST(TensorMemStatsTest, TracksLiveAndPeakBytes) {
+  const int64_t base = GetTensorMemStats().live_bytes;
+  ResetTensorMemPeak();
+  {
+    Tensor a({64, 64});  // 16 KiB
+    EXPECT_EQ(GetTensorMemStats().live_bytes - base, 64 * 64 * 4);
+    {
+      Tensor b = a.Clone();  // +16 KiB
+      EXPECT_EQ(GetTensorMemStats().live_bytes - base, 2 * 64 * 64 * 4);
+    }
+    // b released: live drops, peak remembers both.
+    EXPECT_EQ(GetTensorMemStats().live_bytes - base, 64 * 64 * 4);
+    EXPECT_GE(GetTensorMemStats().peak_bytes - base, 2 * 64 * 64 * 4);
+  }
+  EXPECT_EQ(GetTensorMemStats().live_bytes, base);
+  ResetTensorMemPeak();
+  EXPECT_EQ(GetTensorMemStats().peak_bytes, GetTensorMemStats().live_bytes);
+}
+
+TEST(TensorMemStatsTest, SharedViewsCountBufferOnce) {
+  const int64_t base = GetTensorMemStats().live_bytes;
+  Tensor a({8, 8});
+  Tensor view = a.Reshape({64});  // shares the buffer
+  Tensor copy = a;                // shares the buffer
+  EXPECT_EQ(view.data(), a.data());
+  EXPECT_EQ(copy.data(), a.data());
+  EXPECT_EQ(GetTensorMemStats().live_bytes - base, 8 * 8 * 4);
+}
+
 }  // namespace
 }  // namespace emx
