@@ -12,10 +12,12 @@
 //   DBLP-Scholar      4m5s  5m57s  4m13s   2m6s
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "core/entity_matcher.h"
 #include "data/generators.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 int main() {
@@ -40,6 +42,7 @@ int main() {
     std::string name = spec.name;
     if (spec.dirty) name += "(dirty)";
     std::printf("%-24s", name.c_str());
+    std::string breakdown;
     for (auto arch : archs) {
       auto bundle = pretrain::GetPretrained(arch, bench::BenchZoo());
       if (!bundle.ok()) {
@@ -50,18 +53,33 @@ int main() {
       core::FineTuneOptions ft = bench::BenchFineTune(id);
       ft.epochs = 2;  // timing only; report the mean of two epochs
       auto records = matcher.FineTune(ds, ft, /*eval_each_epoch=*/true);
-      double secs = 0;
+      double secs = 0, tok = 0, fwd = 0, bwd = 0, opt = 0, tps = 0;
       int64_t n = 0;
       for (const auto& r : records) {
         if (r.epoch > 0) {
           secs += r.seconds;
+          tok += r.tokenize_seconds;
+          fwd += r.forward_seconds;
+          bwd += r.backward_seconds;
+          opt += r.optimizer_seconds;
+          tps += r.tokens_per_sec;
           ++n;
         }
       }
       std::printf(" %10s", Timer::FormatDuration(secs / n).c_str());
       std::fflush(stdout);
+      // Phase attribution from the instrumented loop: the four measured
+      // phases must account for the epoch wall clock (within 5%; the
+      // remainder is batch assembly and bookkeeping between phases).
+      const double phases = tok + fwd + bwd + opt;
+      breakdown += StrFormat(
+          "    %-8s tok %4.1f%%  fwd %4.1f%%  bwd %4.1f%%  opt %4.1f%%  | "
+          "phases/wall %5.1f%%  %7.0f tok/s\n",
+          models::ArchitectureName(arch), 100.0 * tok / secs,
+          100.0 * fwd / secs, 100.0 * bwd / secs, 100.0 * opt / secs,
+          100.0 * phases / secs, tps / n);
     }
-    std::printf("\n");
+    std::printf("\n%s", breakdown.c_str());
   }
   std::printf("\nPaper shape to compare against: XLNet slowest, DistilBERT ~half "
               "of BERT, RoBERTa ~ BERT.\nNote: at this reduced scale (T<=64, "

@@ -6,7 +6,12 @@
 // engine's metrics snapshot — the JSON a real deployment would scrape.
 //
 //   ./matcher_server [--finetune] [--precision=int8] [--clients N]
-//                    [--requests N] [cache_dir]
+//                    [--requests N] [--trace=out.json] [cache_dir]
+//
+// --trace=PATH records the simulated traffic with emx::obs and writes a
+// chrome://tracing / Perfetto-loadable trace to PATH; both the trace and
+// the metrics snapshot are strict-validated before exit (nonzero exit on
+// malformed output, so CI can use this as a gate).
 //
 // By default the backbone keeps its random init so the demo starts in
 // seconds; pass --finetune to briefly fine-tune on a generated
@@ -26,6 +31,8 @@
 #include "core/entity_matcher.h"
 #include "data/generators.h"
 #include "nn/layers.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "pretrain/model_zoo.h"
 #include "quant/quantize_matcher.h"
 #include "serve/matcher_engine.h"
@@ -83,6 +90,41 @@ TrafficResult RunTraffic(emx::core::EntityMatcher* matcher,
   return result;
 }
 
+/// Stops profiling, writes the Chrome trace to `path`, and strict-validates
+/// both the trace file and the engine metrics JSON. Returns false (and
+/// explains) if either artifact would break a strict consumer.
+bool FinishTrace(const std::string& path, const std::string& metrics_json) {
+  using namespace emx;
+  obs::StopProfiling();
+  if (!obs::WriteChromeTrace(path)) {
+    std::printf("error: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::JsonParse(obs::ExportChromeTrace(), &doc, &error)) {
+    std::printf("error: emitted trace is not strict JSON: %s\n",
+                error.c_str());
+    return false;
+  }
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array() || events->array.empty()) {
+    std::printf("error: trace has no traceEvents\n");
+    return false;
+  }
+  if (!obs::JsonParse(metrics_json, &doc, &error)) {
+    std::printf("error: metrics snapshot is not strict JSON: %s\n",
+                error.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s (%lld events, %lld dropped) — load it at "
+              "chrome://tracing or ui.perfetto.dev\n",
+              path.c_str(), static_cast<long long>(events->array.size()),
+              static_cast<long long>(obs::TraceDroppedCount()));
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,10 +134,13 @@ int main(int argc, char** argv) {
   bool int8 = false;
   int64_t clients = 4;
   int64_t requests = 200;
+  std::string trace_path;
   std::string cache_dir = "/tmp/emx_zoo_bench";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--finetune") == 0) {
       finetune = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
       int8 = true;
     } else if (std::strcmp(argv[i], "--precision=fp32") == 0) {
@@ -131,6 +176,10 @@ int main(int argc, char** argv) {
   data::GeneratorOptions gen;
   gen.scale = 0.04;
   auto dataset = data::GenerateDataset(data::DatasetId::kWalmartAmazon, gen);
+  // Tracing covers everything from here on: the fine-tuning epochs (when
+  // --finetune is given) land in the same trace as the serving traffic, so
+  // one file shows train.epoch phase spans next to serve.batch spans.
+  if (!trace_path.empty()) obs::StartProfiling();
   if (finetune) {
     core::FineTuneOptions ft;
     ft.epochs = 3;
@@ -193,7 +242,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. Simulated traffic through the engine(s).
+  // 4. Simulated traffic through the engine(s), optionally traced.
   std::printf("\nServing %lld requests from %lld client threads...\n",
               static_cast<long long>(requests * clients),
               static_cast<long long>(clients));
@@ -201,6 +250,10 @@ int main(int argc, char** argv) {
                                   clients, requests);
   if (!int8) {
     std::printf("\nmetrics: %s\n", fp32.metrics.ToJson().c_str());
+    if (!trace_path.empty() &&
+        !FinishTrace(trace_path, fp32.metrics.ToJson())) {
+      return 1;
+    }
     return 0;
   }
 
@@ -222,5 +275,8 @@ int main(int argc, char** argv) {
                   .c_str());
   std::printf("\nfp32 metrics: %s\n", fp32.metrics.ToJson().c_str());
   std::printf("int8 metrics: %s\n", q.metrics.ToJson().c_str());
+  if (!trace_path.empty() && !FinishTrace(trace_path, q.metrics.ToJson())) {
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/autograd_ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
@@ -13,6 +15,26 @@ namespace emx {
 namespace core {
 
 namespace ag = autograd;
+
+namespace {
+
+/// L2 norm over every parameter gradient (the scalar every training run
+/// should watch for divergence/vanishing). Called after Backward, before
+/// the optimizer step.
+double GradL2Norm(const std::vector<nn::NamedParam>& params) {
+  double sum_sq = 0;
+  for (const auto& p : params) {
+    if (!p.var.requires_grad()) continue;
+    const Tensor& g = p.var.grad();
+    const float* pg = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      sum_sq += static_cast<double>(pg[i]) * static_cast<double>(pg[i]);
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 EntityMatcher::EntityMatcher(pretrain::PretrainedBundle bundle,
                              uint64_t head_seed)
@@ -99,41 +121,101 @@ std::vector<EpochRecord> EntityMatcher::FineTune(const data::EmDataset& dataset,
           1, static_cast<int64_t>(total_steps * options.warmup_fraction)),
       total_steps);
 
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  obs::Gauge* loss_gauge = registry->GetGauge("train.loss");
+  obs::Gauge* tps_gauge = registry->GetGauge("train.tokens_per_sec");
+  obs::Gauge* grad_norm_gauge = registry->GetGauge("train.grad_norm");
+  obs::Gauge* lr_gauge = registry->GetGauge("train.learning_rate");
+  obs::Counter* epochs_counter = registry->GetCounter("train.epochs");
+
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    EpochRecord rec;
+    rec.epoch = epoch + 1;
     Timer epoch_timer;
     rng_.Shuffle(&order);
     double epoch_loss = 0;
     int64_t batches = 0;
-    for (size_t start = 0; start < order.size();
-         start += static_cast<size_t>(options.batch_size)) {
-      const size_t end = std::min(
-          order.size(), start + static_cast<size_t>(options.batch_size));
-      std::vector<std::string> texts_a, texts_b;
-      std::vector<int64_t> labels;
-      for (size_t k = start; k < end; ++k) {
-        const auto& pair = dataset.train[order[k]];
-        texts_a.push_back(dataset.SerializeA(pair));
-        texts_b.push_back(dataset.SerializeB(pair));
-        labels.push_back(pair.label);
+    {
+      EMX_TRACE_SPAN("train.epoch", [&] {
+        return obs::KeyValues(
+            {{"epoch", epoch + 1},
+             {"pairs", static_cast<int64_t>(order.size())}});
+      });
+      for (size_t start = 0; start < order.size();
+           start += static_cast<size_t>(options.batch_size)) {
+        const size_t end = std::min(
+            order.size(), start + static_cast<size_t>(options.batch_size));
+        const bool last_batch =
+            end >= order.size();
+        models::Batch batch;
+        std::vector<int64_t> labels;
+        {
+          EMX_TRACE_SPAN("train.tokenize");
+          Timer t;
+          std::vector<std::string> texts_a, texts_b;
+          for (size_t k = start; k < end; ++k) {
+            const auto& pair = dataset.train[order[k]];
+            texts_a.push_back(dataset.SerializeA(pair));
+            texts_b.push_back(dataset.SerializeB(pair));
+            labels.push_back(pair.label);
+          }
+          batch = BuildBatch(texts_a, texts_b, options.max_seq_len);
+          rec.tokenize_seconds += t.ElapsedSeconds();
+        }
+        adam.ZeroGrad();
+        Variable loss;
+        {
+          EMX_TRACE_SPAN("train.forward");
+          Timer t;
+          Variable logits = classifier_->Logits(batch, /*train=*/true, &rng_);
+          loss = ag::CrossEntropy(logits, labels);
+          rec.forward_seconds += t.ElapsedSeconds();
+        }
+        epoch_loss += loss.value()[0];
+        ++batches;
+        {
+          EMX_TRACE_SPAN("train.backward");
+          Timer t;
+          Backward(loss);
+          rec.backward_seconds += t.ElapsedSeconds();
+        }
+        if (last_batch) {
+          rec.grad_norm = GradL2Norm(classifier_->Parameters());
+        }
+        {
+          EMX_TRACE_SPAN("train.optimizer");
+          Timer t;
+          rec.learning_rate = schedule.LearningRate(step);
+          adam.Step(schedule.LearningRate(step++));
+          rec.optimizer_seconds += t.ElapsedSeconds();
+        }
       }
-      models::Batch batch = BuildBatch(texts_a, texts_b, options.max_seq_len);
-      adam.ZeroGrad();
-      Variable logits = classifier_->Logits(batch, /*train=*/true, &rng_);
-      Variable loss = ag::CrossEntropy(logits, labels);
-      epoch_loss += loss.value()[0];
-      ++batches;
-      Backward(loss);
-      adam.Step(schedule.LearningRate(step++));
     }
     const double train_seconds = epoch_timer.ElapsedSeconds();
 
-    EpochRecord rec;
-    rec.epoch = epoch + 1;
     rec.train_loss = epoch_loss / std::max<int64_t>(1, batches);
     rec.seconds = train_seconds;
+    const double tokens = static_cast<double>(order.size()) *
+                          static_cast<double>(options.max_seq_len);
+    rec.tokens_per_sec = train_seconds > 0 ? tokens / train_seconds : 0;
+
+    epochs_counter->Add(1);
+    loss_gauge->Set(rec.train_loss);
+    tps_gauge->Set(rec.tokens_per_sec);
+    grad_norm_gauge->Set(rec.grad_norm);
+    lr_gauge->Set(rec.learning_rate);
+    const TensorMemStats mem = GetTensorMemStats();
+    registry->GetGauge("tensor.live_bytes")
+        ->Set(static_cast<double>(mem.live_bytes));
+    registry->GetGauge("tensor.peak_bytes")
+        ->Set(static_cast<double>(mem.peak_bytes));
+
     if (eval_each_epoch || epoch + 1 == options.epochs) {
+      EMX_TRACE_SPAN("train.eval");
+      Timer t;
       rec.test_f1 = Evaluate(dataset, dataset.test).f1;
+      rec.eval_seconds = t.ElapsedSeconds();
       series.push_back(rec);
     }
   }

@@ -40,12 +40,31 @@ struct FineTuneOptions {
 };
 
 /// One row of a fine-tuning trajectory: the paper's Figures 10-14 plot
-/// test_f1 against epoch; Table 6 reports seconds per epoch.
+/// test_f1 against epoch; Table 6 reports seconds per epoch — here with an
+/// attributed phase breakdown (tokenize/forward/backward/optimizer sum to
+/// ~`seconds`; eval time is reported separately) plus the training-health
+/// signals every run should log (tokens/sec, grad norm, LR).
 struct EpochRecord {
   int64_t epoch = 0;  // 0 = zero-shot (before any fine-tuning)
   double train_loss = 0;
   double test_f1 = 0;
   double seconds = 0;
+
+  /// Training tokens consumed per wall-clock second of the epoch.
+  double tokens_per_sec = 0;
+  /// L2 norm over all parameter gradients, sampled on the epoch's last
+  /// batch (after Backward, before the optimizer step).
+  double grad_norm = 0;
+  /// Learning rate of the epoch's last step.
+  double learning_rate = 0;
+
+  /// Phase attribution of `seconds` (Table 6 with a breakdown).
+  double tokenize_seconds = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+  double optimizer_seconds = 0;
+  /// Test-set evaluation (outside `seconds`; only when evaluated).
+  double eval_seconds = 0;
 };
 
 /// The library's primary public API: transformer-based entity matching as

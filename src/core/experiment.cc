@@ -16,6 +16,8 @@ ArchSeries RunFineTuneSeries(models::Architecture arch, data::DatasetId dataset,
   // One F1 trajectory per run: [epochs + 1] (epoch 0 = zero-shot).
   std::vector<std::vector<double>> trajectories;
   std::vector<double> epoch_seconds;
+  std::vector<double> tokenize_seconds, forward_seconds, backward_seconds,
+      optimizer_seconds, tokens_per_sec;
 
   for (int64_t run = 0; run < options.runs; ++run) {
     auto bundle = pretrain::GetPretrained(arch, options.zoo);
@@ -29,7 +31,14 @@ ArchSeries RunFineTuneSeries(models::Architecture arch, data::DatasetId dataset,
     std::vector<double> f1s;
     for (const auto& r : records) {
       f1s.push_back(r.test_f1);
-      if (r.epoch > 0) epoch_seconds.push_back(r.seconds);
+      if (r.epoch > 0) {
+        epoch_seconds.push_back(r.seconds);
+        tokenize_seconds.push_back(r.tokenize_seconds);
+        forward_seconds.push_back(r.forward_seconds);
+        backward_seconds.push_back(r.backward_seconds);
+        optimizer_seconds.push_back(r.optimizer_seconds);
+        tokens_per_sec.push_back(r.tokens_per_sec);
+      }
     }
     trajectories.push_back(std::move(f1s));
   }
@@ -45,6 +54,11 @@ ArchSeries RunFineTuneSeries(models::Architecture arch, data::DatasetId dataset,
     out.f1_stddev.push_back(stats.stddev);
   }
   out.seconds_per_epoch = eval::MeanStddev(epoch_seconds).mean;
+  out.tokenize_seconds_per_epoch = eval::MeanStddev(tokenize_seconds).mean;
+  out.forward_seconds_per_epoch = eval::MeanStddev(forward_seconds).mean;
+  out.backward_seconds_per_epoch = eval::MeanStddev(backward_seconds).mean;
+  out.optimizer_seconds_per_epoch = eval::MeanStddev(optimizer_seconds).mean;
+  out.tokens_per_sec = eval::MeanStddev(tokens_per_sec).mean;
   out.best_f1 = *std::max_element(out.f1_mean.begin(), out.f1_mean.end());
   return out;
 }

@@ -33,6 +33,14 @@ struct ArchSeries {
   std::vector<double> f1_stddev;
   /// Mean wall-clock seconds per fine-tuning epoch.
   double seconds_per_epoch = 0;
+  /// Mean per-epoch phase attribution (Table 6 with a breakdown; the four
+  /// phases sum to ~seconds_per_epoch).
+  double tokenize_seconds_per_epoch = 0;
+  double forward_seconds_per_epoch = 0;
+  double backward_seconds_per_epoch = 0;
+  double optimizer_seconds_per_epoch = 0;
+  /// Mean training tokens/sec across epochs.
+  double tokens_per_sec = 0;
   /// Best (peak) mean F1 across epochs.
   double best_f1 = 0;
 };

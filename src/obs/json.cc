@@ -1,0 +1,355 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace emx {
+namespace obs {
+
+void AppendJsonDouble(std::string* out, double value, int precision) {
+  if (!std::isfinite(value)) value = 0;
+  if (precision < 0) precision = 0;
+  if (precision > 17) precision = 17;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// Strict parser state: a cursor over the input plus the first error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWhitespace();
+    JsonValue v;
+    if (!ParseValue(&v, /*depth=*/0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing garbage after document");
+    if (out != nullptr) *out = std::move(v);
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Type::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Type::kNull, false);
+      default:
+        // NaN / Infinity deliberately fall through to the number parser,
+        // which rejects them: that is the whole point of "strict".
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(std::string_view lit, JsonValue* out, JsonValue::Type type,
+                    bool bool_value) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    out->type = type;
+    out->bool_value = bool_value;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t int_digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++int_digits;
+    }
+    if (int_digits == 0) return Fail("invalid number");
+    // JSON forbids leading zeros ("01"), a classic printf bug vector.
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      return Fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) return Fail("missing digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) return Fail("missing exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(out->number)) return Fail("number out of range");
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      switch (text_[pos_]) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          if (!ParseHex4(&code)) return false;
+          AppendUtf8(code, out);
+          continue;  // ParseHex4 advanced past the digits already
+        }
+        default:
+          return Fail("invalid escape");
+      }
+      ++pos_;
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    // Called with pos_ at 'u'.
+    ++pos_;
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = code;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      SkipWhitespace();
+      if (!ParseValue(&element, depth + 1)) return false;
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonParse(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  JsonValue v;
+  if (!parser.Parse(&v)) {
+    if (error != nullptr) *error = parser.error();
+    return false;
+  }
+  if (out != nullptr) *out = std::move(v);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace emx

@@ -1,0 +1,61 @@
+#ifndef EMX_OBS_JSON_H_
+#define EMX_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emx {
+namespace obs {
+
+// Zero-dependency JSON utilities shared by the observability exporters and
+// the metrics snapshots. Two halves:
+//
+//  * Emission helpers that are *incapable* of producing invalid JSON: every
+//    double goes through AppendJsonDouble, which substitutes 0 for nan/inf
+//    (printf "%f" would happily emit the bare tokens `nan`/`inf`, which no
+//    JSON parser accepts — the bug class that hit MetricsSnapshot::ToJson).
+//  * A strict parser used by tests and CI gates to prove that every emitted
+//    snapshot/trace actually parses. Strict means: no NaN/Infinity
+//    literals, no trailing commas, no comments, no garbage after the value.
+
+/// Appends `value` with `precision` fractional digits. Non-finite inputs
+/// (nan, +/-inf) are emitted as 0 with the same precision so the output is
+/// always valid JSON.
+void AppendJsonDouble(std::string* out, double value, int precision = 3);
+
+/// Appends a quoted JSON string literal, escaping quotes, backslashes and
+/// control characters.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// A parsed JSON document node (tree-owning, value-semantic).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON document. On success
+/// fills `out` and returns true; otherwise returns false and describes the
+/// first problem in `error` (with a byte offset). `out`/`error` may be
+/// nullptr when only validation is wanted.
+bool JsonParse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace obs
+}  // namespace emx
+
+#endif  // EMX_OBS_JSON_H_

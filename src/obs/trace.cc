@@ -1,0 +1,221 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace emx {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_profiling_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  char phase;       // 'X' complete, 'i' instant, 'C' counter
+  int64_t start_ns;
+  int64_t dur_ns;
+  double value;     // counter payload
+  std::string args; // JSON object text, may be empty
+};
+
+// One per thread, owned jointly by the thread (thread_local handle) and the
+// global registry (so buffers survive thread exit and stay exportable).
+// Only the owning thread writes events/count; readers take an acquire load
+// of count and read events[0, count).
+struct ThreadBuffer {
+  explicit ThreadBuffer(size_t capacity, int64_t tid)
+      : events(capacity), tid(tid) {}
+
+  std::vector<TraceEvent> events;
+  std::atomic<size_t> count{0};
+  const int64_t tid;
+
+  void Push(TraceEvent ev, std::atomic<size_t>* dropped) {
+    const size_t n = count.load(std::memory_order_relaxed);
+    if (n >= events.size()) {
+      dropped->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events[n] = std::move(ev);
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct TraceState {
+  std::mutex mu;  // guards buffers (registration + export iteration)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<size_t> dropped{0};
+  std::atomic<size_t> capacity{1 << 17};
+  std::atomic<int64_t> next_tid{0};
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState* State() {
+  static TraceState* state = new TraceState();
+  return state;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    TraceState* s = State();
+    auto b = std::make_shared<ThreadBuffer>(
+        s->capacity.load(std::memory_order_relaxed),
+        s->next_tid.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->buffers.push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+void AppendEventJson(std::string* out, const TraceEvent& ev, int64_t tid) {
+  *out += "{\"name\": ";
+  AppendJsonString(out, ev.name);
+  *out += ", \"ph\": \"";
+  out->push_back(ev.phase);
+  *out += "\", \"ts\": ";
+  // chrome://tracing expects microseconds; keep ns resolution fractionally.
+  AppendJsonDouble(out, static_cast<double>(ev.start_ns) / 1000.0, 3);
+  if (ev.phase == 'X') {
+    *out += ", \"dur\": ";
+    AppendJsonDouble(out, static_cast<double>(ev.dur_ns) / 1000.0, 3);
+  }
+  *out += ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+  if (ev.phase == 'C') {
+    *out += ", \"args\": {\"value\": ";
+    AppendJsonDouble(out, ev.value, 3);
+    *out += "}";
+  } else if (!ev.args.empty()) {
+    *out += ", \"args\": " + ev.args;
+  }
+  if (ev.phase == 'i') *out += ", \"s\": \"t\"";
+  *out += "}";
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - State()->epoch)
+      .count();
+}
+
+void RecordComplete(const char* name, int64_t start_ns, int64_t dur_ns,
+                    std::string args) {
+  LocalBuffer()->Push(
+      TraceEvent{name, 'X', start_ns, dur_ns, 0, std::move(args)},
+      &State()->dropped);
+}
+
+void RecordInstant(const char* name) {
+  LocalBuffer()->Push(TraceEvent{name, 'i', NowNs(), 0, 0, std::string()},
+                      &State()->dropped);
+}
+
+void RecordCounter(const char* name, double value) {
+  LocalBuffer()->Push(TraceEvent{name, 'C', NowNs(), 0, value, std::string()},
+                      &State()->dropped);
+}
+
+}  // namespace internal
+
+std::string KeyValues(
+    std::initializer_list<std::pair<const char*, int64_t>> kvs) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : kvs) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, key);
+    out += ": " + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+void StartProfiling(const ObsOptions& options) {
+  TraceState* s = State();
+  if (options.tracing) {
+    s->capacity.store(options.max_events_per_thread,
+                      std::memory_order_relaxed);
+    internal::g_profiling_enabled.store(true, std::memory_order_relaxed);
+  } else {
+    internal::g_profiling_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void StopProfiling() {
+  internal::g_profiling_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceState* s = State();
+  std::lock_guard<std::mutex> lock(s->mu);
+  // Resetting count to 0 is safe only because recording is stopped; owner
+  // threads would otherwise race their relaxed read of count.
+  for (auto& b : s->buffers) b->count.store(0, std::memory_order_release);
+  s->dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string ExportChromeTrace() {
+  TraceState* s = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    buffers = s->buffers;
+  }
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& b : buffers) {
+    const size_t n = b->count.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      if (!first) out += ",\n";
+      first = false;
+      AppendEventJson(&out, b->events[i], b->tid);
+    }
+  }
+  out += "],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped\": " +
+         std::to_string(TraceDroppedCount()) + "}}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::string json = ExportChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+size_t TraceEventCount() {
+  TraceState* s = State();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    buffers = s->buffers;
+  }
+  size_t total = 0;
+  for (const auto& b : buffers) {
+    total += b->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+size_t TraceDroppedCount() {
+  return State()->dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace emx

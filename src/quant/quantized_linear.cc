@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace emx {
@@ -56,6 +57,9 @@ Tensor Int8LinearBackend::Forward(const Tensor& x2d) const {
   EMX_CHECK_EQ(x2d.ndim(), 2);
   EMX_CHECK_EQ(x2d.dim(1), packed_.in);
   const int64_t m = x2d.dim(0);
+  EMX_TRACE_SPAN("kernel.int8_gemm", [&] {
+    return obs::KeyValues({{"m", m}, {"n", packed_.out}, {"k", packed_.in}});
+  });
   Tensor y({m, packed_.out});
   Int8LinearForward(x2d.data(), m, packed_, y.data());
   return y;
@@ -101,6 +105,10 @@ Tensor Int8FfnBackend::Forward(const Tensor& x2d) const {
   EMX_CHECK_EQ(x2d.ndim(), 2);
   EMX_CHECK_EQ(x2d.dim(1), fc1_.in);
   const int64_t m = x2d.dim(0);
+  EMX_TRACE_SPAN("kernel.int8_ffn", [&] {
+    return obs::KeyValues(
+        {{"m", m}, {"hidden", fc1_.in}, {"ffn", fc1_.out}});
+  });
 
   // Same thread-local scratch discipline as Int8LinearForward: the fc1
   // accumulator alone is ~1MB at serving batch sizes, so per-call vectors

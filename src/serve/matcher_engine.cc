@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/layers.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/variable.h"
 #include "util/logging.h"
@@ -92,7 +93,10 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
   }
 
   bool hit = false;
-  req.enc = cache_.Get(text_a, text_b, &hit);
+  {
+    EMX_TRACE_SPAN("serve.tokenize");
+    req.enc = cache_.Get(text_a, text_b, &hit);
+  }
   req.cache_hit = hit;
   metrics_.RecordCacheLookup(hit);
   req.bucket = std::max<int64_t>(
@@ -112,6 +116,8 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
   } else {
     queue_.push_back(std::move(req));
     metrics_.RecordSubmitted(static_cast<int64_t>(queue_.size()));
+    obs::TraceCounterValue("serve.queue_depth",
+                           static_cast<double>(queue_.size()));
     work_cv_.notify_all();
   }
   return fut;
@@ -228,6 +234,11 @@ void MatcherEngine::WorkerLoop(uint64_t worker_id) {
 void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
   const Clock::time_point formed = Clock::now();
   const int64_t b = static_cast<int64_t>(batch.size());
+  EMX_TRACE_SPAN("serve.batch", [&] {
+    return obs::KeyValues(
+        {{"size", b},
+         {"bucket", batch.empty() ? 0 : batch.front().bucket}});
+  });
 
   // Pad only to the bucket top (rounded up from the longest member), not to
   // the engine-wide max_seq_len: short pairs never pay for long ones.

@@ -1,7 +1,8 @@
 #include "serve/serving_metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "obs/json.h"
 
 namespace emx {
 namespace serve {
@@ -24,20 +25,21 @@ namespace {
 
 void AppendField(std::string* out, const char* name, double value,
                  bool* first) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%s\"%s\": %.3f", *first ? "" : ", ", name,
-                value);
-  *out += buf;
+  if (!*first) *out += ", ";
   *first = false;
+  obs::AppendJsonString(out, name);
+  *out += ": ";
+  // AppendJsonDouble substitutes 0 for nan/inf — "%.3f" would emit the
+  // bare tokens and break every strict consumer of the snapshot.
+  obs::AppendJsonDouble(out, value, 3);
 }
 
 void AppendField(std::string* out, const char* name, int64_t value,
                  bool* first) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%s\"%s\": %lld", *first ? "" : ", ", name,
-                static_cast<long long>(value));
-  *out += buf;
+  if (!*first) *out += ", ";
   *first = false;
+  obs::AppendJsonString(out, name);
+  *out += ": " + std::to_string(value);
 }
 
 }  // namespace
@@ -54,6 +56,7 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(&out, "cache_hit_rate", cache_hit_rate, &first);
   AppendField(&out, "batches", batches, &first);
   AppendField(&out, "mean_batch_size", mean_batch_size, &first);
+  AppendField(&out, "batch_overflow", batch_overflow, &first);
   AppendField(&out, "queue_depth", queue_depth, &first);
   AppendField(&out, "max_queue_depth", max_queue_depth, &first);
   AppendField(&out, "uptime_seconds", uptime_seconds, &first);
@@ -64,84 +67,84 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(&out, "p99_latency_us", p99_latency_us, &first);
   AppendField(&out, "max_latency_us", max_latency_us, &first);
   out += ", \"batch_size_histogram\": [";
-  for (size_t s = 1; s < batch_size_histogram.size(); ++s) {
-    if (s > 1) out += ", ";
+  for (size_t s = 0; s < batch_size_histogram.size(); ++s) {
+    if (s > 0) out += ", ";
     out += std::to_string(batch_size_histogram[s]);
   }
   out += "]}";
   return out;
 }
 
-ServingMetrics::ServingMetrics(int64_t max_batch_size)
-    : batch_hist_(static_cast<size_t>(max_batch_size) + 1, 0) {
+ServingMetrics::ServingMetrics(int64_t max_batch_size) {
+  submitted_ = registry_.GetCounter("serve.submitted");
+  completed_ = registry_.GetCounter("serve.completed");
+  timed_out_ = registry_.GetCounter("serve.timed_out");
+  rejected_ = registry_.GetCounter("serve.rejected");
+  cache_hits_ = registry_.GetCounter("serve.cache_hits");
+  cache_misses_ = registry_.GetCounter("serve.cache_misses");
+  max_queue_depth_ = registry_.GetGauge("serve.max_queue_depth");
+  // Bounds {0, 1, ..., max_batch_size}: integer batch sizes land exactly on
+  // a bound, so bucket s counts batches of exactly s requests; anything
+  // larger is overflow, not clamped into the top slot.
+  batch_hist_ = registry_.GetHistogram(
+      "serve.batch_size",
+      obs::LinearBuckets(0, 1, static_cast<int>(max_batch_size) + 1));
   latencies_.resize(kLatencyWindow, 0);
 }
 
 void ServingMetrics::RecordSubmitted(int64_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++submitted_;
-  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+  submitted_->Add(1);
+  max_queue_depth_->Max(static_cast<double>(queue_depth_after));
 }
 
-void ServingMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rejected_;
-}
+void ServingMetrics::RecordRejected() { rejected_->Add(1); }
 
-void ServingMetrics::RecordTimeout() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++timed_out_;
-}
+void ServingMetrics::RecordTimeout() { timed_out_->Add(1); }
 
 void ServingMetrics::RecordBatch(int64_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  batched_requests_ += batch_size;
-  const size_t slot = std::min(batch_hist_.size() - 1,
-                               static_cast<size_t>(std::max<int64_t>(0, batch_size)));
-  ++batch_hist_[slot];
+  batch_hist_->Record(static_cast<double>(std::max<int64_t>(0, batch_size)));
 }
 
 void ServingMetrics::RecordCompletion(double total_us) {
+  completed_->Add(1);
   std::lock_guard<std::mutex> lock(mu_);
-  ++completed_;
   latencies_[latency_next_] = total_us;
   latency_next_ = (latency_next_ + 1) % kLatencyWindow;
   latency_count_ = std::min(latency_count_ + 1, kLatencyWindow);
 }
 
 void ServingMetrics::RecordCacheLookup(bool hit) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (hit) {
-    ++cache_hits_;
-  } else {
-    ++cache_misses_;
-  }
+  (hit ? cache_hits_ : cache_misses_)->Add(1);
 }
 
 MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
-  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.timed_out = timed_out_;
-  s.rejected = rejected_;
-  s.cache_hits = cache_hits_;
-  s.cache_misses = cache_misses_;
-  const int64_t lookups = cache_hits_ + cache_misses_;
+  s.submitted = submitted_->Value();
+  s.completed = completed_->Value();
+  s.timed_out = timed_out_->Value();
+  s.rejected = rejected_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  const int64_t lookups = s.cache_hits + s.cache_misses;
   s.cache_hit_rate =
-      lookups > 0 ? static_cast<double>(cache_hits_) / lookups : 0;
-  s.batches = batches_;
-  s.mean_batch_size =
-      batches_ > 0 ? static_cast<double>(batched_requests_) / batches_ : 0;
-  s.batch_size_histogram = batch_hist_;
+      lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0;
+  s.batches = batch_hist_->count();
+  s.mean_batch_size = batch_hist_->mean();
+  s.batch_size_histogram.resize(batch_hist_->bounds().size());
+  for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
+    s.batch_size_histogram[i] = batch_hist_->bucket_count(i);
+  }
+  s.batch_overflow = batch_hist_->overflow();
   s.queue_depth = queue_depth;
-  s.max_queue_depth = max_queue_depth_;
+  s.max_queue_depth = static_cast<int64_t>(max_queue_depth_->Value());
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.throughput_pairs_per_sec =
-      s.uptime_seconds > 0 ? completed_ / s.uptime_seconds : 0;
-  std::vector<double> window(latencies_.begin(),
-                             latencies_.begin() + latency_count_);
+      s.uptime_seconds > 0 ? s.completed / s.uptime_seconds : 0;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window.assign(latencies_.begin(), latencies_.begin() + latency_count_);
+  }
   std::sort(window.begin(), window.end());
   s.p50_latency_us = Percentile(window, 0.50);
   s.p95_latency_us = Percentile(window, 0.95);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace emx {
@@ -31,9 +32,13 @@ struct MetricsSnapshot {
 
   int64_t batches = 0;
   double mean_batch_size = 0;
-  /// histogram[s] = number of micro-batches served with exactly s requests
-  /// (index 0 unused).
+  /// histogram[s] = number of micro-batches served with exactly s requests,
+  /// for s in [0, max_batch_size]. Slot 0 is real (an empty wakeup) and is
+  /// emitted like every other slot.
   std::vector<int64_t> batch_size_histogram;
+  /// Batches larger than max_batch_size — should be 0; nonzero means the
+  /// batcher violated its own limit and must be visible, not clamped away.
+  int64_t batch_overflow = 0;
 
   int64_t queue_depth = 0;
   int64_t max_queue_depth = 0;
@@ -48,14 +53,19 @@ struct MetricsSnapshot {
   double p99_latency_us = 0;
   double max_latency_us = 0;
 
-  /// Serializes every field as a flat JSON object.
+  /// Serializes every field as a flat JSON object. All doubles are routed
+  /// through obs::AppendJsonDouble, so the output strict-parses even if a
+  /// field holds nan/inf.
   std::string ToJson() const;
 };
 
-/// Thread-safe counters for the matcher engine: throughput, latency
-/// percentiles, queue depth, batch-size histogram and tokenization-cache
-/// hit rate. Latencies are kept in a fixed-size ring (most recent
-/// `kLatencyWindow` completions) so a long-running server never grows.
+/// Thread-safe counters for the matcher engine, built on the emx::obs
+/// metrics primitives: each ServingMetrics owns a private
+/// obs::MetricsRegistry (engines must not share counters), with the
+/// latency percentile ring kept locally because percentiles need raw
+/// samples, not fixed buckets. Latencies are kept in a fixed-size ring
+/// (most recent `kLatencyWindow` completions) so a long-running server
+/// never grows.
 class ServingMetrics {
  public:
   explicit ServingMetrics(int64_t max_batch_size);
@@ -72,20 +82,24 @@ class ServingMetrics {
   /// `queue_depth` is the current depth sampled by the caller.
   MetricsSnapshot Snapshot(int64_t queue_depth) const;
 
+  /// The backing registry — the shared obs export path
+  /// (registry()->ToJson() carries the same counters as Snapshot()).
+  obs::MetricsRegistry* registry() { return &registry_; }
+
  private:
   static constexpr size_t kLatencyWindow = 8192;
 
-  mutable std::mutex mu_;
-  int64_t submitted_ = 0;
-  int64_t completed_ = 0;
-  int64_t timed_out_ = 0;
-  int64_t rejected_ = 0;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  int64_t batches_ = 0;
-  int64_t batched_requests_ = 0;
-  int64_t max_queue_depth_ = 0;
-  std::vector<int64_t> batch_hist_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* timed_out_;
+  obs::Counter* rejected_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Gauge* max_queue_depth_;
+  obs::Histogram* batch_hist_;  // exact integer buckets [0, max_batch_size]
+
+  mutable std::mutex mu_;          // guards the latency ring only
   std::vector<double> latencies_;  // ring buffer, valid up to latency_count_
   size_t latency_next_ = 0;
   size_t latency_count_ = 0;

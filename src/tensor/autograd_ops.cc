@@ -113,7 +113,8 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
           }
           AccumulateGrad(b, db);
         }
-      });
+      },
+      "matmul");
 }
 
 Variable Reshape(const Variable& x, Shape shape) {
@@ -196,7 +197,8 @@ Variable FusedAttention(const Variable& q, const Variable& k,
         AccumulateGrad(q, dq);
         AccumulateGrad(k, dk);
         AccumulateGrad(v, dv);
-      });
+      },
+      "fused_attention");
 }
 
 Variable Relu(const Variable& x) {
@@ -209,10 +211,10 @@ Variable Relu(const Variable& x) {
 
 Variable Gelu(const Variable& x) {
   Tensor value = ops::Gelu(x.value());
-  return Variable::MakeOpResult(std::move(value), {x},
-                                [x](const Tensor& g) {
-                                  AccumulateGrad(x, ops::GeluGrad(g, x.value()));
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {x},
+      [x](const Tensor& g) { AccumulateGrad(x, ops::GeluGrad(g, x.value())); },
+      "gelu");
 }
 
 Variable Tanh(const Variable& x) {
@@ -247,9 +249,11 @@ Variable Softmax(const Variable& x) {
   Tensor value = ops::Softmax(x.value());
   Tensor saved = value;
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, saved](const Tensor& g) {
+      std::move(value), {x},
+      [x, saved](const Tensor& g) {
         AccumulateGrad(x, ops::SoftmaxGradFromOutput(g, saved));
-      });
+      },
+      "softmax");
 }
 
 Variable MaskedSoftmax(const Variable& x, const Tensor& mask, float penalty) {
@@ -323,7 +327,8 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
         AccumulateGrad(x, dx);
         AccumulateGrad(gamma, dgamma);
         AccumulateGrad(beta, dbeta);
-      });
+      },
+      "layernorm");
 }
 
 Variable Dropout(const Variable& x, float p, bool train, Rng* rng) {
@@ -336,20 +341,22 @@ Variable Dropout(const Variable& x, float p, bool train, Rng* rng) {
     pm[i] = rng->NextBernoulli(p) ? 0.0f : scale;
   }
   Tensor value = ops::Mul(x.value(), mask);
-  return Variable::MakeOpResult(std::move(value), {x},
-                                [x, mask](const Tensor& g) {
-                                  AccumulateGrad(x, ops::Mul(g, mask));
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {x},
+      [x, mask](const Tensor& g) { AccumulateGrad(x, ops::Mul(g, mask)); },
+      "dropout");
 }
 
 Variable EmbeddingLookup(const Variable& table, const std::vector<int64_t>& ids) {
   Tensor value = ops::GatherRows(table.value(), ids);
   return Variable::MakeOpResult(
-      std::move(value), {table}, [table, ids](const Tensor& g) {
+      std::move(value), {table},
+      [table, ids](const Tensor& g) {
         if (table.requires_grad()) {
           ops::ScatterAddRows(g, ids, &table.node()->EnsureGrad());
         }
-      });
+      },
+      "embedding");
 }
 
 Variable SelectTimeStep(const Variable& x, int64_t t) {
@@ -440,7 +447,8 @@ Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& target
           pd[i * c + t] -= scale;
         }
         AccumulateGrad(logits, dx);
-      });
+      },
+      "cross_entropy");
 }
 
 Variable SoftCrossEntropy(const Variable& logits, const Tensor& soft_targets) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/kernel_math.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -123,6 +124,10 @@ Tensor FusedAttentionForward(const Tensor& q, const Tensor& k,
   const int64_t hidden = q.dim(2);
   const int64_t heads = cfg.num_heads;
   const int64_t dh = hidden / heads;
+  EMX_TRACE_SPAN("kernel.fused_attention", [&] {
+    return obs::KeyValues(
+        {{"batch", b}, {"tq", tq}, {"tk", tk}, {"heads", heads}});
+  });
   const MaskView mview = ResolveMask(mask, b, heads, tq, tk);
   const float dead_threshold = cfg.penalty * 0.5f;
   const uint64_t drop_thresh = cfg.dropout ? DropoutThreshold(cfg.dropout_p) : 0;
@@ -258,6 +263,7 @@ void FusedAttentionBackward(const Tensor& dout, const Tensor& q,
                             const FusedAttentionConfig& cfg,
                             const Tensor& row_max, const Tensor& row_sum,
                             Tensor* dq, Tensor* dk, Tensor* dv) {
+  EMX_TRACE_SPAN("kernel.fused_attention_bwd");
   CheckQkvShapes(q, k, v, cfg.num_heads);
   EMX_CHECK(dout.shape() == q.shape());
   EMX_CHECK(dq->shape() == q.shape());

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/kernel_math.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -356,6 +357,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   bool a_broadcast, b_broadcast;
   Tensor out = PrepareMatMul(a, b, trans_a, trans_b, &dims, &batch,
                              &a_broadcast, &b_broadcast);
+  EMX_TRACE_SPAN("kernel.matmul", [&] {
+    return obs::KeyValues(
+        {{"m", dims.m}, {"n", dims.n}, {"k", dims.k}, {"batch", batch}});
+  });
   const int64_t a_stride = a.dim(-2) * a.dim(-1);
   const int64_t b_stride = b.dim(-2) * b.dim(-1);
   const int64_t c_stride = dims.m * dims.n;
@@ -520,6 +525,9 @@ std::vector<int64_t> ArgMaxLastAxis(const Tensor& x) {
 
 Tensor Softmax(const Tensor& x) {
   const int64_t n = x.dim(-1);
+  EMX_TRACE_SPAN("kernel.softmax", [&] {
+    return obs::KeyValues({{"rows", x.size() / n}, {"cols", n}});
+  });
   Tensor out(x.shape());
   const float* p = x.data();
   float* o = out.data();
@@ -760,6 +768,9 @@ Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
   EMX_CHECK_EQ(gamma.size(), h);
   EMX_CHECK_EQ(beta.size(), h);
   const int64_t rows = x.size() / h;
+  EMX_TRACE_SPAN("kernel.layernorm", [&] {
+    return obs::KeyValues({{"rows", rows}, {"hidden", h}});
+  });
   Tensor out(x.shape());
   *mean = Tensor({rows});
   *rstd = Tensor({rows});

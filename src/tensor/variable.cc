@@ -1,7 +1,11 @@
 #include "tensor/variable.h"
 
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace emx {
@@ -75,7 +79,7 @@ void Variable::ZeroGrad() {
 
 Variable Variable::MakeOpResult(
     Tensor value, std::vector<Variable> parents,
-    std::function<void(const Tensor& grad_out)> backward_fn) {
+    std::function<void(const Tensor& grad_out)> backward_fn, const char* op) {
   Variable v(std::move(value));
   if (!t_grad_mode_enabled) return v;
   bool any_grad = false;
@@ -88,6 +92,7 @@ Variable Variable::MakeOpResult(
   if (any_grad) {
     v.node_->requires_grad = true;
     v.node_->is_leaf = false;
+    v.node_->op = op;
     v.node_->parents = std::move(parents);
     v.node_->backward_fn = std::move(backward_fn);
   }
@@ -129,11 +134,34 @@ void Backward(const Variable& root) {
   Tensor& root_grad = root.node()->EnsureGrad();
   root_grad.Fill(1.0f);
 
+  EMX_TRACE_SPAN("autograd.backward", [&] {
+    return obs::KeyValues(
+        {{"nodes", static_cast<int64_t>(order.size())}});
+  });
+  const bool profiling = obs::ProfilingEnabled();
+  // Per-op backward time for this call, flushed into the Global registry
+  // once at the end (named nodes only; see MakeOpResult's `op`).
+  std::unordered_map<const char*, int64_t> op_ns;
+
   // `order` is post-order, so the root is last; walk backwards.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::VarNode* node = *it;
-    if (node->backward_fn) {
+    if (!node->backward_fn) continue;
+    if (profiling && node->op != nullptr) {
+      obs::TraceSpan span(node->op);
       node->backward_fn(node->EnsureGrad());
+      op_ns[node->op] += span.ElapsedNs();
+    } else {
+      node->backward_fn(node->EnsureGrad());
+    }
+  }
+  if (!op_ns.empty()) {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    for (const auto& [op, ns] : op_ns) {
+      registry->GetCounter(std::string("autograd.") + op + ".backward_ns")
+          ->Add(ns);
+      registry->GetCounter(std::string("autograd.") + op + ".backward_calls")
+          ->Add(1);
     }
   }
 

@@ -99,9 +99,13 @@ class Variable {
   /// `backward_fn` fills; `backward_fn` receives the result node's gradient.
   /// When GradMode is disabled on the calling thread, `parents` and
   /// `backward_fn` are discarded and the result is a plain constant.
+  /// `op` (a string literal or nullptr) names the node for the obs tape
+  /// profiler: Backward() emits a per-node span and aggregates per-op time
+  /// under "autograd.<op>" when profiling is enabled.
   static Variable MakeOpResult(
       Tensor value, std::vector<Variable> parents,
-      std::function<void(const Tensor& grad_out)> backward_fn);
+      std::function<void(const Tensor& grad_out)> backward_fn,
+      const char* op = nullptr);
 
  private:
   std::shared_ptr<internal::VarNode> node_;
@@ -115,6 +119,8 @@ struct VarNode {
   bool grad_allocated = false;
   bool requires_grad = false;
   bool is_leaf = true;
+  /// Op name for profiling (string literal; nullptr for unnamed ops).
+  const char* op = nullptr;
   std::vector<Variable> parents;
   std::function<void(const Tensor& grad_out)> backward_fn;
 

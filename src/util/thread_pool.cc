@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emx {
 
@@ -12,13 +16,34 @@ namespace {
 /// may still block on a distinct pool B.
 thread_local ThreadPool* tls_worker_pool = nullptr;
 
+// Profiling-path metrics, resolved once. Only touched when profiling is
+// enabled, except the always-on task counter (one relaxed fetch_add per
+// task, amortized over a chunk of kernel work).
+obs::Counter* PoolTaskCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("threadpool.tasks");
+  return c;
+}
+
+obs::Histogram* PoolWaitHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global()->GetHistogram(
+      "threadpool.queue_wait_us", obs::ExponentialBuckets(1, 4, 12));
+  return h;
+}
+
+obs::Histogram* PoolRunHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global()->GetHistogram(
+      "threadpool.task_run_us", obs::ExponentialBuckets(1, 4, 12));
+  return h;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -38,12 +63,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::SubmitToGroup(TaskGroup* group, std::function<void()> fn) {
+  const int64_t enqueued_ns =
+      obs::ProfilingEnabled() ? obs::internal::NowNs() : 0;
+  size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(Task{group, std::move(fn)});
+    tasks_.push(Task{group, std::move(fn), enqueued_ns});
     ++group->pending;
+    depth = tasks_.size();
   }
   task_available_.notify_one();
+  if (enqueued_ns != 0) {
+    obs::TraceCounterValue("pool.queue_depth", static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::Wait() {
@@ -59,8 +91,13 @@ std::exception_ptr ThreadPool::WaitGroup(TaskGroup* group) {
   return error;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_worker_pool = this;
+  // Per-worker busy time: utilization for worker i over an interval is
+  // delta(busy_ns) / interval. Registered up front so an idle worker still
+  // shows up as 0 in snapshots.
+  obs::Counter* busy_ns = obs::MetricsRegistry::Global()->GetCounter(
+      "threadpool.worker." + std::to_string(worker_index) + ".busy_ns");
   for (;;) {
     Task task;
     {
@@ -70,11 +107,27 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    int64_t run_start = 0;
+    if (obs::ProfilingEnabled()) {
+      run_start = obs::internal::NowNs();
+      if (task.enqueued_ns > 0) {
+        PoolWaitHistogram()->Record(
+            static_cast<double>(run_start - task.enqueued_ns) / 1000.0);
+      }
+    }
     std::exception_ptr error;
     try {
       task.fn();
     } catch (...) {
       error = std::current_exception();
+    }
+    PoolTaskCounter()->Add(1);
+    if (run_start != 0) {
+      const int64_t run_ns = obs::internal::NowNs() - run_start;
+      PoolRunHistogram()->Record(static_cast<double>(run_ns) / 1000.0);
+      busy_ns->Add(run_ns);
+      obs::internal::RecordComplete("pool.task", run_start, run_ns,
+                                    std::string());
     }
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -88,6 +141,9 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& fn) {
   if (total <= 0) return;
   if (grain < 1) grain = 1;
+  EMX_TRACE_SPAN("pool.parallel_for", [&] {
+    return obs::KeyValues({{"total", total}, {"grain", grain}});
+  });
   const int64_t workers = static_cast<int64_t>(num_threads());
   if (total <= grain || workers <= 1 || InWorkerThread()) {
     fn(0, total);

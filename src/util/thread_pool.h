@@ -66,12 +66,15 @@ class ThreadPool {
   struct Task {
     TaskGroup* group;
     std::function<void()> fn;
+    /// Enqueue timestamp (obs clock, ns); 0 when profiling was off at
+    /// submission — the queue-wait histogram skips those tasks.
+    int64_t enqueued_ns = 0;
   };
 
   void SubmitToGroup(TaskGroup* group, std::function<void()> fn);
   /// Blocks until the group drains; returns (and clears) its first error.
   std::exception_ptr WaitGroup(TaskGroup* group);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<Task> tasks_;

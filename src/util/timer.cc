@@ -1,20 +1,24 @@
 #include "util/timer.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "util/string_util.h"
 
 namespace emx {
 
 std::string Timer::FormatDuration(double seconds) {
-  if (seconds < 0) seconds = 0;
-  if (seconds >= 60.0) {
-    int mins = static_cast<int>(seconds) / 60;
-    int secs = static_cast<int>(std::lround(seconds)) % 60;
-    return StrFormat("%dm %ds", mins, secs);
-  }
-  if (seconds >= 10.0) {
-    return StrFormat("%ds", static_cast<int>(std::lround(seconds)));
+  if (!(seconds > 0)) seconds = 0;  // negatives and NaN clamp to zero
+  // Round to whole seconds first, then split into units, so carries
+  // propagate (119.6s -> 120 -> "2m 0s", never "1m 60s"). The coarse
+  // formats start at 9.95 because that is where "%.1f" would print 10.0.
+  if (seconds >= 9.95) {
+    const int64_t total = std::llround(seconds);
+    if (total >= 60) {
+      return StrFormat("%lldm %llds", static_cast<long long>(total / 60),
+                       static_cast<long long>(total % 60));
+    }
+    return StrFormat("%llds", static_cast<long long>(total));
   }
   return StrFormat("%.1fs", seconds);
 }

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <filesystem>
 #include <future>
 #include <memory>
@@ -12,6 +14,7 @@
 
 #include "core/entity_matcher.h"
 #include "nn/layers.h"
+#include "obs/json.h"
 #include "pretrain/model_zoo.h"
 #include "quant/quantize_matcher.h"
 #include "serve/matcher_engine.h"
@@ -506,6 +509,116 @@ TEST_F(ServeFixture, MetricsJsonCarriesServingCounters) {
         "\"cache_hit_rate\"", "\"queue_depth\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(MetricsSnapshotTest, ToJsonStrictParsesEveryField) {
+  // Regression for the %.3f nan/inf bug: fill every derived double with a
+  // non-finite value and require the serialization to still be valid JSON
+  // under a strict parser, with those fields sanitized to 0.
+  MetricsSnapshot s;
+  s.submitted = 5;
+  s.cache_hit_rate = std::nan("");
+  s.mean_batch_size = std::numeric_limits<double>::infinity();
+  s.throughput_pairs_per_sec = -std::numeric_limits<double>::infinity();
+  s.uptime_seconds = std::nan("");
+  s.p50_latency_us = std::nan("");
+  s.p95_latency_us = std::nan("");
+  s.p99_latency_us = std::nan("");
+  s.max_latency_us = std::nan("");
+  s.batch_size_histogram = {1, 0, 2};
+
+  const std::string json = s.ToJson();
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonParse(json, &v, &error)) << error << "\n" << json;
+  // Every snapshot field must be present and numeric.
+  for (const char* key :
+       {"submitted", "completed", "timed_out", "rejected", "cache_hits",
+        "cache_misses", "cache_hit_rate", "batches", "mean_batch_size",
+        "batch_overflow", "queue_depth", "max_queue_depth", "uptime_seconds",
+        "throughput_pairs_per_sec", "p50_latency_us", "p95_latency_us",
+        "p99_latency_us", "max_latency_us"}) {
+    const obs::JsonValue* f = v.Find(key);
+    ASSERT_TRUE(f != nullptr) << "missing " << key;
+    EXPECT_TRUE(f->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(v.Find("cache_hit_rate")->number, 0);
+  EXPECT_DOUBLE_EQ(v.Find("throughput_pairs_per_sec")->number, 0);
+  EXPECT_DOUBLE_EQ(v.Find("submitted")->number, 5);
+  ASSERT_TRUE(v.Find("batch_size_histogram")->is_array());
+  EXPECT_EQ(v.Find("batch_size_histogram")->array.size(), 3u);
+}
+
+TEST(ServingMetricsTest, BatchHistogramKeepsSlotZeroAndMarksOverflow) {
+  // Regressions for the two histogram bugs: the JSON loop used to start at
+  // slot 1 (dropping size-0 batches) and oversized batches were silently
+  // clamped into the top slot.
+  ServingMetrics sm(/*max_batch_size=*/4);
+  sm.RecordBatch(0);
+  sm.RecordBatch(2);
+  sm.RecordBatch(4);
+  sm.RecordBatch(7);  // exceeds max_batch_size -> overflow, not slot 4
+
+  MetricsSnapshot s = sm.Snapshot(/*queue_depth=*/0);
+  ASSERT_EQ(s.batch_size_histogram.size(), 5u);  // slots 0..4 inclusive
+  EXPECT_EQ(s.batch_size_histogram[0], 1);
+  EXPECT_EQ(s.batch_size_histogram[2], 1);
+  EXPECT_EQ(s.batch_size_histogram[4], 1);  // NOT 2: the 7 didn't clamp here
+  EXPECT_EQ(s.batch_overflow, 1);
+  EXPECT_EQ(s.batches, 4);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, (0 + 2 + 4 + 7) / 4.0);
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonParse(s.ToJson(), &v, &error)) << error;
+  // The emitted array carries all 5 slots (slot 0 included) + the marker.
+  EXPECT_EQ(v.Find("batch_size_histogram")->array.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.Find("batch_size_histogram")->array[0].number, 1);
+  EXPECT_DOUBLE_EQ(v.Find("batch_overflow")->number, 1);
+}
+
+TEST(ServingMetricsTest, RegistryMigrationPreservesCounterMeaning) {
+  // ServingMetrics now stores its counters in an emx::obs registry; the
+  // snapshot and the registry export must agree value-for-value.
+  ServingMetrics sm(/*max_batch_size=*/8);
+  sm.RecordSubmitted(3);
+  sm.RecordSubmitted(1);
+  sm.RecordRejected();
+  sm.RecordTimeout();
+  sm.RecordBatch(2);
+  sm.RecordCompletion(120.0);
+  sm.RecordCompletion(80.0);
+  sm.RecordCacheLookup(true);
+  sm.RecordCacheLookup(false);
+  sm.RecordCacheLookup(false);
+
+  MetricsSnapshot s = sm.Snapshot(/*queue_depth=*/1);
+  EXPECT_EQ(s.submitted, 2);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.timed_out, 1);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.cache_misses, 2);
+  EXPECT_NEAR(s.cache_hit_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.max_queue_depth, 3);
+  EXPECT_DOUBLE_EQ(s.p50_latency_us, 100.0);  // interpolated midpoint
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonParse(sm.registry()->ToJson(), &v, &error)) << error;
+  const obs::JsonValue* counters = v.Find("counters");
+  ASSERT_TRUE(counters != nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.submitted")->number, 2);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.rejected")->number, 1);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.timed_out")->number, 1);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.completed")->number, 2);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.cache_hits")->number, 1);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.cache_misses")->number, 2);
+  const obs::JsonValue* hist =
+      v.Find("histograms")->Find("serve.batch_size");
+  ASSERT_TRUE(hist != nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number, 1);
+  EXPECT_DOUBLE_EQ(hist->Find("counts")->array.at(2).number, 1);
 }
 
 // ---- Concurrency hammer (run under -DEMX_SANITIZE=thread in CI) ------------

@@ -308,6 +308,23 @@ TEST(TimerTest, FormatDuration) {
   EXPECT_EQ(Timer::FormatDuration(-1.0), "0.0s");
 }
 
+TEST(TimerTest, FormatDurationUnitBoundaries) {
+  // Rounding must happen before the unit split so carries propagate:
+  // 119.6 used to render "1m 0s" (minutes from truncation, seconds from
+  // rounding — disagreeing about which minute the value is in).
+  EXPECT_EQ(Timer::FormatDuration(0.0), "0.0s");
+  EXPECT_EQ(Timer::FormatDuration(59.5), "1m 0s");
+  EXPECT_EQ(Timer::FormatDuration(59.4), "59s");
+  EXPECT_EQ(Timer::FormatDuration(119.6), "2m 0s");
+  EXPECT_EQ(Timer::FormatDuration(119.4), "1m 59s");
+  EXPECT_EQ(Timer::FormatDuration(3600.0), "60m 0s");
+  // The "%.1f" -> integer-seconds handoff: 9.94 still shows a decimal,
+  // 9.95+ rounds into the coarse format without ever printing "10.0s".
+  EXPECT_EQ(Timer::FormatDuration(9.94), "9.9s");
+  EXPECT_EQ(Timer::FormatDuration(9.96), "10s");
+  EXPECT_EQ(Timer::FormatDuration(std::nan("")), "0.0s");
+}
+
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
