@@ -1,0 +1,258 @@
+// Catalog-scale retrieval bench: build a generated product catalog, index
+// it, and answer 1-vs-millions queries with the retrieve → int8 re-rank
+// pipeline. Reports ingest rate, retrieval-only QPS, recall@k, and
+// end-to-end (retrieve + transformer re-rank) QPS, and writes
+// BENCH_retrieval.json with three gates:
+//
+//   recall      recall@k >= 0.95 for the index tier (truth record among
+//               the top-k candidates)
+//   save_load   a saved+reloaded index returns bit-identical candidates
+//   e2e_qps     retrieve + int8 re-rank >= 50 queries/sec single-node
+//               (>= 5 under --smoke, which runs the full ctest suite's
+//               sanitizer jobs at a fraction of native speed)
+//
+// `--smoke` shrinks the catalog to seconds-long CI scale but keeps every
+// gate. Environment knobs:
+//
+//   EMX_CATALOG_RECORDS  catalog size        (default 1000000; smoke 20000)
+//   EMX_CATALOG_QUERIES  query count         (default 200; smoke 50)
+//   EMX_RETRIEVE_K       candidates per query (default 50)
+//   EMX_RERANK_K         re-ranked candidates (default 16)
+//   EMX_CACHE_DIR        tokenizer/model cache
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/entity_matcher.h"
+#include "data/generators.h"
+#include "obs/metrics.h"
+#include "quant/quantize_matcher.h"
+#include "retrieval/catalog_matcher.h"
+#include "retrieval/qgram_index.h"
+#include "serve/matcher_engine.h"
+#include "util/timer.h"
+
+namespace emx {
+namespace {
+
+double HistogramMean(obs::MetricsRegistry* registry, const char* name) {
+  // Re-looking up with empty bounds returns the existing histogram.
+  return registry->GetHistogram(name, {})->mean();
+}
+
+}  // namespace
+}  // namespace emx
+
+int main(int argc, char** argv) {
+  using namespace emx;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int64_t num_records =
+      bench::EnvInt("EMX_CATALOG_RECORDS", smoke ? 20000 : 1000000);
+  const int64_t num_queries =
+      bench::EnvInt("EMX_CATALOG_QUERIES", smoke ? 50 : 200);
+  const int64_t retrieve_k = bench::EnvInt("EMX_RETRIEVE_K", 50);
+  const int64_t rerank_k = bench::EnvInt("EMX_RERANK_K", 16);
+
+  std::printf("bench_retrieval — %lld records, %lld queries, k=%lld, "
+              "rerank=%lld%s\n\n",
+              static_cast<long long>(num_records),
+              static_cast<long long>(num_queries),
+              static_cast<long long>(retrieve_k),
+              static_cast<long long>(rerank_k), smoke ? " (--smoke)" : "");
+
+  // ---- Generate ------------------------------------------------------------
+  data::CatalogSpec spec;
+  spec.num_records = num_records;
+  spec.num_queries = num_queries;
+  Timer gen_timer;
+  data::Catalog cat = data::GenerateCatalog(spec);
+  const double gen_s = gen_timer.ElapsedSeconds();
+  std::printf("%-22s %10.1fs\n", "generate", gen_s);
+
+  // ---- Index ingest --------------------------------------------------------
+  Timer build_timer;
+  retrieval::QGramIndex index;
+  index.AddBatch(cat.records);
+  const double build_s = build_timer.ElapsedSeconds();
+  const double ingest_rate = static_cast<double>(num_records) / build_s;
+  std::printf("%-22s %10.1fs   (%.0f records/s, %lld features, %lld stopped)\n",
+              "index ingest", build_s, ingest_rate,
+              static_cast<long long>(index.num_features()),
+              static_cast<long long>(index.num_stop_features()));
+
+  // ---- Retrieval-only QPS + recall@k --------------------------------------
+  Timer retrieve_timer;
+  int64_t hits = 0;
+  for (size_t q = 0; q < cat.queries.size(); ++q) {
+    for (const retrieval::ScoredId& s : index.TopK(cat.queries[q], retrieve_k)) {
+      if (s.id == cat.truth[q]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double retrieve_s = retrieve_timer.ElapsedSeconds();
+  const double retrieval_qps = static_cast<double>(num_queries) / retrieve_s;
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(num_queries);
+  std::printf("%-22s %10.1f queries/s   (recall@%lld %.3f)\n",
+              "retrieval only", retrieval_qps,
+              static_cast<long long>(retrieve_k), recall);
+
+  // ---- Persistence gate ----------------------------------------------------
+  const std::string index_path = "/tmp/emx_bench_retrieval_index.bin";
+  Timer save_timer;
+  bool save_load_ok = index.Save(index_path).ok();
+  const double save_s = save_timer.ElapsedSeconds();
+  double load_s = 0;
+  if (save_load_ok) {
+    Timer load_timer;
+    auto loaded = retrieval::QGramIndex::Load(index_path);
+    load_s = load_timer.ElapsedSeconds();
+    save_load_ok = loaded.ok();
+    if (save_load_ok) {
+      // Bit-identical candidate sets on every bench query.
+      for (size_t q = 0; q < cat.queries.size() && save_load_ok; ++q) {
+        auto a = index.TopK(cat.queries[q], retrieve_k);
+        auto b = loaded.value().TopK(cat.queries[q], retrieve_k);
+        save_load_ok = a.size() == b.size();
+        for (size_t i = 0; i < a.size() && save_load_ok; ++i) {
+          save_load_ok = a[i].id == b[i].id && a[i].score == b[i].score;
+        }
+      }
+    }
+  }
+  std::filesystem::remove(index_path);
+  std::printf("%-22s save %.1fs, load %.1fs — %s\n", "persistence", save_s,
+              load_s, save_load_ok ? "bit-identical" : "MISMATCH");
+
+  // ---- End-to-end: retrieve + int8 re-rank --------------------------------
+  pretrain::ZooOptions zoo = bench::BenchZoo();
+  if (smoke) {
+    // CI-scale zoo: tokenizer-only, tiny corpus, private cache.
+    zoo.cache_dir = bench::EnvString("EMX_CACHE_DIR",
+                                     "/tmp/emx_zoo_retrieval_bench");
+    zoo.vocab_size = 500;
+    zoo.corpus.num_documents = 150;
+  }
+  zoo.skip_pretraining = true;  // QPS does not depend on weight quality
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, zoo);
+  if (!bundle.ok()) {
+    std::printf("error: %s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  core::EntityMatcher matcher(std::move(bundle).value());
+  matcher.set_eval_max_seq_len(48);
+  quant::CalibrationData calib;
+  for (size_t i = 0; i < 8 && i < cat.records.size(); ++i) {
+    calib.texts_a.push_back(cat.queries[i % cat.queries.size()]);
+    calib.texts_b.push_back(cat.records[i]);
+  }
+  calib.batch_size = 4;
+  if (auto report = quant::QuantizeMatcher(&matcher, calib); !report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::EngineOptions eopts;
+  eopts.precision = serve::Precision::kInt8;
+  eopts.max_seq_len = 48;
+  eopts.max_batch_size = rerank_k;  // one query's re-rank = one micro-batch
+  eopts.max_wait_us = 2000;
+  retrieval::CatalogOptions copts;
+  copts.retrieve_k = retrieve_k;
+  copts.rerank_k = rerank_k;
+  copts.top_k = 5;
+  serve::MatcherEngine engine(&matcher, eopts);
+  retrieval::CatalogMatcher catalog(&engine, copts);
+  catalog.AddBatch(cat.records);
+
+  Timer e2e_timer;
+  int64_t e2e_hits = 0;
+  int64_t e2e_errors = 0;
+  for (size_t q = 0; q < cat.queries.size(); ++q) {
+    auto matches = catalog.FindMatches(cat.queries[q]);
+    if (!matches.ok()) {
+      ++e2e_errors;
+      continue;
+    }
+    for (const retrieval::CatalogMatch& m : matches.value()) {
+      if (m.id == cat.truth[q]) {
+        ++e2e_hits;
+        break;
+      }
+    }
+  }
+  const double e2e_s = e2e_timer.ElapsedSeconds();
+  const double e2e_qps = static_cast<double>(num_queries) / e2e_s;
+  const double e2e_recall =
+      static_cast<double>(e2e_hits) / static_cast<double>(num_queries);
+  const double retrieve_mean_us =
+      HistogramMean(catalog.registry(), "catalog.retrieve_us");
+  const double rerank_mean_us =
+      HistogramMean(catalog.registry(), "catalog.rerank_us");
+  std::printf("%-22s %10.1f queries/s   (top-%lld recall %.3f, retrieve "
+              "%.0fus, rerank %.0fus, %lld errors)\n",
+              "retrieve + int8 rerank", e2e_qps,
+              static_cast<long long>(copts.top_k), e2e_recall,
+              retrieve_mean_us, rerank_mean_us,
+              static_cast<long long>(e2e_errors));
+
+  // ---- Gates ---------------------------------------------------------------
+  const double qps_floor = smoke ? 5.0 : 50.0;
+  const bool recall_ok = recall >= 0.95;
+  const bool qps_ok = e2e_qps >= qps_floor;
+  const bool gates_pass = recall_ok && save_load_ok && qps_ok;
+  std::printf("\ngates: recall@%lld >= 0.95 %s, save/load bit-identical %s, "
+              "e2e >= %.0f qps %s — %s\n",
+              static_cast<long long>(retrieve_k), recall_ok ? "PASS" : "FAIL",
+              save_load_ok ? "PASS" : "FAIL", qps_floor,
+              qps_ok ? "PASS" : "FAIL", gates_pass ? "PASS" : "FAIL");
+
+  FILE* out = std::fopen("BENCH_retrieval.json", "w");
+  if (out == nullptr) {
+    std::printf("error: cannot write BENCH_retrieval.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"gates_pass\": %s,\n", gates_pass ? "true" : "false");
+  std::fprintf(out, "  \"num_records\": %lld,\n",
+               static_cast<long long>(num_records));
+  std::fprintf(out, "  \"num_queries\": %lld,\n",
+               static_cast<long long>(num_queries));
+  std::fprintf(out, "  \"retrieve_k\": %lld,\n",
+               static_cast<long long>(retrieve_k));
+  std::fprintf(out, "  \"rerank_k\": %lld,\n",
+               static_cast<long long>(rerank_k));
+  std::fprintf(out, "  \"generate_seconds\": %.2f,\n", gen_s);
+  std::fprintf(out, "  \"ingest_records_per_sec\": %.1f,\n", ingest_rate);
+  std::fprintf(out, "  \"index_features\": %lld,\n",
+               static_cast<long long>(index.num_features()));
+  std::fprintf(out, "  \"index_stop_features\": %lld,\n",
+               static_cast<long long>(index.num_stop_features()));
+  std::fprintf(out, "  \"retrieval_qps\": %.2f,\n", retrieval_qps);
+  std::fprintf(out, "  \"recall_at_k\": %.4f,\n", recall);
+  std::fprintf(out, "  \"save_seconds\": %.2f,\n", save_s);
+  std::fprintf(out, "  \"load_seconds\": %.2f,\n", load_s);
+  std::fprintf(out, "  \"save_load_bit_identical\": %s,\n",
+               save_load_ok ? "true" : "false");
+  std::fprintf(out, "  \"e2e_qps\": %.2f,\n", e2e_qps);
+  std::fprintf(out, "  \"e2e_recall_top5\": %.4f,\n", e2e_recall);
+  std::fprintf(out, "  \"e2e_errors\": %lld,\n",
+               static_cast<long long>(e2e_errors));
+  std::fprintf(out, "  \"retrieve_mean_us\": %.1f,\n", retrieve_mean_us);
+  std::fprintf(out, "  \"rerank_mean_us\": %.1f\n", rerank_mean_us);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_retrieval.json\n");
+  return gates_pass ? 0 : 1;
+}

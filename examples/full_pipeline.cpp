@@ -53,9 +53,13 @@ int main(int argc, char** argv) {
     if (l == r) ++recalled;
   }
   std::printf("Blocking: %zu candidates from a %zu x %zu cross product "
-              "(reduction %.3f), match recall %.0f%%\n",
+              "(reduction ratio %.3f, survived %.3f), match recall %.0f%%\n",
               candidates.size(), lefts.size(), rights.size(),
               data::TokenBlocker::ReductionRatio(
+                  static_cast<int64_t>(candidates.size()),
+                  static_cast<int64_t>(lefts.size()),
+                  static_cast<int64_t>(rights.size())),
+              data::TokenBlocker::SurvivedFraction(
                   static_cast<int64_t>(candidates.size()),
                   static_cast<int64_t>(lefts.size()),
                   static_cast<int64_t>(rights.size())),

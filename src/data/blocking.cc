@@ -30,11 +30,19 @@ void TokenBlocker::IndexRight(const Schema& schema,
       ++token_df_[tok];
     }
   }
-  // Drop overly common tokens from the index entirely.
-  const int64_t df_cutoff = static_cast<int64_t>(
-      static_cast<double>(num_right_) * options_.max_token_frequency);
+  // Drop overly common tokens from the index entirely. The cutoff is the
+  // strict fraction num_right * max_token_frequency (no integer
+  // truncation), floored at 1 so tiny collections — where any token
+  // crosses the fraction — still keep their singleton tokens instead of
+  // emptying the index. Pruned tokens lose their df entry in the same
+  // pass; leaving them behind made token_df_ grow without bound at
+  // catalog scale.
+  const double df_cutoff =
+      std::max(1.0, static_cast<double>(num_right_) *
+                        options_.max_token_frequency);
   for (auto it = inverted_.begin(); it != inverted_.end();) {
-    if (token_df_[it->first] > std::max<int64_t>(1, df_cutoff)) {
+    if (static_cast<double>(token_df_[it->first]) > df_cutoff) {
+      token_df_.erase(it->first);
       it = inverted_.erase(it);
     } else {
       ++it;
@@ -78,6 +86,12 @@ std::vector<std::pair<int64_t, int64_t>> TokenBlocker::Candidates(
 
 double TokenBlocker::ReductionRatio(int64_t num_candidates, int64_t num_left,
                                     int64_t num_right) {
+  const double total = static_cast<double>(num_left) * static_cast<double>(num_right);
+  return total <= 0 ? 0.0 : 1.0 - static_cast<double>(num_candidates) / total;
+}
+
+double TokenBlocker::SurvivedFraction(int64_t num_candidates, int64_t num_left,
+                                      int64_t num_right) {
   const double total = static_cast<double>(num_left) * static_cast<double>(num_right);
   return total <= 0 ? 0.0 : static_cast<double>(num_candidates) / total;
 }

@@ -46,12 +46,34 @@ class TokenBlocker {
       const Schema& schema, const std::vector<Record>& left,
       int64_t only_attribute = -1) const;
 
-  /// Fraction of the full cross product that survived blocking (after a
-  /// Candidates call): |candidates| / (|left| * |right|).
+  /// Standard reduction ratio (Christen 2012): the fraction of the full
+  /// cross product that blocking *eliminated*,
+  ///   1 - |candidates| / (|left| * |right|).
+  /// Higher is better; 1.0 means everything was pruned. An empty cross
+  /// product returns 0 (there was nothing to reduce). Note: before the
+  /// retrieval-tier PR this function returned the complement (the survived
+  /// fraction), which is now SurvivedFraction().
   static double ReductionRatio(int64_t num_candidates, int64_t num_left,
                                int64_t num_right);
 
+  /// Fraction of the full cross product that survived blocking:
+  /// |candidates| / (|left| * |right|). Lower is better. Complement of
+  /// ReductionRatio over a non-empty cross product.
+  static double SurvivedFraction(int64_t num_candidates, int64_t num_left,
+                                 int64_t num_right);
+
   int64_t indexed_size() const { return num_right_; }
+  /// Distinct tokens currently in the inverted index (post df-cutoff).
+  int64_t num_index_tokens() const {
+    return static_cast<int64_t>(inverted_.size());
+  }
+  /// Distinct tokens with a tracked document frequency. Equal to
+  /// num_index_tokens() after IndexRight — pruned tokens drop their df
+  /// entry too (they used to leak, which is unbounded waste at catalog
+  /// scale).
+  int64_t num_tracked_tokens() const {
+    return static_cast<int64_t>(token_df_.size());
+  }
 
  private:
   std::vector<std::string> IndexTokens(const Schema& schema, const Record& r,

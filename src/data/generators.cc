@@ -461,6 +461,50 @@ std::vector<RecordPair> BuildPairs(
 
 }  // namespace
 
+Catalog GenerateCatalog(const CatalogSpec& spec) {
+  Catalog cat;
+  cat.schema.attributes = {"title", "category", "brand", "modelno", "price"};
+
+  const int64_t n = std::max<int64_t>(1, spec.num_records);
+  const int64_t n_queries =
+      std::min(std::max<int64_t>(0, spec.num_queries), n);
+  // Truth records sit at multiples of `stride`; siblings fill the slots
+  // right after each truth record, so they never collide with the next
+  // truth position.
+  const int64_t stride = n_queries > 0 ? n / n_queries : n;
+  const int64_t siblings = std::min(std::max<int64_t>(0, spec.siblings_per_query),
+                                    std::max<int64_t>(0, stride - 1));
+
+  cat.records.reserve(static_cast<size_t>(n));
+  cat.queries.reserve(static_cast<size_t>(n_queries));
+  cat.truth.reserve(static_cast<size_t>(n_queries));
+
+  Rng rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  ProductEntity truth_entity;
+  int64_t sibling_slots = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool is_truth = stride > 0 && i % stride == 0 &&
+                          static_cast<int64_t>(cat.queries.size()) < n_queries;
+    if (is_truth) {
+      truth_entity = MakeProduct(&rng);
+      cat.records.push_back(
+          SerializeRecord(cat.schema, AmazonRecord(truth_entity, &rng)));
+      cat.queries.push_back(
+          SerializeRecord(cat.schema, WalmartRecord(truth_entity, &rng)));
+      cat.truth.push_back(i);
+      sibling_slots = siblings;
+    } else if (sibling_slots > 0) {
+      --sibling_slots;
+      cat.records.push_back(SerializeRecord(
+          cat.schema, AmazonRecord(MakeProductSibling(truth_entity, &rng), &rng)));
+    } else {
+      cat.records.push_back(
+          SerializeRecord(cat.schema, AmazonRecord(MakeProduct(&rng), &rng)));
+    }
+  }
+  return cat;
+}
+
 void ApplyDirtyTransform(Record* record, int64_t title_index, double p,
                          Rng* rng) {
   for (size_t i = 0; i < record->values.size(); ++i) {

@@ -31,6 +31,39 @@ struct GeneratorOptions {
 /// DESIGN.md for the substitution rationale).
 EmDataset GenerateDataset(DatasetId id, const GeneratorOptions& options);
 
+/// Knobs for catalog synthesis (the 1-vs-millions retrieval corpus).
+struct CatalogSpec {
+  /// Master seed; the same spec always yields the identical catalog.
+  uint64_t seed = 20200330;
+  /// Catalog records (Amazon-style view of the Walmart-Amazon schema).
+  int64_t num_records = 100000;
+  /// Query records (Walmart-style view). Query q's true match sits at
+  /// catalog id truth[q]; truth positions are spread evenly so shard
+  /// assignment is exercised uniformly.
+  int64_t num_queries = 100;
+  /// Hard distractors: siblings of each query's entity (same brand/series
+  /// family, different model) placed right after its truth record. These
+  /// are what make retrieval non-trivial — token overlap alone cannot
+  /// separate them; the idf-weighted model number has to.
+  int64_t siblings_per_query = 3;
+};
+
+/// A generated retrieval corpus: serialized catalog records, serialized
+/// queries, and the ground-truth catalog id of each query's match.
+struct Catalog {
+  Schema schema;
+  std::vector<std::string> records;
+  std::vector<std::string> queries;
+  /// truth[q] = id (position in `records`) of query q's true match.
+  std::vector<int64_t> truth;
+};
+
+/// Generates a product catalog for the retrieval tier: each query is the
+/// Walmart-style rendering of an entity whose Amazon-style rendering is in
+/// the catalog, surrounded by hard sibling distractors; every other record
+/// is an unrelated product. Deterministic in `spec`.
+Catalog GenerateCatalog(const CatalogSpec& spec);
+
 /// The paper's dirty transform (Section 5.1 / DeepMatcher): for each
 /// attribute other than `title_index`, with probability p the value moves
 /// to the title attribute of the same tuple (appended) and the source

@@ -1,0 +1,402 @@
+#include "retrieval/qgram_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "obs/trace.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace emx {
+namespace retrieval {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'X', 'R', 'I', 'D', 'X', '1'};
+
+// Ingest batches are chunked so AddBatch never materializes the feature
+// lists of more than this many records at once (a million-record batch
+// would otherwise hold ~10 GB of transient feature strings).
+constexpr int64_t kIngestChunk = 4096;
+
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+/// Idf weight of a feature seen in `df` of `n` records. The +1 smoothing
+/// keeps unseen features finite and df = n features positive.
+double IdfWeight(int64_t n, int64_t df) {
+  return std::log(1.0 + static_cast<double>(n) /
+                            (1.0 + static_cast<double>(df)));
+}
+
+bool ScoreOrder(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+QGramIndex::QGramIndex(IndexOptions options) : options_(options) {
+  options_.num_shards = std::max<int64_t>(1, options_.num_shards);
+  options_.qgram = std::max<int64_t>(0, options_.qgram);
+  options_.max_postings = std::max<int64_t>(1, options_.max_postings);
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(options_.num_shards));
+}
+
+QGramIndex::QGramIndex(QGramIndex&& other) noexcept
+    : options_(other.options_), shards_(std::move(other.shards_)) {
+  next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+QGramIndex& QGramIndex::operator=(QGramIndex&& other) noexcept {
+  options_ = other.options_;
+  shards_ = std::move(other.shards_);
+  next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  return *this;
+}
+
+QGramIndex::~QGramIndex() = default;
+
+int64_t QGramIndex::per_shard_cap() const {
+  return std::max<int64_t>(1, options_.max_postings / options_.num_shards);
+}
+
+namespace {
+
+std::string StripNonAlnum(const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> QGramIndex::Features(std::string_view text) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto emit = [&](std::string f) {
+    if (seen.insert(f).second) out.push_back(std::move(f));
+  };
+  const std::string lowered = ToLower(text);
+  const std::vector<std::string> tokens = SplitWhitespace(lowered);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const std::string& token = tokens[t];
+    if (options_.index_tokens) {
+      emit(token);
+      // Punctuation-stripped alias: "zx-55" and "zx55" become the same
+      // rare exact-token feature, which q-grams alone cannot guarantee.
+      std::string alnum = StripNonAlnum(token);
+      if (!alnum.empty() && alnum != token) emit(std::move(alnum));
+      // Adjacent-token join: a model number split across tokens
+      // ("zx 55") re-fuses to match the unsplit rendering's token.
+      // Common-word joins cross the posting cap and stop out.
+      if (t + 1 < tokens.size()) {
+        std::string join = StripNonAlnum(token) + StripNonAlnum(tokens[t + 1]);
+        if (!join.empty()) emit(std::move(join));
+      }
+    }
+    if (options_.qgram > 0) {
+      // Boundary-padded grams: "^zx55$" and "^zx-55$" share their edges.
+      const std::string padded = "^" + token + "$";
+      const size_t q = static_cast<size_t>(options_.qgram);
+      if (padded.size() <= q) {
+        emit(padded);
+      } else {
+        for (size_t i = 0; i + q <= padded.size(); ++i) {
+          emit(padded.substr(i, q));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void QGramIndex::Insert(int64_t id, const std::vector<std::string>& features) {
+  Shard& shard = shards_[static_cast<size_t>(id % options_.num_shards)];
+  const int64_t cap = per_shard_cap();
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  for (const std::string& f : features) {
+    PostingList& pl = shard.features[f];
+    ++pl.df;
+    if (pl.stopped) continue;
+    if (pl.df > cap) {
+      // Crossed the cap: demote to a stop feature and free its postings.
+      pl.stopped = true;
+      ++shard.stop_count;
+      pl.ids.clear();
+      pl.ids.shrink_to_fit();
+      continue;
+    }
+    pl.ids.push_back(static_cast<uint32_t>(id));
+  }
+}
+
+int64_t QGramIndex::AddRecord(std::string_view text) {
+  const int64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Insert(id, Features(text));
+  return id;
+}
+
+int64_t QGramIndex::AddBatch(const std::vector<std::string>& texts) {
+  const int64_t n = static_cast<int64_t>(texts.size());
+  const int64_t base = next_id_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<std::vector<std::string>> features(
+      static_cast<size_t>(std::min(n, kIngestChunk)));
+  for (int64_t chunk = 0; chunk < n; chunk += kIngestChunk) {
+    const int64_t end = std::min(n, chunk + kIngestChunk);
+    {
+      EMX_TRACE_SPAN("retrieval.extract");
+      ParallelFor(end - chunk, 64, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          features[static_cast<size_t>(i)] =
+              Features(texts[static_cast<size_t>(chunk + i)]);
+        }
+      });
+    }
+    EMX_TRACE_SPAN("retrieval.insert");
+    // One task per shard: every record of the chunk belongs to exactly one
+    // shard, so shard tasks touch disjoint state.
+    ParallelFor(options_.num_shards, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t s = lo; s < hi; ++s) {
+        for (int64_t i = chunk; i < end; ++i) {
+          if ((base + i) % options_.num_shards != s) continue;
+          Insert(base + i, features[static_cast<size_t>(i - chunk)]);
+        }
+      }
+    });
+  }
+  return base;
+}
+
+int64_t QGramIndex::size() const {
+  return next_id_.load(std::memory_order_relaxed);
+}
+
+int64_t QGramIndex::num_features() const {
+  int64_t total = 0;
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.features.size()) - shard.stop_count;
+  }
+  return total;
+}
+
+int64_t QGramIndex::num_stop_features() const {
+  int64_t total = 0;
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.stop_count;
+  }
+  return total;
+}
+
+std::vector<ScoredId> QGramIndex::TopK(std::string_view query,
+                                       int64_t k) const {
+  const int64_t n = size();
+  if (k <= 0 || n == 0) return {};
+  std::vector<std::string> features;
+  {
+    EMX_TRACE_SPAN("retrieval.features");
+    features = Features(query);
+  }
+  if (features.empty()) return {};
+
+  // Pass 1: global document frequency per feature (summed across shards)
+  // fixes one idf weight per feature, so candidates in different shards are
+  // scored on the same scale.
+  std::vector<double> weights(features.size(), 0);
+  {
+    EMX_TRACE_SPAN("retrieval.weights");
+    std::vector<int64_t> df(features.size(), 0);
+    for (int64_t s = 0; s < options_.num_shards; ++s) {
+      Shard& shard = shards_[static_cast<size_t>(s)];
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      for (size_t i = 0; i < features.size(); ++i) {
+        auto it = shard.features.find(features[i]);
+        if (it != shard.features.end()) df[i] += it->second.df;
+      }
+    }
+    for (size_t i = 0; i < features.size(); ++i) {
+      weights[i] = IdfWeight(n, df[i]);
+    }
+  }
+
+  // Pass 2: per-shard accumulation and local top-k, shards in parallel.
+  // Each candidate's score is summed in fixed feature order, so results do
+  // not depend on the thread count.
+  std::vector<std::vector<ScoredId>> per_shard(
+      static_cast<size_t>(options_.num_shards));
+  {
+    EMX_TRACE_SPAN("retrieval.score", [&] {
+      return obs::KeyValues({{"features",
+                              static_cast<int64_t>(features.size())},
+                             {"k", k}});
+    });
+    ParallelFor(options_.num_shards, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t s = lo; s < hi; ++s) {
+        Shard& shard = shards_[static_cast<size_t>(s)];
+        std::unordered_map<uint32_t, double> acc;
+        {
+          std::shared_lock<std::shared_mutex> lock(shard.mu);
+          for (size_t i = 0; i < features.size(); ++i) {
+            auto it = shard.features.find(features[i]);
+            if (it == shard.features.end() || it->second.stopped) continue;
+            for (uint32_t id : it->second.ids) acc[id] += weights[i];
+          }
+        }
+        std::vector<ScoredId>& local = per_shard[static_cast<size_t>(s)];
+        local.reserve(acc.size());
+        for (const auto& [id, score] : acc) {
+          local.push_back({static_cast<int64_t>(id), score});
+        }
+        if (static_cast<int64_t>(local.size()) > k) {
+          std::nth_element(local.begin(), local.begin() + k, local.end(),
+                           ScoreOrder);
+          local.resize(static_cast<size_t>(k));
+        }
+        std::sort(local.begin(), local.end(), ScoreOrder);
+      }
+    });
+  }
+
+  EMX_TRACE_SPAN("retrieval.merge");
+  std::vector<ScoredId> merged;
+  for (const auto& local : per_shard) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end(), ScoreOrder);
+  if (static_cast<int64_t>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+Status QGramIndex::SaveTo(std::ostream& out) const {
+  // Writer-exclude every shard for the duration: a save is a consistent
+  // snapshot, not a racing reader.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(static_cast<size_t>(options_.num_shards));
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mu);
+  }
+
+  out.write(kMagic, sizeof(kMagic));
+  WriteI64(out, options_.qgram);
+  WriteI64(out, options_.index_tokens ? 1 : 0);
+  WriteI64(out, options_.max_postings);
+  WriteI64(out, options_.num_shards);
+  WriteI64(out, next_id_.load(std::memory_order_relaxed));
+
+  std::vector<const std::string*> keys;
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    WriteI64(out, static_cast<int64_t>(shard.features.size()));
+    // Canonical order: identical index states serialize to identical bytes
+    // regardless of hash-map iteration order.
+    keys.clear();
+    keys.reserve(shard.features.size());
+    for (const auto& [key, pl] : shard.features) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    for (const std::string* key : keys) {
+      const PostingList& pl = shard.features.at(*key);
+      WriteI64(out, static_cast<int64_t>(key->size()));
+      out.write(key->data(), static_cast<std::streamsize>(key->size()));
+      WriteI64(out, pl.df);
+      WriteI64(out, pl.stopped ? 1 : 0);
+      WriteI64(out, static_cast<int64_t>(pl.ids.size()));
+      out.write(reinterpret_cast<const char*>(pl.ids.data()),
+                static_cast<std::streamsize>(pl.ids.size() * sizeof(uint32_t)));
+    }
+  }
+  if (!out.good()) return Status::IoError("index serialization failed");
+  return Status::OK();
+}
+
+Status QGramIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  EMX_RETURN_IF_ERROR(SaveTo(out));
+  out.close();
+  if (!out.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<QGramIndex> QGramIndex::LoadFrom(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an EMXRIDX1 index file");
+  }
+  IndexOptions options;
+  int64_t index_tokens = 0, next_id = 0;
+  if (!ReadI64(in, &options.qgram) || !ReadI64(in, &index_tokens) ||
+      !ReadI64(in, &options.max_postings) || !ReadI64(in, &options.num_shards) ||
+      !ReadI64(in, &next_id)) {
+    return Status::IoError("truncated index header");
+  }
+  options.index_tokens = index_tokens != 0;
+  if (options.num_shards <= 0 || options.num_shards > (1 << 20) ||
+      next_id < 0) {
+    return Status::InvalidArgument("corrupt index header");
+  }
+  QGramIndex index(options);
+  index.next_id_.store(next_id, std::memory_order_relaxed);
+  for (int64_t s = 0; s < options.num_shards; ++s) {
+    Shard& shard = index.shards_[static_cast<size_t>(s)];
+    int64_t num_features = 0;
+    if (!ReadI64(in, &num_features) || num_features < 0) {
+      return Status::IoError("truncated shard header");
+    }
+    shard.features.reserve(static_cast<size_t>(num_features));
+    for (int64_t f = 0; f < num_features; ++f) {
+      int64_t key_len = 0;
+      if (!ReadI64(in, &key_len) || key_len < 0 || key_len > (1 << 20)) {
+        return Status::IoError("corrupt feature key length");
+      }
+      std::string key(static_cast<size_t>(key_len), '\0');
+      in.read(key.data(), key_len);
+      PostingList pl;
+      int64_t stopped = 0, num_ids = 0;
+      if (!ReadI64(in, &pl.df) || !ReadI64(in, &stopped) ||
+          !ReadI64(in, &num_ids) || num_ids < 0 || num_ids > next_id) {
+        return Status::IoError("corrupt posting list header");
+      }
+      pl.stopped = stopped != 0;
+      if (pl.stopped) ++shard.stop_count;
+      pl.ids.resize(static_cast<size_t>(num_ids));
+      in.read(reinterpret_cast<char*>(pl.ids.data()),
+              static_cast<std::streamsize>(pl.ids.size() * sizeof(uint32_t)));
+      if (!in.good()) return Status::IoError("truncated posting list");
+      shard.features.emplace(std::move(key), std::move(pl));
+    }
+  }
+  return index;
+}
+
+Result<QGramIndex> QGramIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return LoadFrom(in);
+}
+
+}  // namespace retrieval
+}  // namespace emx

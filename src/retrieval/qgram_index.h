@@ -1,0 +1,141 @@
+#ifndef EMX_RETRIEVAL_QGRAM_INDEX_H_
+#define EMX_RETRIEVAL_QGRAM_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emx {
+namespace retrieval {
+
+/// Tuning knobs for the catalog index.
+struct IndexOptions {
+  /// Character q-gram width over each lower-cased token (tokens are padded
+  /// with '^'/'$' boundary markers before slicing, so "zx55" and "zx-55"
+  /// still share their edge grams). 0 disables q-grams.
+  int64_t qgram = 3;
+  /// Index whole whitespace tokens as features as well — exact token hits
+  /// (brand names, years) score higher than their shredded grams alone.
+  /// Each token also contributes a punctuation-stripped alias ("zx-55" →
+  /// "zx55") and a join with the stripped next token ("zx","55" → "zx55"):
+  /// hyphenated, space-split, and unperturbed renderings of a model number
+  /// must collapse to one exact rare token, because shared medium-idf grams
+  /// alone lose to coincidental gram overlap at million-record scale.
+  bool index_tokens = true;
+  /// Global posting cap per feature. A feature whose document frequency
+  /// crosses this becomes a *stop feature*: its postings are freed and it
+  /// stops being indexed or scored — templated catalogs repeat boilerplate
+  /// grams ("the", " gb ") in nearly every record, and carrying million-entry
+  /// posting lists for them would blow memory without adding signal.
+  /// Internally the cap is split evenly across shards
+  /// (max(1, max_postings / num_shards) per shard) so the stop decision is a
+  /// pure function of each shard's record set, independent of query load or
+  /// thread count.
+  int64_t max_postings = 1 << 14;
+  /// Independent index shards; record id `i` lives in shard `i % num_shards`.
+  /// Queries score shards in parallel (ParallelFor) and ingest takes only
+  /// the target shard's writer lock, so streaming AddRecord/AddBatch can
+  /// proceed while queries run.
+  int64_t num_shards = 8;
+};
+
+/// One retrieved catalog record: its id (assigned by Add order, starting at
+/// 0) and its idf-weighted feature-overlap score.
+struct ScoredId {
+  int64_t id = 0;
+  double score = 0;
+};
+
+/// Sharded, persistent inverted q-gram/token index over serialized records
+/// — the retrieval tier that turns pairwise matching into 1-vs-millions
+/// matching. Records are added as flat text (see data::SerializeRecord),
+/// assigned dense int64 ids in arrival order, and retrieved by idf-weighted
+/// feature overlap: score(r) = sum over shared features f of
+/// log(1 + N / (1 + df(f))). Rare features (model numbers, author names)
+/// dominate; boilerplate contributes little and is dropped entirely once it
+/// crosses the posting cap.
+///
+/// Concurrency: AddRecord/AddBatch and TopK may run concurrently. Each
+/// shard has a reader-writer lock; queries hold reader locks while scoring,
+/// ingest holds the writer lock of the single target shard. A query racing
+/// an ingest sees some prefix of the new records — never a torn posting
+/// list. The final index state depends only on the set and order of added
+/// records, not on query interleaving or thread count, and TopK results are
+/// deterministic for a given index state (ties broken by ascending id).
+class QGramIndex {
+ public:
+  explicit QGramIndex(IndexOptions options = IndexOptions{});
+
+  QGramIndex(QGramIndex&&) noexcept;
+  QGramIndex& operator=(QGramIndex&&) noexcept;
+  QGramIndex(const QGramIndex&) = delete;
+  QGramIndex& operator=(const QGramIndex&) = delete;
+  ~QGramIndex();
+
+  /// Adds one serialized record; returns its id.
+  int64_t AddRecord(std::string_view text);
+  /// Adds a batch; returns the id of the first record (ids are contiguous).
+  /// Feature extraction and posting insertion run per-shard in parallel.
+  int64_t AddBatch(const std::vector<std::string>& texts);
+
+  /// The k highest-scoring records for the query text, score descending,
+  /// ties by ascending id. Thread-safe against concurrent ingest.
+  std::vector<ScoredId> TopK(std::string_view query, int64_t k) const;
+
+  /// Records indexed so far.
+  int64_t size() const;
+  /// Live (non-stop) features across all shards.
+  int64_t num_features() const;
+  /// Features demoted to stop features (postings freed).
+  int64_t num_stop_features() const;
+
+  const IndexOptions& options() const { return options_; }
+
+  /// The deterministic feature set of one text under these options
+  /// (deduplicated, first-occurrence order). Exposed for tests and for
+  /// callers that want to inspect what the index keys on.
+  std::vector<std::string> Features(std::string_view text) const;
+
+  /// Binary little-endian persistence. Save writes shards with features in
+  /// sorted order (canonical bytes for identical index states); Load
+  /// restores an index whose TopK results are bit-identical to the saved
+  /// one's. Save requires ingest quiescence (it takes all reader locks).
+  Status Save(const std::string& path) const;
+  Status SaveTo(std::ostream& out) const;
+  static Result<QGramIndex> Load(const std::string& path);
+  static Result<QGramIndex> LoadFrom(std::istream& in);
+
+ private:
+  struct PostingList {
+    /// Records containing the feature — keeps counting after the stop cap.
+    int64_t df = 0;
+    bool stopped = false;
+    std::vector<uint32_t> ids;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, PostingList> features;
+    int64_t stop_count = 0;  // features demoted to stop features
+  };
+
+  int64_t per_shard_cap() const;
+  /// Inserts `id`'s features into its shard. Caller must not hold locks.
+  void Insert(int64_t id, const std::vector<std::string>& features);
+
+  IndexOptions options_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<int64_t> next_id_{0};
+};
+
+}  // namespace retrieval
+}  // namespace emx
+
+#endif  // EMX_RETRIEVAL_QGRAM_INDEX_H_

@@ -89,7 +89,10 @@ ServingMetrics::ServingMetrics(int64_t max_batch_size) {
   batch_hist_ = registry_.GetHistogram(
       "serve.batch_size",
       obs::LinearBuckets(0, 1, static_cast<int>(max_batch_size) + 1));
-  latencies_.resize(kLatencyWindow, 0);
+  latencies_ = std::make_unique<std::atomic<double>[]>(kLatencyWindow);
+  for (size_t i = 0; i < kLatencyWindow; ++i) {
+    latencies_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void ServingMetrics::RecordSubmitted(int64_t queue_depth_after) {
@@ -107,10 +110,10 @@ void ServingMetrics::RecordBatch(int64_t batch_size) {
 
 void ServingMetrics::RecordCompletion(double total_us) {
   completed_->Add(1);
-  std::lock_guard<std::mutex> lock(mu_);
-  latencies_[latency_next_] = total_us;
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  latency_count_ = std::min(latency_count_ + 1, kLatencyWindow);
+  // Lock-free: claim a slot, store the sample. Concurrent snapshots read
+  // the slot atomically and see the old or the new sample — both valid.
+  const uint64_t op = latency_ops_.fetch_add(1, std::memory_order_relaxed);
+  latencies_[op % kLatencyWindow].store(total_us, std::memory_order_relaxed);
 }
 
 void ServingMetrics::RecordCacheLookup(bool hit) {
@@ -140,10 +143,14 @@ MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.throughput_pairs_per_sec =
       s.uptime_seconds > 0 ? s.completed / s.uptime_seconds : 0;
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    window.assign(latencies_.begin(), latencies_.begin() + latency_count_);
+  // Copy the window with per-slot atomic loads — no lock, so concurrent
+  // RecordCompletion calls are never stalled behind this copy.
+  const uint64_t ops = latency_ops_.load(std::memory_order_relaxed);
+  const size_t window_size =
+      static_cast<size_t>(std::min<uint64_t>(ops, kLatencyWindow));
+  std::vector<double> window(window_size);
+  for (size_t i = 0; i < window_size; ++i) {
+    window[i] = latencies_[i].load(std::memory_order_relaxed);
   }
   std::sort(window.begin(), window.end());
   s.p50_latency_us = Percentile(window, 0.50);

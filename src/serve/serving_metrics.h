@@ -1,8 +1,9 @@
 #ifndef EMX_SERVE_SERVING_METRICS_H_
 #define EMX_SERVE_SERVING_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,15 @@ struct MetricsSnapshot {
 /// samples, not fixed buckets. Latencies are kept in a fixed-size ring
 /// (most recent `kLatencyWindow` completions) so a long-running server
 /// never grows.
+///
+/// The ring is lock-free: completions claim a slot with one relaxed
+/// fetch_add and store the sample with one relaxed atomic store, so the
+/// completion hot path never takes a mutex and is never blocked by a
+/// Snapshot() copying the 8192-entry window (which it previously did,
+/// under the same lock, on every snapshot). A snapshot that races a
+/// completion reads each slot atomically and sees either the old or the
+/// new sample for that slot — both are valid recent completions, which is
+/// all percentiles over a sliding window promise.
 class ServingMetrics {
  public:
   explicit ServingMetrics(int64_t max_batch_size);
@@ -99,10 +109,11 @@ class ServingMetrics {
   obs::Gauge* max_queue_depth_;
   obs::Histogram* batch_hist_;  // exact integer buckets [0, max_batch_size]
 
-  mutable std::mutex mu_;          // guards the latency ring only
-  std::vector<double> latencies_;  // ring buffer, valid up to latency_count_
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  /// Lock-free latency ring: slot i of the k-th completion is k %
+  /// kLatencyWindow. latency_ops_ counts completions ever recorded; the
+  /// valid window is min(latency_ops_, kLatencyWindow) samples.
+  std::unique_ptr<std::atomic<double>[]> latencies_;
+  std::atomic<uint64_t> latency_ops_{0};
   Timer uptime_;
 };
 

@@ -175,16 +175,91 @@ TEST(BlockingTest, RecallOnGeneratedMatches) {
   }
   const double recall = static_cast<double>(hits) / static_cast<double>(lefts.size());
   EXPECT_GT(recall, 0.8);
-  // And it prunes the cross product substantially.
+  // And it prunes the cross product substantially: a high reduction ratio
+  // means few candidate pairs survived.
   const double ratio = TokenBlocker::ReductionRatio(
       static_cast<int64_t>(cands.size()), static_cast<int64_t>(lefts.size()),
       static_cast<int64_t>(rights.size()));
-  EXPECT_LT(ratio, 0.5);
+  EXPECT_GT(ratio, 0.5);
 }
 
 TEST(BlockingTest, ReductionRatioEdgeCases) {
   EXPECT_EQ(TokenBlocker::ReductionRatio(0, 0, 10), 0.0);
-  EXPECT_DOUBLE_EQ(TokenBlocker::ReductionRatio(5, 10, 10), 0.05);
+  EXPECT_DOUBLE_EQ(TokenBlocker::ReductionRatio(5, 10, 10), 0.95);
+  // Nothing pruned: the ratio collapses to 0.
+  EXPECT_DOUBLE_EQ(TokenBlocker::ReductionRatio(100, 10, 10), 0.0);
+}
+
+// Regression for the pre-fix semantics: ReductionRatio used to return the
+// *survived* fraction |candidates|/(|left|*|right|) — the complement of
+// Christen 2012's definition. Both values are pinned here so the two can
+// never be swapped again silently.
+TEST(BlockingTest, ReductionRatioIsComplementOfSurvivedFraction) {
+  const double survived = TokenBlocker::SurvivedFraction(5, 10, 10);
+  const double reduction = TokenBlocker::ReductionRatio(5, 10, 10);
+  EXPECT_DOUBLE_EQ(survived, 0.05);   // what ReductionRatio wrongly returned
+  EXPECT_DOUBLE_EQ(reduction, 0.95);  // the standard definition
+  EXPECT_DOUBLE_EQ(survived + reduction, 1.0);
+  // The empty cross product is 0 under both names.
+  EXPECT_EQ(TokenBlocker::SurvivedFraction(0, 0, 10), 0.0);
+  EXPECT_EQ(TokenBlocker::SurvivedFraction(0, 10, 0), 0.0);
+}
+
+TEST(BlockingTest, DfCutoffIsStrictFractionWithFloor) {
+  // 8 records, max_token_frequency 0.25 -> cutoff 2.0 exactly. A token in
+  // exactly 2 records sits *at* the fraction and must stay indexed; a
+  // token in 3 records (0.375 > 0.25) must be pruned.
+  BlockerOptions opts;
+  opts.max_token_frequency = 0.25;
+  opts.min_shared_tokens = 1;
+  TokenBlocker blocker(opts);
+  Schema schema = ProductSchema();
+  std::vector<Record> right;
+  // "edge" in records 0,1 (df 2 = cutoff); "over" in 0,1,2 (df 3 > cutoff);
+  // the rest are distinct fillers.
+  right.push_back(Rec("edge over alpha"));
+  right.push_back(Rec("edge over beta"));
+  right.push_back(Rec("over gamma delta"));
+  for (int i = 0; i < 5; ++i) {
+    right.push_back(Rec("filler" + std::to_string(i)));
+  }
+  blocker.IndexRight(schema, right);
+
+  // "edge" still blocks; "over" no longer does.
+  auto edge_cands = blocker.Candidates(schema, {Rec("edge")});
+  EXPECT_EQ(edge_cands.size(), 2u);
+  auto over_cands = blocker.Candidates(schema, {Rec("over")});
+  EXPECT_TRUE(over_cands.empty());
+}
+
+TEST(BlockingTest, SmallCollectionFloorKeepsSingletonTokens) {
+  // 3 records, max_token_frequency 0.25 -> raw cutoff 0.75, floored to 1:
+  // singleton tokens survive (otherwise the whole index would empty), df-2
+  // tokens are pruned (2 > 1).
+  BlockerOptions opts;
+  opts.max_token_frequency = 0.25;
+  opts.min_shared_tokens = 1;
+  TokenBlocker blocker(opts);
+  Schema schema = ProductSchema();
+  blocker.IndexRight(schema,
+                     {Rec("solo twin"), Rec("twin other"), Rec("third")});
+  EXPECT_EQ(blocker.Candidates(schema, {Rec("solo")}).size(), 1u);
+  EXPECT_TRUE(blocker.Candidates(schema, {Rec("twin")}).empty());
+}
+
+TEST(BlockingTest, PrunedTokensDropTheirDfEntries) {
+  // Every pruned token must also leave token_df_ — stale entries were an
+  // unbounded leak when re-indexing large collections.
+  TokenBlocker blocker;  // max_token_frequency 0.25
+  Schema schema = ProductSchema();
+  std::vector<Record> right;
+  for (int i = 0; i < 8; ++i) {
+    // "common" appears in every record and will be pruned.
+    right.push_back(Rec("common unique" + std::to_string(i)));
+  }
+  blocker.IndexRight(schema, right);
+  EXPECT_EQ(blocker.num_tracked_tokens(), blocker.num_index_tokens());
+  EXPECT_EQ(blocker.num_index_tokens(), 8);  // the 8 unique tokens
 }
 
 }  // namespace

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "data/blocking.h"
+#include "data/generators.h"
+#include "data/record.h"
+#include "pretrain/model_zoo.h"
+#include "retrieval/catalog_matcher.h"
+#include "retrieval/qgram_index.h"
+#include "serve/matcher_engine.h"
+
+namespace emx {
+namespace retrieval {
+namespace {
+
+// ---- Feature extraction ----------------------------------------------------
+
+TEST(QGramIndexTest, FeaturesArePaddedGramsAndWholeTokens) {
+  QGramIndex index;
+  auto feats = index.Features("Acer ZX-55");
+  // Whole lower-cased tokens are features...
+  EXPECT_NE(std::find(feats.begin(), feats.end(), "acer"), feats.end());
+  EXPECT_NE(std::find(feats.begin(), feats.end(), "zx-55"), feats.end());
+  // ...and so are boundary-padded 3-grams, which "zx55" shares.
+  EXPECT_NE(std::find(feats.begin(), feats.end(), "^zx"), feats.end());
+  EXPECT_NE(std::find(feats.begin(), feats.end(), "55$"), feats.end());
+  // Deduplicated.
+  auto sorted = feats;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(QGramIndexTest, ModelNumberVariantsShareGrams) {
+  QGramIndex index;
+  auto a = index.Features("zx55");
+  auto b = index.Features("zx-55");
+  int64_t shared = 0;
+  for (const auto& f : a) {
+    if (std::find(b.begin(), b.end(), f) != b.end()) ++shared;
+  }
+  EXPECT_GE(shared, 2);  // at least the edge grams survive the hyphen
+}
+
+TEST(QGramIndexTest, VariantRenderingsCollapseToOneExactToken) {
+  QGramIndex index;
+  // Hyphenated, space-split, and unperturbed renderings of a model number
+  // must all emit the exact token "zx55" — grams alone drown in coincidental
+  // overlap at million-record scale.
+  for (const char* text : {"acer zx55 laptop", "acer zx-55 laptop",
+                           "acer zx 55 laptop"}) {
+    auto feats = index.Features(text);
+    EXPECT_NE(std::find(feats.begin(), feats.end(), "zx55"), feats.end())
+        << "missing exact-token alias for: " << text;
+  }
+}
+
+// ---- Scoring ---------------------------------------------------------------
+
+TEST(QGramIndexTest, ExactModelMatchOutranksSiblingAndStranger) {
+  QGramIndex index;
+  EXPECT_EQ(index.AddRecord("acer zen zx55 laptop silver"), 0);
+  EXPECT_EQ(index.AddRecord("acer zen zx56 laptop black"), 1);
+  EXPECT_EQ(index.AddRecord("dell vostro desktop tower"), 2);
+
+  auto top = index.TopK("acer zx55 notebook", 3);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0);  // shares the rare "zx55" grams
+  EXPECT_EQ(top[1].id, 1);  // sibling: brand + partial model overlap
+  EXPECT_GT(top[0].score, top[1].score);
+}
+
+TEST(QGramIndexTest, TiesBreakByAscendingId) {
+  QGramIndex index;
+  index.AddRecord("identical text");
+  index.AddRecord("identical text");
+  index.AddRecord("identical text");
+  auto top = index.TopK("identical text", 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0);
+  EXPECT_EQ(top[1].id, 1);
+  EXPECT_EQ(top[2].id, 2);
+  EXPECT_DOUBLE_EQ(top[0].score, top[1].score);
+}
+
+TEST(QGramIndexTest, EmptyIndexAndEmptyQueryReturnNothing) {
+  QGramIndex index;
+  EXPECT_TRUE(index.TopK("anything", 5).empty());
+  index.AddRecord("acer laptop");
+  EXPECT_TRUE(index.TopK("", 5).empty());
+  EXPECT_TRUE(index.TopK("acer", 0).empty());
+}
+
+TEST(QGramIndexTest, StopFeatureCapFreesPostingsAndStopsScoring) {
+  IndexOptions opts;
+  opts.num_shards = 1;
+  opts.max_postings = 4;
+  opts.qgram = 0;  // token features only, to keep the arithmetic simple
+  QGramIndex index(opts);
+  for (int i = 0; i < 10; ++i) {
+    index.AddRecord("common filler" + std::to_string(i));
+  }
+  // "common" appeared 10 times > cap 4: demoted to a stop feature.
+  EXPECT_GE(index.num_stop_features(), 1);
+  // A query of only the stopped feature retrieves nothing...
+  EXPECT_TRUE(index.TopK("common", 5).empty());
+  // ...but the rare per-record token still works.
+  auto top = index.TopK("filler3", 5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].id, 3);
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+TEST(QGramIndexTest, SaveLoadRoundTripIsBitIdentical) {
+  const std::string path = "/tmp/emx_retrieval_test_index.bin";
+  IndexOptions opts;
+  opts.num_shards = 4;
+  QGramIndex index(opts);
+  data::CatalogSpec spec;
+  spec.num_records = 200;
+  spec.num_queries = 20;
+  data::Catalog cat = data::GenerateCatalog(spec);
+  index.AddBatch(cat.records);
+
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = QGramIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), index.size());
+  EXPECT_EQ(loaded.value().num_features(), index.num_features());
+  EXPECT_EQ(loaded.value().num_stop_features(), index.num_stop_features());
+
+  // Candidate sets must match bit-for-bit: same ids, same scores.
+  for (const std::string& q : cat.queries) {
+    auto a = index.TopK(q, 50);
+    auto b = loaded.value().TopK(q, 50);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].score, b[i].score);  // exact, not approximate
+    }
+  }
+
+  // Canonical serialization: saving the loaded index reproduces the bytes.
+  std::ostringstream first, second;
+  ASSERT_TRUE(index.SaveTo(first).ok());
+  ASSERT_TRUE(loaded.value().SaveTo(second).ok());
+  EXPECT_EQ(first.str(), second.str());
+  std::filesystem::remove(path);
+}
+
+TEST(QGramIndexTest, LoadRejectsGarbageAndTruncation) {
+  std::istringstream garbage("not an index file at all");
+  EXPECT_EQ(QGramIndex::LoadFrom(garbage).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QGramIndex index;
+  index.AddRecord("acer laptop");
+  std::ostringstream full;
+  ASSERT_TRUE(index.SaveTo(full).ok());
+  const std::string bytes = full.str();
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(QGramIndex::LoadFrom(truncated).ok());
+}
+
+// ---- Streaming ingest ------------------------------------------------------
+
+TEST(QGramIndexTest, StreamingIngestWhileQueryingIsDeterministic) {
+  data::CatalogSpec spec;
+  spec.num_records = 400;
+  spec.num_queries = 10;
+  data::Catalog cat = data::GenerateCatalog(spec);
+
+  // Reference: all records added quietly.
+  IndexOptions opts;
+  opts.num_shards = 4;
+  QGramIndex reference(opts);
+  reference.AddBatch(cat.records);
+
+  // Contended: queries hammer the index while records stream in.
+  QGramIndex contended(opts);
+  std::atomic<bool> done{false};
+  std::thread querier([&] {
+    while (!done.load()) {
+      for (const std::string& q : cat.queries) {
+        auto top = contended.TopK(q, 10);  // must never crash or tear
+        for (size_t i = 1; i < top.size(); ++i) {
+          ASSERT_LE(top[i].score, top[i - 1].score);
+        }
+      }
+    }
+  });
+  constexpr size_t kChunk = 32;
+  for (size_t i = 0; i < cat.records.size(); i += kChunk) {
+    const size_t end = std::min(cat.records.size(), i + kChunk);
+    contended.AddBatch(std::vector<std::string>(cat.records.begin() + i,
+                                                cat.records.begin() + end));
+  }
+  done.store(true);
+  querier.join();
+
+  // Final state is independent of the query interleaving: identical TopK
+  // and identical serialized bytes.
+  for (const std::string& q : cat.queries) {
+    auto a = reference.TopK(q, 20);
+    auto b = contended.TopK(q, 20);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+  std::ostringstream sa, sb;
+  ASSERT_TRUE(reference.SaveTo(sa).ok());
+  ASSERT_TRUE(contended.SaveTo(sb).ok());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+// ---- Catalog generator -----------------------------------------------------
+
+TEST(GenerateCatalogTest, DeterministicAndWellFormed) {
+  data::CatalogSpec spec;
+  spec.num_records = 500;
+  spec.num_queries = 25;
+  data::Catalog a = data::GenerateCatalog(spec);
+  data::Catalog b = data::GenerateCatalog(spec);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.truth, b.truth);
+
+  ASSERT_EQ(a.records.size(), 500u);
+  ASSERT_EQ(a.queries.size(), 25u);
+  ASSERT_EQ(a.truth.size(), 25u);
+  for (int64_t t : a.truth) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 500);
+    EXPECT_FALSE(a.records[static_cast<size_t>(t)].empty());
+  }
+}
+
+// ---- Recall vs blocking ----------------------------------------------------
+
+TEST(QGramIndexTest, RecallAtKBeatsTokenBlocking) {
+  data::CatalogSpec spec;
+  spec.num_records = 2000;
+  spec.num_queries = 50;
+  data::Catalog cat = data::GenerateCatalog(spec);
+
+  constexpr int64_t kK = 50;
+  QGramIndex index;
+  index.AddBatch(cat.records);
+  int64_t index_hits = 0;
+  for (size_t q = 0; q < cat.queries.size(); ++q) {
+    for (const ScoredId& s : index.TopK(cat.queries[q], kK)) {
+      if (s.id == cat.truth[q]) {
+        ++index_hits;
+        break;
+      }
+    }
+  }
+
+  // Blocking baseline over the same corpus: serialized texts wrapped as
+  // single-attribute records, same per-query candidate budget.
+  data::Schema schema;
+  schema.attributes = {"text"};
+  auto wrap = [](const std::vector<std::string>& texts) {
+    std::vector<data::Record> records;
+    records.reserve(texts.size());
+    for (const std::string& t : texts) records.push_back(data::Record{{t}});
+    return records;
+  };
+  data::BlockerOptions bopts;
+  bopts.max_candidates_per_record = kK;
+  data::TokenBlocker blocker(bopts);
+  blocker.IndexRight(schema, wrap(cat.records));
+  auto candidates = blocker.Candidates(schema, wrap(cat.queries));
+  int64_t blocker_hits = 0;
+  for (size_t q = 0; q < cat.queries.size(); ++q) {
+    for (const auto& [left, right] : candidates) {
+      if (left == static_cast<int64_t>(q) && right == cat.truth[q]) {
+        ++blocker_hits;
+        break;
+      }
+    }
+  }
+
+  const double index_recall =
+      static_cast<double>(index_hits) / static_cast<double>(cat.queries.size());
+  const double blocker_recall = static_cast<double>(blocker_hits) /
+                                static_cast<double>(cat.queries.size());
+  EXPECT_GE(index_recall, blocker_recall);
+  EXPECT_GE(index_recall, 0.95);
+}
+
+// ---- CatalogMatcher (end-to-end with the serving engine) -------------------
+
+class CatalogMatcherTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kCacheDir = "/tmp/emx_zoo_retrieval_test";
+  static constexpr int64_t kSeqLen = 32;
+
+  static core::EntityMatcher* Matcher() {
+    static std::unique_ptr<core::EntityMatcher> matcher = [] {
+      pretrain::ZooOptions zoo;
+      zoo.cache_dir = kCacheDir;
+      zoo.vocab_size = 500;
+      zoo.corpus.num_documents = 150;
+      zoo.skip_pretraining = true;
+      auto bundle = pretrain::GetPretrained(models::Architecture::kBert, zoo);
+      EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+      auto m = std::make_unique<core::EntityMatcher>(std::move(bundle).value());
+      m->set_eval_max_seq_len(kSeqLen);
+      return m;
+    }();
+    return matcher.get();
+  }
+
+  static serve::EngineOptions EngineOpts() {
+    serve::EngineOptions opts;
+    opts.max_seq_len = kSeqLen;
+    opts.bucket_width = kSeqLen;
+    return opts;
+  }
+
+  static void TearDownTestSuite() { std::filesystem::remove_all(kCacheDir); }
+};
+
+TEST_F(CatalogMatcherTest, EndToEndAgreesWithBruteForce) {
+  data::CatalogSpec spec;
+  spec.num_records = 24;
+  spec.num_queries = 4;
+  data::Catalog cat = data::GenerateCatalog(spec);
+
+  serve::MatcherEngine engine(Matcher(), EngineOpts());
+  CatalogOptions copts;
+  copts.retrieve_k = spec.num_records;  // retrieval can't drop anyone
+  copts.rerank_k = spec.num_records;
+  copts.top_k = 1;
+  CatalogMatcher catalog(&engine, copts);
+  catalog.AddBatch(cat.records);
+  EXPECT_EQ(catalog.size(), 24);
+
+  for (const std::string& q : cat.queries) {
+    auto matches = catalog.FindMatches(q);
+    ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+    ASSERT_EQ(matches.value().size(), 1u);
+
+    // Brute force over the whole catalog on the unbatched grad-free path.
+    double best_p = -1;
+    for (const std::string& text : cat.records) {
+      best_p = std::max(best_p, Matcher()->MatchProbability(q, text));
+    }
+    // Micro-batch composition may flip last-bit float results, so compare
+    // probabilities with tolerance instead of demanding the same argmax.
+    EXPECT_NEAR(matches.value()[0].probability, best_p, 1e-4);
+  }
+}
+
+TEST_F(CatalogMatcherTest, FindMatchesIsSortedCountsAndTraced) {
+  serve::MatcherEngine engine(Matcher(), EngineOpts());
+  CatalogOptions copts;
+  copts.retrieve_k = 8;
+  copts.rerank_k = 8;
+  copts.top_k = 3;
+  CatalogMatcher catalog(&engine, copts);
+  catalog.Add("acer zen zx55 laptop silver 128 gb");
+  catalog.Add("acer zen zx56 laptop black 64 gb");
+  catalog.Add("dell vostro desktop tower");
+  catalog.Add("sony bravia television 55 inch");
+
+  auto matches = catalog.FindMatches("acer zx55 notebook silver");
+  ASSERT_TRUE(matches.ok());
+  ASSERT_LE(matches.value().size(), 3u);
+  ASSERT_GE(matches.value().size(), 1u);
+  for (size_t i = 1; i < matches.value().size(); ++i) {
+    EXPECT_GE(matches.value()[i - 1].probability,
+              matches.value()[i].probability);
+  }
+  for (const CatalogMatch& m : matches.value()) {
+    EXPECT_EQ(m.text, catalog.Text(m.id));
+    EXPECT_GT(m.retrieval_score, 0);
+  }
+  // The obs registry saw the query and the stage histograms.
+  const std::string json = catalog.registry()->ToJson();
+  EXPECT_NE(json.find("catalog.queries"), std::string::npos);
+  EXPECT_NE(json.find("catalog.retrieve_us"), std::string::npos);
+  EXPECT_NE(json.find("catalog.rerank_us"), std::string::npos);
+}
+
+TEST_F(CatalogMatcherTest, SaveLoadPreservesResults) {
+  const std::string path = "/tmp/emx_retrieval_test_catalog.bin";
+  serve::MatcherEngine engine(Matcher(), EngineOpts());
+  CatalogOptions copts;
+  copts.retrieve_k = 8;
+  copts.rerank_k = 4;
+  copts.top_k = 2;
+  CatalogMatcher catalog(&engine, copts);
+  data::CatalogSpec spec;
+  spec.num_records = 16;
+  spec.num_queries = 3;
+  data::Catalog cat = data::GenerateCatalog(spec);
+  catalog.AddBatch(cat.records);
+  ASSERT_TRUE(catalog.Save(path).ok());
+
+  auto loaded = CatalogMatcher::Load(path, &engine, copts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->size(), catalog.size());
+  for (const std::string& q : cat.queries) {
+    auto a = catalog.FindMatches(q);
+    auto b = loaded.value()->FindMatches(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().size(), b.value().size());
+    for (size_t i = 0; i < a.value().size(); ++i) {
+      EXPECT_EQ(a.value()[i].id, b.value()[i].id);
+      EXPECT_EQ(a.value()[i].text, b.value()[i].text);
+      EXPECT_EQ(a.value()[i].retrieval_score, b.value()[i].retrieval_score);
+      EXPECT_NEAR(a.value()[i].probability, b.value()[i].probability, 1e-4);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace emx

@@ -577,6 +577,43 @@ TEST(ServingMetricsTest, BatchHistogramKeepsSlotZeroAndMarksOverflow) {
   EXPECT_DOUBLE_EQ(v.Find("batch_overflow")->number, 1);
 }
 
+TEST(ServingMetricsTest, ConcurrentCompletionsAndSnapshotsAreClean) {
+  // The latency ring is lock-free: completions must never block behind a
+  // Snapshot() copying the window, and concurrent access must be TSan-clean
+  // (this test runs in the CI thread-sanitizer job). Every sample observed
+  // by any snapshot has to be a value some completion actually recorded.
+  ServingMetrics sm(/*max_batch_size=*/8);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&sm, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        sm.RecordCompletion(100.0 + w);  // values in {100, 101, 102, 103}
+      }
+    });
+  }
+  std::thread snapshotter([&sm, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot s = sm.Snapshot(/*queue_depth=*/0);
+      EXPECT_GE(s.p50_latency_us, 0.0);
+      EXPECT_LE(s.max_latency_us, 103.0);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  MetricsSnapshot s = sm.Snapshot(/*queue_depth=*/0);
+  EXPECT_EQ(s.completed, kWriters * kPerWriter);
+  // All 20000 completions outnumber the 8192-slot window, so the window is
+  // full and every slot holds one of the recorded values.
+  EXPECT_GE(s.p50_latency_us, 100.0);
+  EXPECT_LE(s.p99_latency_us, 103.0);
+}
+
 TEST(ServingMetricsTest, RegistryMigrationPreservesCounterMeaning) {
   // ServingMetrics now stores its counters in an emx::obs registry; the
   // snapshot and the registry export must agree value-for-value.
