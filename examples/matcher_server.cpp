@@ -6,7 +6,18 @@
 // engine's metrics snapshot — the JSON a real deployment would scrape.
 //
 //   ./matcher_server [--finetune] [--precision=int8] [--clients N]
-//                    [--requests N] [--trace=out.json] [cache_dir]
+//                    [--requests N] [--trace=out.json] [--port=N]
+//                    [--serve-seconds=S] [cache_dir]
+//
+// --port=N switches to socket mode: instead of simulating in-process
+// traffic, the engine is exposed on 127.0.0.1:N over the emx wire protocol
+// (net::MatchServer). --port=0 asks the kernel for an ephemeral port and
+// prints the assignment, so scripts can run many servers without port
+// bookkeeping. Bind/listen failures are reported with the syscall and
+// errno text (via util::Status) and exit nonzero. The server answers a
+// loopback self-check through a FleetRouter first, then serves until
+// SIGINT/SIGTERM — or for --serve-seconds=S when given, which is what CI
+// uses.
 //
 // --trace=PATH records the simulated traffic with emx::obs and writes a
 // chrome://tracing / Perfetto-loadable trace to PATH; both the trace and
@@ -21,6 +32,8 @@
 // held-out validation slice) and serves the simulated traffic through BOTH
 // engines — fp32 and int8 — printing their metrics side by side.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -30,6 +43,8 @@
 
 #include "core/entity_matcher.h"
 #include "data/generators.h"
+#include "net/fleet_router.h"
+#include "net/match_server.h"
 #include "nn/layers.h"
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -38,6 +53,78 @@
 #include "serve/matcher_engine.h"
 
 namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+/// Socket mode: exposes `matcher` on 127.0.0.1:`port` over the wire
+/// protocol, answers a loopback self-check through a FleetRouter, then
+/// serves until SIGINT/SIGTERM (or for `serve_seconds` when > 0). Returns
+/// the process exit code; bind/listen failures are printed with their
+/// errno text.
+int ServeSocket(emx::core::EntityMatcher* matcher, uint16_t port,
+                int64_t serve_seconds) {
+  using namespace emx;
+  serve::EngineOptions eopts;
+  eopts.max_batch_size = 16;
+  eopts.max_wait_us = 2000;
+  eopts.queue_capacity = 1024;
+  eopts.max_seq_len = 48;
+  serve::MatcherEngine engine(matcher, eopts);
+
+  net::ServerOptions sopts;
+  sopts.port = port;
+  net::MatchServer server(&engine, sopts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (requested port %u)\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned>(port));
+
+  // Loopback self-check: route one pair through a real socket client so a
+  // green start-up line means the full wire path works, not just bind().
+  {
+    net::RouterOptions ropts;
+    ropts.hedging = false;
+    net::FleetRouter router(ropts);
+    if (Status s = router.AddRemoteShard(server.port()); !s.ok()) {
+      std::printf("error: self-check connect: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const net::RouteResult r =
+        router.Match("logitech wireless mouse m185 grey",
+                     "logitech m185 mouse wireless", /*timeout_us=*/10000000);
+    if (!r.status.ok()) {
+      std::printf("error: self-check request: %s\n",
+                  r.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("self-check ok: %s p=%.3f (%.1f ms over loopback)\n",
+                r.is_match ? "MATCH" : "no match", r.probability,
+                r.total_us / 1000.0);
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(serve_seconds);
+  if (serve_seconds > 0) {
+    std::printf("serving for %lld seconds...\n",
+                static_cast<long long>(serve_seconds));
+  } else {
+    std::printf("serving until SIGINT/SIGTERM...\n");
+  }
+  while (!g_stop.load() &&
+         (serve_seconds <= 0 || std::chrono::steady_clock::now() < stop_at)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("\nmetrics: %s\n", server.MetricsJson().c_str());
+  return 0;
+}
 
 struct TrafficResult {
   double pairs_per_sec = 0;
@@ -132,6 +219,9 @@ int main(int argc, char** argv) {
 
   bool finetune = false;
   bool int8 = false;
+  bool socket_mode = false;
+  int64_t port = 0;
+  int64_t serve_seconds = 0;
   int64_t clients = 4;
   int64_t requests = 200;
   std::string trace_path;
@@ -139,6 +229,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--finetune") == 0) {
       finetune = true;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      socket_mode = true;
+      port = std::atoll(argv[i] + 7);
+      if (port < 0 || port > 65535) {
+        std::printf("error: --port=%lld out of range [0, 65535]\n",
+                    static_cast<long long>(port));
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::atoll(argv[i] + 16);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
@@ -211,7 +311,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(report.value().calibration_pairs));
   }
 
-  // 3. A few interactive-style requests. With int8 enabled, show both
+  // 3. Socket mode: expose the engine on a TCP port instead of simulating
+  //    in-process traffic.
+  if (socket_mode) {
+    return ServeSocket(&matcher, static_cast<uint16_t>(port), serve_seconds);
+  }
+
+  // 4. A few interactive-style requests. With int8 enabled, show both
   //    precisions' probabilities for the same pair.
   struct Demo {
     const char* a;
@@ -242,7 +348,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. Simulated traffic through the engine(s), optionally traced.
+  // 5. Simulated traffic through the engine(s), optionally traced.
   std::printf("\nServing %lld requests from %lld client threads...\n",
               static_cast<long long>(requests * clients),
               static_cast<long long>(clients));

@@ -1,0 +1,151 @@
+#ifndef EMX_NET_MATCH_SERVER_H_
+#define EMX_NET_MATCH_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "serve/matcher_engine.h"
+#include "util/status.h"
+
+namespace emx {
+namespace net {
+
+struct ServerOptions {
+  /// TCP port to bind on loopback; 0 asks the kernel for an ephemeral port
+  /// (read the result from MatchServer::port()), so parallel tests never
+  /// collide.
+  uint16_t port = 0;
+  /// A connection stalled mid-frame for longer than this is dropped
+  /// (slow-loris defense). Counted in `net.read_timeouts`.
+  int read_timeout_ms = 5000;
+  /// poll() tick; bounds Stop() latency and timeout-scan granularity.
+  int poll_interval_ms = 20;
+  /// Accepted connections beyond this are closed immediately.
+  size_t max_connections = 256;
+  /// Minimum per-response service time (µs), enforced serially on the
+  /// response path. Emulates a fixed-capacity model backend so fleet
+  /// benches get a defined per-shard service rate on small CI hosts, and
+  /// doubles as the straggler injector (10x the fleet value = one slow
+  /// shard). 0 = disabled.
+  int64_t artificial_service_us = 0;
+};
+
+/// A poll-based TCP server exposing one MatcherEngine shard over the emx
+/// wire protocol (see wire.h).
+///
+/// Threads: one poll thread owns accept + all reads (non-blocking fds, one
+/// FrameBuffer per connection) and submits decoded requests to the engine;
+/// one completion thread resolves the engine futures in FIFO order and
+/// writes responses. Connections are pipelined: a client may have any
+/// number of requests outstanding and correlates responses by trace id.
+/// Malformed frames (bad magic, oversized length prefix, corrupt fields)
+/// close the offending connection and never crash the server; stalled
+/// mid-frame connections are reaped after `read_timeout_ms`.
+class MatchServer {
+ public:
+  /// `engine` must outlive the server and must not be Shutdown() while the
+  /// server is running (Stop() the server first).
+  MatchServer(serve::MatcherEngine* engine, const ServerOptions& options = {});
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Binds, listens, and starts the serving threads. Bind/listen failures
+  /// come back as a Status carrying the syscall and errno text.
+  Status Start();
+
+  /// Stops serving and closes every connection. Idempotent; also run by
+  /// the destructor. Requests already submitted to the engine are resolved
+  /// (their responses are written when the connection is still open).
+  void Stop();
+
+  /// The actually-bound port (after Start(); meaningful with port = 0).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// {"server": {<net.* counters>}, "engine": {<engine metrics>}} — the
+  /// same document a stats probe returns on the wire.
+  std::string MetricsJson() const;
+
+  /// Server-side counters (net.accepted, net.requests, net.bad_frames,
+  /// net.read_timeouts, ...). The engine keeps its own registry.
+  obs::MetricsRegistry* registry() { return &registry_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    explicit Conn(Socket s) : sock(std::move(s)) {}
+    Socket sock;
+    FrameBuffer frames;
+    /// When the currently-buffered partial frame started arriving;
+    /// Clock::time_point::max() when no partial frame is pending.
+    Clock::time_point partial_since = Clock::time_point::max();
+    std::atomic<bool> closed{false};
+    std::mutex write_mu;  // poll thread (stats) vs completion thread
+  };
+
+  struct Pending {
+    std::shared_ptr<Conn> conn;
+    uint64_t trace_id = 0;
+    Clock::time_point received;
+    std::future<serve::MatchResult> future;
+  };
+
+  void PollLoop();
+  void CompletionLoop();
+  /// Drains complete frames from `conn`; returns false when the connection
+  /// must be closed (protocol damage).
+  bool DrainFrames(const std::shared_ptr<Conn>& conn, Clock::time_point now);
+  void HandleRequest(const std::shared_ptr<Conn>& conn,
+                     const MatchRequest& req, Clock::time_point now);
+  void WriteResponse(const std::shared_ptr<Conn>& conn,
+                     const MatchResponse& resp);
+
+  serve::MatcherEngine* engine_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+  Socket listener_;
+
+  obs::MetricsRegistry registry_;
+  obs::Counter* accepted_;
+  obs::Counter* requests_;
+  obs::Counter* responses_;
+  obs::Counter* bad_frames_;
+  obs::Counter* read_timeouts_;
+  obs::Counter* send_errors_;
+  obs::Counter* stats_probes_;
+  obs::Counter* hedge_requests_;
+  obs::Gauge* open_connections_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread poll_thread_;
+  std::thread completion_thread_;
+
+  std::map<int, std::shared_ptr<Conn>> conns_;  // poll thread only
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace net
+}  // namespace emx
+
+#endif  // EMX_NET_MATCH_SERVER_H_

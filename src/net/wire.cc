@@ -1,0 +1,219 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace emx {
+namespace net {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Sequential strict reader over one payload. Every Get* checks bounds and
+/// latches the first failure; callers check ok() once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  uint8_t GetU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    const uint32_t n = GetU32();
+    if (!Require(n)) return std::string();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// The frame is complete by construction (FrameBuffer already matched the
+/// length prefix), so a short or overlong body is corruption, not "wait for
+/// more bytes".
+Status CheckDone(const Reader& r, const char* what) {
+  if (!r.ok()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " payload truncated mid-field");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeRequest(const MatchRequest& req, std::string* out) {
+  const size_t prefix_at = out->size();
+  PutU32(out, 0);  // patched below
+  const size_t payload_at = out->size();
+  PutU32(out, kRequestMagic);
+  PutU64(out, req.trace_id);
+  PutU64(out, req.deadline_us);
+  PutU32(out, req.flags);
+  PutString(out, req.text_a);
+  PutString(out, req.text_b);
+  const uint32_t len = static_cast<uint32_t>(out->size() - payload_at);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[prefix_at + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+void EncodeResponse(const MatchResponse& resp, std::string* out) {
+  const size_t prefix_at = out->size();
+  PutU32(out, 0);  // patched below
+  const size_t payload_at = out->size();
+  PutU32(out, kResponseMagic);
+  PutU64(out, resp.trace_id);
+  PutU32(out, static_cast<uint32_t>(resp.code));
+  PutString(out, resp.message);
+  PutF64(out, resp.probability);
+  PutU8(out, resp.is_match ? 1 : 0);
+  PutF64(out, resp.queue_us);
+  PutF64(out, resp.infer_us);
+  PutF64(out, resp.server_us);
+  PutU32(out, resp.batch_size);
+  PutString(out, resp.stats_json);
+  const uint32_t len = static_cast<uint32_t>(out->size() - payload_at);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[prefix_at + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+Result<MatchRequest> DecodeRequest(std::string_view payload) {
+  Reader r(payload);
+  if (r.GetU32() != kRequestMagic) {
+    return Status::InvalidArgument("bad request magic");
+  }
+  MatchRequest req;
+  req.trace_id = r.GetU64();
+  req.deadline_us = r.GetU64();
+  req.flags = r.GetU32();
+  req.text_a = r.GetString();
+  req.text_b = r.GetString();
+  EMX_RETURN_IF_ERROR(CheckDone(r, "request"));
+  return req;
+}
+
+Result<MatchResponse> DecodeResponse(std::string_view payload) {
+  Reader r(payload);
+  if (r.GetU32() != kResponseMagic) {
+    return Status::InvalidArgument("bad response magic");
+  }
+  MatchResponse resp;
+  resp.trace_id = r.GetU64();
+  const uint32_t code = r.GetU32();
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  resp.message = r.GetString();
+  resp.probability = r.GetF64();
+  resp.is_match = r.GetU8() != 0;
+  resp.queue_us = r.GetF64();
+  resp.infer_us = r.GetF64();
+  resp.server_us = r.GetF64();
+  resp.batch_size = r.GetU32();
+  resp.stats_json = r.GetString();
+  EMX_RETURN_IF_ERROR(CheckDone(r, "response"));
+  return resp;
+}
+
+Status FrameBuffer::Next(std::string_view* payload, bool* complete) {
+  *complete = false;
+  if (!poisoned_.ok()) return poisoned_;
+  if (buf_.size() < 4) return Status::OK();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[i])) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    poisoned_ = Status::InvalidArgument(
+        "frame length " + std::to_string(len) + " exceeds limit " +
+        std::to_string(kMaxFrameBytes));
+    return poisoned_;
+  }
+  if (buf_.size() - 4 < len) return Status::OK();  // incomplete: wait
+  current_.assign(buf_, 4, len);
+  buf_.erase(0, 4 + static_cast<size_t>(len));
+  *payload = current_;
+  *complete = true;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace emx

@@ -1,0 +1,125 @@
+#ifndef EMX_NET_WIRE_H_
+#define EMX_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace emx {
+namespace net {
+
+// The emx fleet wire protocol: length-prefixed little-endian binary frames.
+//
+//   frame    := u32 payload_len | payload
+//   payload  := u32 magic | body
+//
+// Every integer is little-endian at fixed width; strings are u32 length +
+// raw bytes (no terminator). Two payload kinds exist, distinguished by
+// magic:
+//
+//   request  (magic "EMRQ"):
+//     u64 trace_id        correlates the response on a pipelined connection
+//     u64 deadline_us     remaining budget, 0 = none (relative, not a wall
+//                         clock, so it survives clock skew between hosts)
+//     u32 flags           bit 0 = hedge duplicate, bit 1 = stats probe
+//     str text_a, text_b  the entity pair (empty for stats probes)
+//
+//   response (magic "EMRS"):
+//     u64 trace_id
+//     u32 status_code     emx::StatusCode numeric value
+//     str status_message
+//     f64 probability     P(match)
+//     u8  is_match
+//     f64 queue_us        engine submit -> micro-batch formation
+//     f64 infer_us        engine submit -> completion
+//     f64 server_us       server frame-received -> response-encoded
+//     u32 batch_size      micro-batch this request was served in
+//     str stats_json      non-empty only for stats-probe responses
+//
+// The parser is strict: a length prefix above kMaxFrameBytes, a payload
+// shorter than its own field lengths, or an unknown magic all produce an
+// error status (the connection should be dropped); a prefix whose bytes
+// simply have not arrived yet is "incomplete", not an error.
+
+/// Hard ceiling on a frame payload. Anything larger is a protocol error
+/// (entity pairs are short strings; this bounds per-connection buffering).
+inline constexpr uint32_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+inline constexpr uint32_t kRequestMagic = 0x51524D45u;   // "EMRQ" LE
+inline constexpr uint32_t kResponseMagic = 0x53524D45u;  // "EMRS" LE
+
+/// Request flag bits.
+inline constexpr uint32_t kFlagHedge = 1u << 0;
+inline constexpr uint32_t kFlagStats = 1u << 1;
+
+struct MatchRequest {
+  uint64_t trace_id = 0;
+  /// Remaining deadline budget in microseconds; 0 = no deadline.
+  uint64_t deadline_us = 0;
+  uint32_t flags = 0;
+  std::string text_a;
+  std::string text_b;
+
+  bool is_hedge() const { return (flags & kFlagHedge) != 0; }
+  bool is_stats_probe() const { return (flags & kFlagStats) != 0; }
+};
+
+struct MatchResponse {
+  uint64_t trace_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  double probability = 0;
+  bool is_match = false;
+  /// Per-stage timings (µs): engine queueing, engine total, and the
+  /// server-side recv->send wall time that wraps them.
+  double queue_us = 0;
+  double infer_us = 0;
+  double server_us = 0;
+  uint32_t batch_size = 0;
+  /// Metrics JSON for stats-probe responses; empty otherwise.
+  std::string stats_json;
+
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+};
+
+/// Appends a complete frame (length prefix + payload) to `out`.
+void EncodeRequest(const MatchRequest& req, std::string* out);
+void EncodeResponse(const MatchResponse& resp, std::string* out);
+
+/// Decodes one payload (the bytes *after* the length prefix). Strict: every
+/// byte must be consumed, lengths must fit, magic must match.
+Result<MatchRequest> DecodeRequest(std::string_view payload);
+Result<MatchResponse> DecodeResponse(std::string_view payload);
+
+/// Incremental frame assembler for a byte stream. Feed arriving bytes with
+/// Append(); Next() yields complete payloads in order. A malformed length
+/// prefix poisons the buffer (every later Next() returns the same error) —
+/// the owner must drop the connection, there is no way to resynchronize a
+/// corrupt length-prefixed stream.
+class FrameBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// True when at least a partial frame is buffered (bytes awaiting more).
+  bool has_partial() const { return !buf_.empty(); }
+  size_t buffered_bytes() const { return buf_.size(); }
+
+  /// On a complete frame: sets *payload (valid until the next Append/Next
+  /// call) and returns OK with *complete = true. When bytes are missing:
+  /// OK with *complete = false. On protocol damage: an error status.
+  Status Next(std::string_view* payload, bool* complete);
+
+ private:
+  std::string buf_;
+  std::string current_;  // backing storage for the last yielded payload
+  Status poisoned_;
+};
+
+}  // namespace net
+}  // namespace emx
+
+#endif  // EMX_NET_WIRE_H_

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "obs/json.h"
@@ -168,35 +171,55 @@ void ClearTrace() {
   s->dropped.store(0, std::memory_order_relaxed);
 }
 
-std::string ExportChromeTrace() {
+bool TraceExporter::ExportTo(std::ostream& os) {
   TraceState* s = State();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     std::lock_guard<std::mutex> lock(s->mu);
     buffers = s->buffers;
   }
-  std::string out = "{\"traceEvents\": [";
+  // Buffer lengths are sampled once up front so the flush boundaries see a
+  // stable view even while owner threads keep appending.
+  std::vector<size_t> counts(buffers.size());
+  for (size_t b = 0; b < buffers.size(); ++b) {
+    counts[b] = buffers[b]->count.load(std::memory_order_acquire);
+  }
+
+  std::string chunk = "{\"traceEvents\": [";
   bool first = true;
-  for (const auto& b : buffers) {
-    const size_t n = b->count.load(std::memory_order_acquire);
-    for (size_t i = 0; i < n; ++i) {
-      if (!first) out += ",\n";
+  for (size_t b = 0; b < buffers.size(); ++b) {
+    for (size_t i = 0; i < counts[b]; ++i) {
+      if (!first) chunk += ",\n";
       first = false;
-      AppendEventJson(&out, b->events[i], b->tid);
+      AppendEventJson(&chunk, buffers[b]->events[i], buffers[b]->tid);
+      if (chunk.size() >= chunk_bytes_) {
+        os.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        if (!os.good()) return false;
+        chunk.clear();
+      }
     }
   }
-  out += "],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped\": " +
-         std::to_string(TraceDroppedCount()) + "}}\n";
-  return out;
+  chunk += "],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped\": " +
+           std::to_string(TraceDroppedCount()) + "}}\n";
+  os.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  os.flush();
+  return os.good();
+}
+
+std::string ExportChromeTrace() {
+  std::ostringstream os;
+  TraceExporter exporter;
+  exporter.ExportTo(os);
+  return std::move(os).str();
 }
 
 bool WriteChromeTrace(const std::string& path) {
-  const std::string json = ExportChromeTrace();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool ok = (std::fclose(f) == 0) && written == json.size();
-  return ok;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  TraceExporter exporter;
+  if (!exporter.ExportTo(out)) return false;
+  out.close();
+  return out.good();
 }
 
 size_t TraceEventCount() {

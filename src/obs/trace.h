@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <iosfwd>
 #include <string>
 #include <utility>
 
@@ -52,12 +53,33 @@ void StopProfiling();
 /// while profiling is stopped.
 void ClearTrace();
 
-/// Serializes every buffered event as a chrome://tracing JSON document:
-///   {"traceEvents": [{"name", "ph", "ts", "dur", "pid", "tid", ...}, ...]}
-/// Safe to call while other threads are still recording (they may add
-/// events that this export does not see).
+/// Streams every buffered event as a chrome://tracing JSON document in
+/// bounded chunks: events are serialized into an internal buffer that is
+/// flushed to the stream whenever it crosses `chunk_bytes`, so a full
+/// fleet load-test recording (hundreds of MB of spans) never builds one
+/// giant string. Safe to run while other threads are still recording
+/// (they may add events the export does not see).
+class TraceExporter {
+ public:
+  /// `chunk_bytes` bounds the in-memory buffer between flushes (the last
+  /// event started before the bound may run over by one event's length).
+  explicit TraceExporter(size_t chunk_bytes = size_t{1} << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  /// Writes the complete document:
+  ///   {"traceEvents": [{"name", "ph", "ts", "dur", "pid", "tid", ...}, ..]}
+  /// Returns false when the stream failed mid-write.
+  bool ExportTo(std::ostream& os);
+
+ private:
+  const size_t chunk_bytes_;
+};
+
+/// One-string convenience wrapper over TraceExporter (small traces only —
+/// the result holds the whole document).
 std::string ExportChromeTrace();
-/// ExportChromeTrace to a file; returns false on I/O failure.
+/// Streams the trace straight to a file via TraceExporter (never builds
+/// the full document in memory); returns false on I/O failure.
 bool WriteChromeTrace(const std::string& path);
 
 /// Total buffered events across all threads (acquire-loaded).

@@ -36,6 +36,59 @@ bool HasReadyInt8Backends(core::EntityMatcher* matcher) {
 
 }  // namespace
 
+Status ValidateEngineOptions(const EngineOptions& options) {
+  if (options.max_batch_size <= 0) {
+    return Status::InvalidArgument("max_batch_size must be positive, got " +
+                                   std::to_string(options.max_batch_size));
+  }
+  if (options.max_wait_us <= 0) {
+    return Status::InvalidArgument("max_wait_us must be positive, got " +
+                                   std::to_string(options.max_wait_us));
+  }
+  if (options.queue_capacity <= 0) {
+    return Status::InvalidArgument("queue_capacity must be positive, got " +
+                                   std::to_string(options.queue_capacity));
+  }
+  if (options.max_seq_len <= 0) {
+    return Status::InvalidArgument("max_seq_len must be positive, got " +
+                                   std::to_string(options.max_seq_len));
+  }
+  if (options.bucket_width <= 0) {
+    return Status::InvalidArgument("bucket_width must be positive, got " +
+                                   std::to_string(options.bucket_width));
+  }
+  if (options.cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must not be negative, "
+                                   "got " +
+                                   std::to_string(options.cache_capacity));
+  }
+  if (options.default_timeout_us < 0) {
+    return Status::InvalidArgument(
+        "default_timeout_us must not be negative, got " +
+        std::to_string(options.default_timeout_us));
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive, got " +
+                                   std::to_string(options.num_workers));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MatcherEngine>> MatcherEngine::Create(
+    core::EntityMatcher* matcher, const EngineOptions& options) {
+  if (matcher == nullptr) {
+    return Status::InvalidArgument("matcher must not be null");
+  }
+  EMX_RETURN_IF_ERROR(ValidateEngineOptions(options));
+  if (options.precision == Precision::kInt8 &&
+      !HasReadyInt8Backends(matcher)) {
+    return Status::InvalidArgument(
+        "precision = kInt8 but the matcher has no frozen int8 backends; "
+        "run quant::QuantizeMatcher (or LoadQuantized) first");
+  }
+  return std::make_unique<MatcherEngine>(matcher, options);
+}
+
 MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
                              const EngineOptions& options)
     : matcher_(matcher),
@@ -45,11 +98,12 @@ MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
       metrics_(options.max_batch_size),
       paused_(options.start_paused) {
   EMX_CHECK(matcher != nullptr);
-  EMX_CHECK_GT(options_.max_batch_size, 0);
-  EMX_CHECK_GT(options_.max_wait_us, 0);
-  EMX_CHECK_GT(options_.queue_capacity, 0);
-  EMX_CHECK_GT(options_.bucket_width, 0);
-  EMX_CHECK_GT(options_.num_workers, 0);
+  {
+    const Status valid = ValidateEngineOptions(options_);
+    EMX_CHECK(valid.ok()) << valid.ToString()
+                          << " (use MatcherEngine::Create for a "
+                             "non-aborting Status)";
+  }
   if (options_.precision == Precision::kInt8) {
     EMX_CHECK(HasReadyInt8Backends(matcher))
         << "EngineOptions::precision = kInt8 but the matcher has no frozen "

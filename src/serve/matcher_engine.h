@@ -64,6 +64,14 @@ struct EngineOptions {
   Precision precision = Precision::kFp32;
 };
 
+/// Checks every EngineOptions field at construction time: non-positive
+/// queue capacity, worker count, batch size, wait, bucket width or seq-len
+/// budget, and negative cache capacity or default deadline all come back
+/// as InvalidArgument naming the offending field — instead of a worker
+/// that spins, a queue that rejects everything, or a divide-by-zero deep
+/// in the batcher at runtime.
+Status ValidateEngineOptions(const EngineOptions& options);
+
 /// Outcome of one serving request.
 struct MatchResult {
   /// OK, DeadlineExceeded (deadline passed while queued), ResourceExhausted
@@ -103,6 +111,13 @@ class MatcherEngine {
   explicit MatcherEngine(core::EntityMatcher* matcher,
                          const EngineOptions& options = {});
   ~MatcherEngine();
+
+  /// Validating factory: returns InvalidArgument (see
+  /// ValidateEngineOptions) instead of aborting on bad options, for
+  /// callers wiring engines from config files or network input. The plain
+  /// constructor EMX_CHECKs the same conditions.
+  static Result<std::unique_ptr<MatcherEngine>> Create(
+      core::EntityMatcher* matcher, const EngineOptions& options = {});
 
   MatcherEngine(const MatcherEngine&) = delete;
   MatcherEngine& operator=(const MatcherEngine&) = delete;

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -383,6 +384,53 @@ TEST_F(TraceTest, LazyArgsOnlyRunWhenEnabled) {
   }
   StopProfiling();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(TraceTest, StreamingExportMatchesStringExport) {
+  StartProfiling();
+  for (int i = 0; i < 200; ++i) {
+    EMX_TRACE_SPAN("span", [i] { return KeyValues({{"i", i}}); });
+    TraceInstant("tick");
+  }
+  StopProfiling();
+
+  const std::string whole = ExportChromeTrace();
+
+  // A tiny chunk size forces many flushes; the bytes must be identical to
+  // the one-string export and still strictly parse.
+  TraceExporter exporter(/*chunk_bytes=*/64);
+  std::ostringstream streamed;
+  ASSERT_TRUE(exporter.ExportTo(streamed));
+  EXPECT_EQ(streamed.str(), whole);
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonParse(streamed.str(), &v, &error)) << error;
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  EXPECT_EQ(events->array.size(), 400u);
+}
+
+TEST_F(TraceTest, StreamingExportReportsStreamFailure) {
+  StartProfiling();
+  TraceInstant("one");
+  StopProfiling();
+  std::ostringstream os;
+  os.setstate(std::ios::failbit);
+  TraceExporter exporter;
+  EXPECT_FALSE(exporter.ExportTo(os));
+}
+
+TEST_F(TraceTest, StreamingExportOfEmptyBufferIsValidJson) {
+  TraceExporter exporter(/*chunk_bytes=*/16);
+  std::ostringstream os;
+  ASSERT_TRUE(exporter.ExportTo(os));
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonParse(os.str(), &v, &error)) << error << "\n" << os.str();
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  EXPECT_TRUE(events->array.empty());
 }
 
 }  // namespace

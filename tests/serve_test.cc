@@ -703,6 +703,111 @@ TEST_F(ServeFixture, ConcurrentSubmittersHammer) {
   EXPECT_GT(m.cache_hits, 0);
 }
 
+// ---- EngineOptions validation ----------------------------------------------
+
+TEST(ValidateEngineOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateEngineOptions(EngineOptions{}).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveMaxBatchSize) {
+  EngineOptions opts;
+  opts.max_batch_size = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("max_batch_size"), std::string::npos)
+      << st.ToString();
+  opts.max_batch_size = -4;
+  EXPECT_FALSE(ValidateEngineOptions(opts).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveMaxWait) {
+  EngineOptions opts;
+  opts.max_wait_us = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("max_wait_us"), std::string::npos);
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveQueueCapacity) {
+  EngineOptions opts;
+  opts.queue_capacity = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("queue_capacity"), std::string::npos);
+  opts.queue_capacity = -1;
+  EXPECT_FALSE(ValidateEngineOptions(opts).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveMaxSeqLen) {
+  EngineOptions opts;
+  opts.max_seq_len = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("max_seq_len"), std::string::npos);
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveBucketWidth) {
+  EngineOptions opts;
+  opts.bucket_width = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("bucket_width"), std::string::npos);
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNegativeCacheCapacity) {
+  EngineOptions opts;
+  opts.cache_capacity = -1;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("cache_capacity"), std::string::npos);
+  opts.cache_capacity = 0;  // disabled cache is allowed
+  EXPECT_TRUE(ValidateEngineOptions(opts).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNegativeDefaultTimeout) {
+  EngineOptions opts;
+  opts.default_timeout_us = -5;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("default_timeout_us"), std::string::npos);
+  opts.default_timeout_us = 0;  // "no deadline" is allowed
+  EXPECT_TRUE(ValidateEngineOptions(opts).ok());
+}
+
+TEST(ValidateEngineOptionsTest, RejectsNonPositiveNumWorkers) {
+  EngineOptions opts;
+  opts.num_workers = 0;
+  Status st = ValidateEngineOptions(opts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("num_workers"), std::string::npos);
+}
+
+TEST_F(ServeFixture, CreateReturnsStatusInsteadOfAborting) {
+  EngineOptions opts = BaseOptions();
+  opts.queue_capacity = 0;
+  auto bad = MatcherEngine::Create(Matcher(), opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto none = MatcherEngine::Create(nullptr, BaseOptions());
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+
+  auto good = MatcherEngine::Create(Matcher(), BaseOptions());
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  MatchResult r =
+      good.value()->Match("dell xps 13 laptop", "dell xps13 notebook");
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+}
+
+TEST_F(ServeFixture, CreateRejectsInt8WithoutQuantizedBackends) {
+  EngineOptions opts = BaseOptions();
+  opts.precision = Precision::kInt8;
+  auto engine = MatcherEngine::Create(Matcher(), opts);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace emx
