@@ -7,7 +7,14 @@
 //
 //   ./matcher_server [--finetune] [--precision=int8] [--clients N]
 //                    [--requests N] [--trace=out.json] [--port=N]
-//                    [--serve-seconds=S] [cache_dir]
+//                    [--serve-seconds=S] [--split-layer=N]
+//                    [--activation-cache-mb=M] [cache_dir]
+//
+// --split-layer=N serves through the split-encoder prefix cache: the first
+// N encoder layers run per entity segment (cached, keyed by entity text)
+// and only layers N..L run as the full cross-encoder. N=0 caches at the
+// embedding level and is bit-identical to the unsplit path.
+// --activation-cache-mb=M bounds the prefix cache (default 64 MB).
 //
 // --port=N switches to socket mode: instead of simulating in-process
 // traffic, the engine is exposed on 127.0.0.1:N over the emx wire protocol
@@ -64,13 +71,16 @@ void HandleStopSignal(int) { g_stop.store(true); }
 /// the process exit code; bind/listen failures are printed with their
 /// errno text.
 int ServeSocket(emx::core::EntityMatcher* matcher, uint16_t port,
-                int64_t serve_seconds) {
+                int64_t serve_seconds, int64_t split_layer,
+                int64_t activation_cache_bytes) {
   using namespace emx;
   serve::EngineOptions eopts;
   eopts.max_batch_size = 16;
   eopts.max_wait_us = 2000;
   eopts.queue_capacity = 1024;
   eopts.max_seq_len = 48;
+  eopts.split_layer = split_layer;
+  eopts.activation_cache_bytes = activation_cache_bytes;
   serve::MatcherEngine engine(matcher, eopts);
 
   net::ServerOptions sopts;
@@ -136,7 +146,8 @@ struct TrafficResult {
 TrafficResult RunTraffic(emx::core::EntityMatcher* matcher,
                          emx::serve::Precision precision,
                          const emx::data::EmDataset& dataset, int64_t clients,
-                         int64_t requests) {
+                         int64_t requests, int64_t split_layer,
+                         int64_t activation_cache_bytes) {
   using namespace emx;
   serve::EngineOptions opts;
   opts.precision = precision;
@@ -144,6 +155,8 @@ TrafficResult RunTraffic(emx::core::EntityMatcher* matcher,
   opts.max_wait_us = 2000;
   opts.queue_capacity = 1024;
   opts.max_seq_len = 48;
+  opts.split_layer = split_layer;
+  opts.activation_cache_bytes = activation_cache_bytes;
   serve::MatcherEngine engine(matcher, opts);
 
   const auto start = std::chrono::steady_clock::now();
@@ -224,6 +237,8 @@ int main(int argc, char** argv) {
   int64_t serve_seconds = 0;
   int64_t clients = 4;
   int64_t requests = 200;
+  int64_t split_layer = -1;
+  int64_t activation_cache_mb = 64;
   std::string trace_path;
   std::string cache_dir = "/tmp/emx_zoo_bench";
   for (int i = 1; i < argc; ++i) {
@@ -239,6 +254,20 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
       serve_seconds = std::atoll(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--split-layer=", 14) == 0) {
+      split_layer = std::atoll(argv[i] + 14);
+      if (split_layer < 0) {
+        std::printf("error: --split-layer=%lld must be >= 0\n",
+                    static_cast<long long>(split_layer));
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--activation-cache-mb=", 22) == 0) {
+      activation_cache_mb = std::atoll(argv[i] + 22);
+      if (activation_cache_mb < 0) {
+        std::printf("error: --activation-cache-mb=%lld must be >= 0\n",
+                    static_cast<long long>(activation_cache_mb));
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
@@ -314,7 +343,8 @@ int main(int argc, char** argv) {
   // 3. Socket mode: expose the engine on a TCP port instead of simulating
   //    in-process traffic.
   if (socket_mode) {
-    return ServeSocket(&matcher, static_cast<uint16_t>(port), serve_seconds);
+    return ServeSocket(&matcher, static_cast<uint16_t>(port), serve_seconds,
+                       split_layer, activation_cache_mb << 20);
   }
 
   // 4. A few interactive-style requests. With int8 enabled, show both
@@ -352,8 +382,9 @@ int main(int argc, char** argv) {
   std::printf("\nServing %lld requests from %lld client threads...\n",
               static_cast<long long>(requests * clients),
               static_cast<long long>(clients));
-  TrafficResult fp32 = RunTraffic(&matcher, serve::Precision::kFp32, dataset,
-                                  clients, requests);
+  TrafficResult fp32 =
+      RunTraffic(&matcher, serve::Precision::kFp32, dataset, clients, requests,
+                 split_layer, activation_cache_mb << 20);
   if (!int8) {
     std::printf("\nmetrics: %s\n", fp32.metrics.ToJson().c_str());
     if (!trace_path.empty() &&
@@ -363,8 +394,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  TrafficResult q = RunTraffic(&matcher, serve::Precision::kInt8, dataset,
-                               clients, requests);
+  TrafficResult q =
+      RunTraffic(&matcher, serve::Precision::kInt8, dataset, clients, requests,
+                 split_layer, activation_cache_mb << 20);
   std::printf("\n%-24s %12s %12s\n", "", "fp32", "int8");
   std::printf("%-24s %12.1f %12.1f\n", "pairs/sec", fp32.pairs_per_sec,
               q.pairs_per_sec);

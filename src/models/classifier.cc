@@ -49,6 +49,29 @@ Variable SequencePairClassifier::Logits(const Batch& batch, bool train,
   return out_.Forward(h);
 }
 
+Variable SequencePairClassifier::LogitsFromHidden(const Variable& hidden,
+                                                  const Tensor& mask,
+                                                  int64_t split_layer,
+                                                  bool train, Rng* rng) {
+  Variable full =
+      backbone_->EncodeFromLayer(hidden, mask, split_layer, train, rng);
+  Variable pooled = backbone_->PooledOutput(full, train, rng);
+  Variable h = ag::Tanh(dense_.Forward(pooled));
+  h = ag::Dropout(h, backbone_->config().dropout, train, rng);
+  return out_.Forward(h);
+}
+
+Variable SequencePairClassifier::LogitsSplit(const Batch& batch,
+                                             int64_t split_layer, bool train,
+                                             Rng* rng) {
+  Variable hidden =
+      backbone_->EncodeBatchSegmentLocal(batch, split_layer, train, rng);
+  Variable pooled = backbone_->PooledOutput(hidden, train, rng);
+  Variable h = ag::Tanh(dense_.Forward(pooled));
+  h = ag::Dropout(h, backbone_->config().dropout, train, rng);
+  return out_.Forward(h);
+}
+
 std::vector<int64_t> SequencePairClassifier::Predict(const Batch& batch,
                                                      Rng* rng) {
   NoGradGuard no_grad;  // prediction never back-propagates

@@ -26,6 +26,20 @@ class SequencePairClassifier : public nn::Module {
   /// Match logits [B, 2] for a tokenized entity-pair batch.
   Variable Logits(const Batch& batch, bool train, Rng* rng);
 
+  /// Match logits [B, 2] resuming from layer-`split_layer` hidden states
+  /// [B, T, H] (per-entity prefixes concatenated by the serving engine's
+  /// activation cache). Runs layers [split_layer, L), pooling, and the
+  /// head. Requires backbone()->SupportsSplitEncode().
+  Variable LogitsFromHidden(const Variable& hidden, const Tensor& mask,
+                            int64_t split_layer, bool train, Rng* rng);
+
+  /// Match logits [B, 2] with the split-encoder reference semantics:
+  /// layers [0, split_layer) run segment-locally (see
+  /// TransformerModel::EncodeBatchSegmentLocal). Equals Logits exactly at
+  /// split_layer = 0; used for ΔF1 ladders and cache golden tests.
+  Variable LogitsSplit(const Batch& batch, int64_t split_layer, bool train,
+                       Rng* rng);
+
   /// Predicted class (0 = no match, 1 = match) per pair.
   std::vector<int64_t> Predict(const Batch& batch, Rng* rng);
 

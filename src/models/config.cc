@@ -77,5 +77,27 @@ Tensor Batch::MakeMask(const std::vector<float>& flat_mask, int64_t b,
   return mask;
 }
 
+Tensor Batch::MakeSegmentLocalMask(const std::vector<float>& flat_mask,
+                                   const std::vector<int64_t>& segment_ids,
+                                   int64_t b, int64_t t) {
+  EMX_CHECK_EQ(static_cast<int64_t>(flat_mask.size()), b * t);
+  EMX_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), b * t);
+  Tensor mask = Tensor::Zeros({b, 1, t, t});
+  float* out = mask.data();
+  for (int64_t r = 0; r < b; ++r) {
+    const float* pad = flat_mask.data() + r * t;
+    const int64_t* seg = segment_ids.data() + r * t;
+    float* row = out + r * t * t;
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t j = 0; j < t; ++j) {
+        const bool blocked =
+            pad[i] != 0.0f || pad[j] != 0.0f || seg[i] != seg[j];
+        row[i * t + j] = blocked ? 1.0f : 0.0f;
+      }
+    }
+  }
+  return mask;
+}
+
 }  // namespace models
 }  // namespace emx

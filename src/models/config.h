@@ -82,6 +82,15 @@ struct Batch {
   /// Builds the [B,1,1,T] mask tensor from per-position pad flags.
   static Tensor MakeMask(const std::vector<float>& flat_mask, int64_t b,
                          int64_t t);
+
+  /// Builds the block-diagonal [B,1,T,T] mask for segment-local attention:
+  /// query position i may only attend to key position j when both are real
+  /// (pad flag 0) and carry the same segment id. The fused attention kernel
+  /// broadcasts the singleton head axis; 1.0 marks blocked entries, matching
+  /// MakeMask's convention.
+  static Tensor MakeSegmentLocalMask(const std::vector<float>& flat_mask,
+                                     const std::vector<int64_t>& segment_ids,
+                                     int64_t b, int64_t t);
 };
 
 }  // namespace models

@@ -38,10 +38,12 @@ EncoderModel::EncoderModel(const TransformerConfig& config, Rng* rng)
   }
 }
 
-Variable EncoderModel::Embed(const Batch& batch, bool train, Rng* rng) {
+Variable EncoderModel::Embed(const Batch& batch, bool train, Rng* rng,
+                             int64_t position_offset) {
   const int64_t b = batch.batch_size;
   const int64_t t = batch.seq_len;
-  EMX_CHECK_LE(t, config_.max_seq_len)
+  EMX_CHECK_GE(position_offset, 0);
+  EMX_CHECK_LE(position_offset + t, config_.max_seq_len)
       << "sequence length exceeds max_seq_len";
   EMX_CHECK_EQ(static_cast<int64_t>(batch.ids.size()), b * t);
 
@@ -50,7 +52,7 @@ Variable EncoderModel::Embed(const Batch& batch, bool train, Rng* rng) {
   std::vector<int64_t> positions(static_cast<size_t>(b * t));
   for (int64_t i = 0; i < b; ++i) {
     for (int64_t j = 0; j < t; ++j) {
-      positions[static_cast<size_t>(i * t + j)] = j;
+      positions[static_cast<size_t>(i * t + j)] = position_offset + j;
     }
   }
   x = ag::Add(x, position_embeddings_.Forward(positions, {b, t}));
@@ -69,6 +71,60 @@ Variable EncoderModel::EncodeBatch(const Batch& batch, bool train, Rng* rng) {
     x = layer->Forward(x, batch.attention_mask, config_.dropout, train, rng);
   }
   return x;
+}
+
+Variable EncoderModel::EncodeSegmentPrefix(const Batch& batch,
+                                           int64_t split_layer,
+                                           int64_t position_offset, Rng* rng) {
+  EMX_CHECK_GE(split_layer, 0);
+  EMX_CHECK_LE(split_layer, config_.num_layers);
+  // Inference-only: dropout off, so the cached prefix is deterministic.
+  Variable x = Embed(batch, /*train=*/false, rng, position_offset);
+  for (int64_t i = 0; i < split_layer; ++i) {
+    x = layers_[static_cast<size_t>(i)]->Forward(
+        x, batch.attention_mask, config_.dropout, /*train=*/false, rng);
+  }
+  return x;
+}
+
+Variable EncoderModel::EncodeFromLayer(const Variable& hidden,
+                                       const Tensor& mask, int64_t split_layer,
+                                       bool train, Rng* rng) {
+  EMX_CHECK_GE(split_layer, 0);
+  EMX_CHECK_LE(split_layer, config_.num_layers);
+  Variable x = hidden;
+  for (int64_t i = split_layer; i < config_.num_layers; ++i) {
+    x = layers_[static_cast<size_t>(i)]->Forward(x, mask, config_.dropout,
+                                                 train, rng);
+  }
+  return x;
+}
+
+Variable EncoderModel::EncodeBatchSegmentLocal(const Batch& batch,
+                                               int64_t split_layer, bool train,
+                                               Rng* rng) {
+  EMX_CHECK_GE(split_layer, 0);
+  EMX_CHECK_LE(split_layer, config_.num_layers);
+  Variable x = Embed(batch, train, rng);
+  if (split_layer > 0) {
+    // The pad mask arrives as [B,1,1,T]; rebuild per-position flags from it
+    // to form the block-diagonal segment-local mask.
+    const int64_t b = batch.batch_size;
+    const int64_t t = batch.seq_len;
+    std::vector<float> pad(static_cast<size_t>(b * t), 0.0f);
+    if (batch.attention_mask.size() > 0) {
+      EMX_CHECK_EQ(batch.attention_mask.size(), b * t);
+      std::copy(batch.attention_mask.data(),
+                batch.attention_mask.data() + b * t, pad.begin());
+    }
+    Tensor local =
+        Batch::MakeSegmentLocalMask(pad, batch.segment_ids, b, t);
+    for (int64_t i = 0; i < split_layer; ++i) {
+      x = layers_[static_cast<size_t>(i)]->Forward(x, local, config_.dropout,
+                                                   train, rng);
+    }
+  }
+  return EncodeFromLayer(x, batch.attention_mask, split_layer, train, rng);
 }
 
 Variable EncoderModel::PooledOutput(const Variable& hidden, bool train,

@@ -50,8 +50,25 @@ class EncoderModel : public TransformerModel {
   void set_dropout(float p) override { config_.dropout = p; }
 
   /// Embedding sum (token [+ position] [+ segment]) then LN + dropout;
-  /// exposed for the distillation trainer.
-  Variable Embed(const Batch& batch, bool train, Rng* rng);
+  /// exposed for the distillation trainer. `position_offset` shifts the
+  /// learned position ids (row j embeds position `position_offset + j`) so
+  /// a segment encoded in isolation lands on the same absolute positions it
+  /// would occupy inside a concatenated pair.
+  Variable Embed(const Batch& batch, bool train, Rng* rng,
+                 int64_t position_offset = 0);
+
+  /// Split-encoder entry points (see TransformerModel): embeddings are
+  /// per-token and layers [0, k) see only same-segment keys, so per-entity
+  /// prefixes computed here concatenate into exactly the hidden states the
+  /// segment-local pair forward produces — and at k = 0 into the ordinary
+  /// EncodeBatch states bit-for-bit.
+  bool SupportsSplitEncode() const override { return true; }
+  Variable EncodeSegmentPrefix(const Batch& batch, int64_t split_layer,
+                               int64_t position_offset, Rng* rng) override;
+  Variable EncodeFromLayer(const Variable& hidden, const Tensor& mask,
+                           int64_t split_layer, bool train, Rng* rng) override;
+  Variable EncodeBatchSegmentLocal(const Batch& batch, int64_t split_layer,
+                                   bool train, Rng* rng) override;
 
  private:
   TransformerConfig config_;

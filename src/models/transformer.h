@@ -45,6 +45,38 @@ class TransformerModel : public nn::Module {
   /// Adjusts the dropout probability (fine-tuning may use a different rate
   /// than pre-training).
   virtual void set_dropout(float p) = 0;
+
+  /// True when the backbone implements the split-encoder entry points
+  /// below (per-segment prefix encoding + resume-from-layer-k). The
+  /// serving engine's activation cache requires this; XLNet's two-stream
+  /// relative attention does not decompose this way and reports false.
+  virtual bool SupportsSplitEncode() const { return false; }
+
+  /// Runs embeddings (with token positions starting at `position_offset`)
+  /// plus encoder layers [0, split_layer) over a single-entity segment
+  /// batch. The batch carries one segment per row — no cross-segment
+  /// attention is possible, which is what makes the result cacheable per
+  /// entity. Inference-only (no dropout). Default aborts; gate on
+  /// SupportsSplitEncode().
+  virtual Variable EncodeSegmentPrefix(const Batch& batch, int64_t split_layer,
+                                       int64_t position_offset, Rng* rng);
+
+  /// Resumes a forward pass at layer `split_layer`: runs layers
+  /// [split_layer, L) over `hidden` [B, T, H] with the given pad mask,
+  /// producing the same final hidden states EncodeBatch would from that
+  /// point. Default aborts; gate on SupportsSplitEncode().
+  virtual Variable EncodeFromLayer(const Variable& hidden, const Tensor& mask,
+                                   int64_t split_layer, bool train, Rng* rng);
+
+  /// Reference semantics of the split path on a *pair* batch: layers
+  /// [0, split_layer) run under a segment-local (block-diagonal) attention
+  /// mask derived from batch.segment_ids, layers [split_layer, L) under the
+  /// ordinary pad mask. Equals EncodeBatch exactly at split_layer = 0; used
+  /// for ΔF1 evaluation and as the golden path for the serving cache tests.
+  /// Default aborts; gate on SupportsSplitEncode().
+  virtual Variable EncodeBatchSegmentLocal(const Batch& batch,
+                                           int64_t split_layer, bool train,
+                                           Rng* rng);
 };
 
 /// Builds the architecture named by `config.arch` (factory used by the

@@ -52,20 +52,40 @@ CatalogMatcher::CatalogMatcher(serve::MatcherEngine* engine,
 }
 
 int64_t CatalogMatcher::Add(std::string text) {
-  std::unique_lock<std::shared_mutex> lock(texts_mu_);
-  const int64_t id = index_.AddRecord(text);
-  texts_.push_back(std::move(text));
-  records_->Add(1);
+  int64_t id;
+  {
+    std::unique_lock<std::shared_mutex> lock(texts_mu_);
+    id = index_.AddRecord(text);
+    texts_.push_back(text);
+    records_->Add(1);
+  }
+  WarmTexts({std::move(text)});
   return id;
 }
 
 int64_t CatalogMatcher::AddBatch(std::vector<std::string> texts) {
-  std::unique_lock<std::shared_mutex> lock(texts_mu_);
-  const int64_t base = index_.AddBatch(texts);
-  records_->Add(static_cast<int64_t>(texts.size()));
-  texts_.reserve(texts_.size() + texts.size());
-  for (std::string& t : texts) texts_.push_back(std::move(t));
+  int64_t base;
+  {
+    std::unique_lock<std::shared_mutex> lock(texts_mu_);
+    base = index_.AddBatch(texts);
+    records_->Add(static_cast<int64_t>(texts.size()));
+    texts_.reserve(texts_.size() + texts.size());
+    for (const std::string& t : texts) texts_.push_back(t);
+  }
+  WarmTexts(texts);
   return base;
+}
+
+void CatalogMatcher::WarmTexts(const std::vector<std::string>& texts) {
+  if (options_.warm_query_segment_len <= 0 || !engine_->split_enabled()) {
+    return;
+  }
+  EMX_TRACE_SPAN("catalog.warm", [&] {
+    return obs::KeyValues({{"records", static_cast<int64_t>(texts.size())}});
+  });
+  for (const std::string& t : texts) {
+    engine_->WarmCandidate(t, options_.warm_query_segment_len);
+  }
 }
 
 int64_t CatalogMatcher::size() const {
@@ -111,10 +131,13 @@ Result<std::vector<CatalogMatch>> CatalogMatcher::FindMatches(
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::future<serve::MatchResult>> futures;
     futures.reserve(static_cast<size_t>(rerank));
-    const std::string query_text(query);
+    // Pin the query once: it is tokenized a single time and, on a
+    // split-serving engine, its layer-k prefix is encoded once per
+    // truncation length instead of once per candidate.
+    const serve::PinnedQuery pinned = engine_->PinQuery(std::string(query));
     for (int64_t i = 0; i < rerank; ++i) {
-      futures.push_back(engine_->Submit(query_text, Text(cands[i].id),
-                                        options_.rerank_timeout_us));
+      futures.push_back(engine_->SubmitAgainst(pinned, Text(cands[i].id),
+                                               options_.rerank_timeout_us));
     }
     for (int64_t i = 0; i < rerank; ++i) {
       serve::MatchResult r = futures[static_cast<size_t>(i)].get();

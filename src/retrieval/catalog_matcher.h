@@ -29,6 +29,13 @@ struct CatalogOptions {
   int64_t top_k = 5;
   /// Deadline forwarded to each re-rank Submit (µs; 0 = engine default).
   int64_t rerank_timeout_us = 0;
+  /// When > 0 and the engine serves through the split-encoder prefix cache,
+  /// every ingested record's candidate-side prefix is pre-encoded at Add /
+  /// AddBatch time, assuming queries occupy this many tokens (CLS + query +
+  /// SEP). Queries of other lengths still miss and encode lazily — warming
+  /// is purely a first-request latency optimization for catalogs with
+  /// predictable query shapes. 0 disables warming.
+  int64_t warm_query_segment_len = 0;
   /// Index construction knobs (used when building fresh, ignored by Load,
   /// which restores the saved index's options).
   IndexOptions index;
@@ -101,6 +108,12 @@ class CatalogMatcher {
       CatalogOptions options = {});
 
  private:
+  /// Pre-encodes candidate prefixes for `texts` when warming is configured
+  /// and the engine serves split; no-op otherwise. Called outside
+  /// texts_mu_ — warming runs engine forwards and must not stall ingest
+  /// readers.
+  void WarmTexts(const std::vector<std::string>& texts);
+
   serve::MatcherEngine* engine_;
   CatalogOptions options_;
   QGramIndex index_;

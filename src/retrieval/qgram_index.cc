@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <unordered_set>
 
 #include "obs/trace.h"
@@ -237,6 +238,16 @@ std::vector<ScoredId> QGramIndex::TopK(std::string_view query,
     }
   }
 
+  // Max-score pruning bound: suffix[i] is the total idf weight of features
+  // [i, end), i.e. the highest score a record first encountered at feature
+  // i can still accumulate. Shared read-only across shard tasks.
+  std::vector<double> suffix(features.size() + 1, 0.0);
+  if (options_.prune_topk) {
+    for (size_t i = features.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + weights[i];
+    }
+  }
+
   // Pass 2: per-shard accumulation and local top-k, shards in parallel.
   // Each candidate's score is summed in fixed feature order, so results do
   // not depend on the thread count.
@@ -252,12 +263,46 @@ std::vector<ScoredId> QGramIndex::TopK(std::string_view query,
       for (int64_t s = lo; s < hi; ++s) {
         Shard& shard = shards_[static_cast<size_t>(s)];
         std::unordered_map<uint32_t, double> acc;
+        // Once `closed`, no NEW candidate ids are admitted; existing
+        // accumulators keep updating, in the same feature order as the
+        // unpruned path, so survivors score bit-identically.
+        bool closed = false;
+        std::vector<double> floor_scratch;
         {
           std::shared_lock<std::shared_mutex> lock(shard.mu);
           for (size_t i = 0; i < features.size(); ++i) {
+            if (options_.prune_topk && !closed &&
+                static_cast<int64_t>(acc.size()) >= k && k > 0) {
+              // Current k-th best partial score in this shard. Partials
+              // only grow, so it lower-bounds the final k-th best. A record
+              // unseen so far finishes at most at suffix[i] (a subset of
+              // the remaining weights); requiring floor to clear it by a
+              // relative margin absorbs floating-point rounding between
+              // the subset sum and the suffix sum, keeping the strict
+              // comparison safe. Once it clears, at least k records beat
+              // every future first-timer — stop admitting them.
+              floor_scratch.clear();
+              floor_scratch.reserve(acc.size());
+              for (const auto& [id, score] : acc) {
+                floor_scratch.push_back(score);
+              }
+              std::nth_element(floor_scratch.begin(),
+                               floor_scratch.begin() + (k - 1),
+                               floor_scratch.end(), std::greater<double>());
+              const double floor =
+                  floor_scratch[static_cast<size_t>(k - 1)];
+              if (floor > suffix[i] * (1.0 + 1e-9)) closed = true;
+            }
             auto it = shard.features.find(features[i]);
             if (it == shard.features.end() || it->second.stopped) continue;
-            for (uint32_t id : it->second.ids) acc[id] += weights[i];
+            if (closed) {
+              for (uint32_t id : it->second.ids) {
+                auto entry = acc.find(id);
+                if (entry != acc.end()) entry->second += weights[i];
+              }
+            } else {
+              for (uint32_t id : it->second.ids) acc[id] += weights[i];
+            }
           }
         }
         std::vector<ScoredId>& local = per_shard[static_cast<size_t>(s)];

@@ -45,6 +45,15 @@ struct IndexOptions {
   /// the target shard's writer lock, so streaming AddRecord/AddBatch can
   /// proceed while queries run.
   int64_t num_shards = 8;
+  /// Max-score (WAND-style) pruning in TopK: once a shard holds k
+  /// candidates whose k-th best partial score already exceeds the summed
+  /// idf weight of every feature still unprocessed, records first seen in
+  /// those remaining (low-weight, long-posting-list) features cannot reach
+  /// the top k and are never materialized. Results are identical to the
+  /// unpruned path — scores accumulate in the same feature order, and the
+  /// bound is checked with a strict margin (see TopK). Query-time only;
+  /// not persisted by Save.
+  bool prune_topk = true;
 };
 
 /// One retrieved catalog record: its id (assigned by Add order, starting at

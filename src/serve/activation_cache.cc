@@ -1,0 +1,100 @@
+#include "serve/activation_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace emx {
+namespace serve {
+
+ActivationCache::ActivationCache(int64_t max_bytes, obs::Counter* evictions,
+                                 obs::Gauge* resident_bytes)
+    : max_bytes_(max_bytes),
+      eviction_counter_(evictions),
+      bytes_gauge_(resident_bytes) {}
+
+int64_t ActivationCache::EntryBytes(const std::string& key,
+                                    const Tensor& value) {
+  // Tensor payload + key storage + fixed list/map node overhead. The
+  // overhead constant keeps a budget of N bytes from admitting far more
+  // than N bytes of real memory when entries are tiny.
+  constexpr int64_t kNodeOverhead = 160;
+  return value.size() * static_cast<int64_t>(sizeof(float)) +
+         static_cast<int64_t>(key.size()) + kNodeOverhead;
+}
+
+std::shared_ptr<const Tensor> ActivationCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  ++hits_;
+  return it->second->value;
+}
+
+std::shared_ptr<const Tensor> ActivationCache::Put(const std::string& key,
+                                                   Tensor value) {
+  auto shared = std::make_shared<const Tensor>(std::move(value));
+  if (max_bytes_ <= 0) return shared;  // caching disabled
+  const int64_t bytes = EntryBytes(key, *shared);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a race with another miss on the same key; keep the winner (the
+    // values are identical by construction).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+  lru_.push_front(Entry{key, shared, bytes});
+  index_.emplace(lru_.front().key, lru_.begin());
+  bytes_ += bytes;
+  EvictToBudgetLocked();
+  if (bytes_gauge_ != nullptr) bytes_gauge_->Set(static_cast<double>(bytes_));
+  return shared;
+}
+
+void ActivationCache::EvictToBudgetLocked() {
+  int64_t evicted = 0;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    evictions_ += evicted;
+    if (eviction_counter_ != nullptr) eviction_counter_->Add(evicted);
+  }
+}
+
+ActivationCacheStats ActivationCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ActivationCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = static_cast<int64_t>(lru_.size());
+  s.resident_bytes = bytes_;
+  return s;
+}
+
+int64_t ActivationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t ActivationCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t ActivationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace serve
+}  // namespace emx

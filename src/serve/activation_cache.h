@@ -1,0 +1,93 @@
+#ifndef EMX_SERVE_ACTIVATION_CACHE_H_
+#define EMX_SERVE_ACTIVATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "tensor/tensor.h"
+
+namespace emx {
+namespace serve {
+
+/// Point-in-time counters for an ActivationCache.
+struct ActivationCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t resident_bytes = 0;
+};
+
+/// Thread-safe byte-budgeted LRU cache of per-entity layer-k activation
+/// tensors — the TokenizationCache design extended from token ids to
+/// tensors. Because a cached prefix is ~seq_len * hidden floats (not a
+/// handful of ints), the budget is expressed in bytes rather than entries:
+/// inserting past `max_bytes` evicts least-recently-used entries until the
+/// cache fits again, so operators size it like any other memory pool.
+///
+/// Values are handed out as shared_ptr<const Tensor>: eviction only drops
+/// the cache's reference, so a prefix checked out by an in-flight request
+/// stays valid even if it is evicted mid-request. On a miss the caller
+/// computes the tensor *outside* the lock and Put()s it; two threads
+/// missing on the same key may both encode, and the second insert wins the
+/// LRU slot — wasted work, never inconsistency, since prefixes are pure
+/// functions of the key (dropout is off on the prefix path).
+class ActivationCache {
+ public:
+  /// `max_bytes` <= 0 disables caching (every Get misses, Put stores
+  /// nothing). `evictions` / `resident_bytes` (optional) are obs hooks the
+  /// cache updates under its own lock, so the owning engine's registry
+  /// tracks `serve.prefix_cache.{evictions,bytes}` live.
+  explicit ActivationCache(int64_t max_bytes,
+                           obs::Counter* evictions = nullptr,
+                           obs::Gauge* resident_bytes = nullptr);
+
+  /// Returns the cached tensor for `key`, or null on miss.
+  std::shared_ptr<const Tensor> Get(const std::string& key);
+
+  /// Inserts `value` (unless the key is already resident — the first
+  /// insert wins) and returns the resident tensor. Evicts LRU entries
+  /// until the cache fits its byte budget; an entry larger than the whole
+  /// budget is returned to the caller but not kept.
+  std::shared_ptr<const Tensor> Put(const std::string& key, Tensor value);
+
+  ActivationCacheStats Stats() const;
+  int64_t size() const;
+  int64_t resident_bytes() const;
+  int64_t evictions() const;
+  int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Tensor> value;
+    int64_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+
+  static int64_t EntryBytes(const std::string& key, const Tensor& value);
+  /// Caller holds mu_.
+  void EvictToBudgetLocked();
+
+  const int64_t max_bytes_;
+  obs::Counter* eviction_counter_;  // may be null
+  obs::Gauge* bytes_gauge_;         // may be null
+
+  mutable std::mutex mu_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace emx
+
+#endif  // EMX_SERVE_ACTIVATION_CACHE_H_

@@ -1,12 +1,15 @@
 #include "serve/matcher_engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "models/config.h"
 #include "nn/layers.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/variable.h"
+#include "tokenizers/tokenizer.h"
 #include "util/logging.h"
 
 namespace emx {
@@ -35,6 +38,14 @@ bool HasReadyInt8Backends(core::EntityMatcher* matcher) {
 }
 
 }  // namespace
+
+int64_t DefaultSplitLayer(int64_t num_layers) { return num_layers / 2; }
+
+const std::string& PinnedQuery::text() const {
+  EMX_CHECK(state_ != nullptr) << "PinnedQuery is empty (default-constructed "
+                                  "instead of minted by PinQuery)";
+  return state_->text;
+}
 
 Status ValidateEngineOptions(const EngineOptions& options) {
   if (options.max_batch_size <= 0) {
@@ -71,6 +82,15 @@ Status ValidateEngineOptions(const EngineOptions& options) {
     return Status::InvalidArgument("num_workers must be positive, got " +
                                    std::to_string(options.num_workers));
   }
+  if (options.split_layer < -1) {
+    return Status::InvalidArgument(
+        "split_layer must be -1 (disabled) or >= 0, got " +
+        std::to_string(options.split_layer));
+  }
+  if (options.split_layer >= 0 && options.max_seq_len < 4) {
+    return Status::InvalidArgument(
+        "split encoding needs max_seq_len >= 4 ([CLS] a [SEP] b [SEP])");
+  }
   return Status::OK();
 }
 
@@ -86,6 +106,21 @@ Result<std::unique_ptr<MatcherEngine>> MatcherEngine::Create(
         "precision = kInt8 but the matcher has no frozen int8 backends; "
         "run quant::QuantizeMatcher (or LoadQuantized) first");
   }
+  if (options.split_layer >= 0) {
+    models::TransformerModel* backbone = matcher->classifier()->backbone();
+    if (!backbone->SupportsSplitEncode()) {
+      return Status::InvalidArgument(
+          std::string("split_layer set but the ") +
+          models::ArchitectureName(backbone->config().arch) +
+          " backbone does not support split encoding");
+    }
+    if (options.split_layer >= backbone->config().num_layers) {
+      return Status::InvalidArgument(
+          "split_layer must leave at least one cross-attention layer: got " +
+          std::to_string(options.split_layer) + " with " +
+          std::to_string(backbone->config().num_layers) + " layers");
+    }
+  }
   return std::make_unique<MatcherEngine>(matcher, options);
 }
 
@@ -96,6 +131,11 @@ MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
       cache_(&matcher->tokenizer(), options.cache_capacity,
              options.max_seq_len),
       metrics_(options.max_batch_size),
+      entity_tokens_(&matcher->tokenizer(), options.cache_capacity),
+      prefix_cache_(
+          options.activation_cache_bytes,
+          metrics_.registry()->GetCounter("serve.prefix_cache.evictions"),
+          metrics_.registry()->GetGauge("serve.prefix_cache.bytes")),
       paused_(options.start_paused) {
   EMX_CHECK(matcher != nullptr);
   {
@@ -109,6 +149,14 @@ MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
         << "EngineOptions::precision = kInt8 but the matcher has no frozen "
            "int8 backends; run quant::QuantizeMatcher (or LoadQuantized) "
            "before constructing the engine";
+  }
+  if (options_.split_layer >= 0) {
+    models::TransformerModel* backbone = matcher->classifier()->backbone();
+    EMX_CHECK(backbone->SupportsSplitEncode())
+        << models::ArchitectureName(backbone->config().arch)
+        << " does not support split encoding (EngineOptions::split_layer)";
+    EMX_CHECK_LT(options_.split_layer, backbone->config().num_layers)
+        << "split_layer must leave at least one cross-attention layer";
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t w = 0; w < options_.num_workers; ++w) {
@@ -128,6 +176,15 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
 std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
                                                std::string text_b,
                                                int64_t timeout_us) {
+  if (split_enabled()) {
+    // Every request takes the split path when it is enabled, so batches
+    // stay homogeneous. The query side is tokenized through the entity
+    // cache (hot queries converge with PinQuery's behavior).
+    auto state = std::make_shared<PinnedQuery::State>();
+    state->text = std::move(text_a);
+    if (!ShutdownSeen()) state->ids = *entity_tokens_.Get(state->text);
+    return SubmitSplit(std::move(state), text_b, timeout_us);
+  }
   Request req;
   req.enqueued = Clock::now();
   req.deadline = timeout_us > 0
@@ -153,19 +210,35 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
   }
   req.cache_hit = hit;
   metrics_.RecordCacheLookup(hit);
+  metrics_.RecordTokenCacheBytes(cache_.resident_bytes() +
+                                 entity_tokens_.resident_bytes());
   req.bucket = std::max<int64_t>(
       1, (req.enc.length + options_.bucket_width - 1) / options_.bucket_width);
+  EnqueueOrReject(std::move(req));
+  return fut;
+}
 
+bool MatcherEngine::ShutdownSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+void MatcherEngine::EnqueueOrReject(Request req) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     MatchResult r;
     r.status = Status::Unavailable("engine is shut down");
+    r.cache_hit = req.cache_hit;
+    r.prefix_hit_query = req.prefix_hit_q;
+    r.prefix_hit_candidate = req.prefix_hit_c;
     req.promise.set_value(std::move(r));
   } else if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
     metrics_.RecordRejected();
     MatchResult r;
     r.status = Status::ResourceExhausted("request queue is full");
-    r.cache_hit = hit;
+    r.cache_hit = req.cache_hit;
+    r.prefix_hit_query = req.prefix_hit_q;
+    r.prefix_hit_candidate = req.prefix_hit_c;
     req.promise.set_value(std::move(r));
   } else {
     queue_.push_back(std::move(req));
@@ -174,11 +247,175 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
                            static_cast<double>(queue_.size()));
     work_cv_.notify_all();
   }
-  return fut;
 }
 
 MatchResult MatcherEngine::Match(std::string text_a, std::string text_b) {
   return Submit(std::move(text_a), std::move(text_b)).get();
+}
+
+PinnedQuery MatcherEngine::PinQuery(std::string text) {
+  auto state = std::make_shared<PinnedQuery::State>();
+  state->text = std::move(text);
+  if (split_enabled()) {
+    EMX_TRACE_SPAN("serve.tokenize");
+    state->ids = *entity_tokens_.Get(state->text);
+  }
+  PinnedQuery pinned;
+  pinned.state_ = std::move(state);
+  return pinned;
+}
+
+std::future<MatchResult> MatcherEngine::SubmitAgainst(const PinnedQuery& query,
+                                                      std::string candidate) {
+  return SubmitAgainst(query, std::move(candidate),
+                       options_.default_timeout_us);
+}
+
+std::future<MatchResult> MatcherEngine::SubmitAgainst(const PinnedQuery& query,
+                                                      std::string candidate,
+                                                      int64_t timeout_us) {
+  EMX_CHECK(query.valid()) << "SubmitAgainst needs a PinnedQuery from "
+                              "PinQuery, not a default-constructed one";
+  if (!split_enabled()) {
+    return Submit(query.state_->text, std::move(candidate), timeout_us);
+  }
+  return SubmitSplit(query.state_, candidate, timeout_us);
+}
+
+std::future<MatchResult> MatcherEngine::SubmitSplit(
+    const std::shared_ptr<const PinnedQuery::State>& query,
+    std::string_view candidate, int64_t timeout_us) {
+  Request req;
+  req.enqueued = Clock::now();
+  req.deadline = timeout_us > 0
+                     ? req.enqueued + std::chrono::microseconds(timeout_us)
+                     : Clock::time_point::max();
+  std::future<MatchResult> fut = req.promise.get_future();
+
+  {
+    // Fail fast before paying for tokenization / prefix encoding.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      MatchResult r;
+      r.status = Status::Unavailable("engine is shut down");
+      req.promise.set_value(std::move(r));
+      return fut;
+    }
+  }
+
+  bool tok_hit = false;
+  std::shared_ptr<const std::vector<int64_t>> c_ids;
+  {
+    EMX_TRACE_SPAN("serve.tokenize");
+    c_ids = entity_tokens_.Get(candidate, &tok_hit);
+  }
+  req.cache_hit = tok_hit;
+  metrics_.RecordCacheLookup(tok_hit);
+  metrics_.RecordTokenCacheBytes(cache_.resident_bytes() +
+                                 entity_tokens_.resident_bytes());
+
+  // Longest-first truncation over the raw entity tokens — the exact
+  // discipline EncodePair applies, so the concatenated layout (and with it
+  // the k = 0 logits) matches the pair path token for token.
+  std::vector<int64_t> a = query->ids;
+  std::vector<int64_t> b = *c_ids;
+  tokenizers::TruncatePair(&a, &b, options_.max_seq_len - 3);
+  req.len_q = static_cast<int64_t>(a.size()) + 2;  // [CLS] a [SEP]
+  req.len_c = static_cast<int64_t>(b.size()) + 1;  // b [SEP]
+
+  req.prefix_q = PrefixFor(query->text, a, /*query_side=*/true,
+                           /*position_offset=*/0, &req.prefix_hit_q);
+  req.prefix_c = PrefixFor(candidate, b, /*query_side=*/false,
+                           /*position_offset=*/req.len_q, &req.prefix_hit_c);
+
+  req.bucket = std::max<int64_t>(
+      1, (req.len_q + req.len_c + options_.bucket_width - 1) /
+             options_.bucket_width);
+  EnqueueOrReject(std::move(req));
+  return fut;
+}
+
+std::shared_ptr<const Tensor> MatcherEngine::PrefixFor(
+    std::string_view text, const std::vector<int64_t>& ids, bool query_side,
+    int64_t position_offset, bool* hit) {
+  // The key carries everything the activation depends on besides the
+  // engine-constant split_layer and precision: which side the segment
+  // embeds as, the text, the truncated token count, and (candidate side)
+  // the absolute position offset imposed by the query's length.
+  std::string key;
+  key.reserve(text.size() + 16);
+  key.push_back(query_side ? 'q' : 'c');
+  key.push_back('\x1f');
+  key.append(text);
+  key.push_back('\x1f');
+  key += std::to_string(ids.size());
+  if (!query_side) {
+    key.push_back('\x1f');
+    key += std::to_string(position_offset);
+  }
+
+  std::shared_ptr<const Tensor> cached = prefix_cache_.Get(key);
+  const bool was_hit = cached != nullptr;
+  if (hit != nullptr) *hit = was_hit;
+  metrics_.RecordPrefixLookup(was_hit);
+  if (was_hit) return cached;
+
+  EMX_TRACE_SPAN("serve.prefix_encode", [&] {
+    return obs::KeyValues(
+        {{"tokens", static_cast<int64_t>(ids.size())},
+         {"query_side", query_side ? int64_t{1} : int64_t{0}}});
+  });
+  const auto& specials = matcher_->tokenizer().specials();
+  models::Batch seg;
+  seg.batch_size = 1;
+  if (query_side) {
+    seg.ids.reserve(ids.size() + 2);
+    seg.ids.push_back(specials.cls);
+    seg.ids.insert(seg.ids.end(), ids.begin(), ids.end());
+    seg.ids.push_back(specials.sep);
+  } else {
+    seg.ids.reserve(ids.size() + 1);
+    seg.ids = ids;
+    seg.ids.push_back(specials.sep);
+  }
+  seg.seq_len = static_cast<int64_t>(seg.ids.size());
+  seg.segment_ids.assign(seg.ids.size(), query_side ? 0 : 1);
+  // No mask: the segment has no padding, and segment-locality is implied
+  // by encoding it alone.
+  NoGradGuard no_grad;
+  nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
+  Rng rng(0);  // never drawn: the prefix forward runs dropout-free
+  Variable prefix = matcher_->classifier()->backbone()->EncodeSegmentPrefix(
+      seg, options_.split_layer, position_offset, &rng);
+  return prefix_cache_.Put(key, prefix.value());
+}
+
+bool MatcherEngine::WarmCandidate(std::string_view text,
+                                  int64_t query_segment_len) {
+  if (!split_enabled()) return false;
+  EMX_CHECK_GE(query_segment_len, 2)
+      << "query_segment_len counts [CLS] and [SEP]";
+  if (ShutdownSeen()) return false;
+  std::shared_ptr<const std::vector<int64_t>> c_ids = entity_tokens_.Get(text);
+  // Replay EncodePair's longest-first truncation against a hypothetical
+  // query of the given length, so the warmed key matches what a real
+  // request of that shape will ask for.
+  int64_t la = query_segment_len - 2;
+  int64_t lb = static_cast<int64_t>(c_ids->size());
+  const int64_t budget = options_.max_seq_len - 3;
+  while (la + lb > budget) {
+    if (la >= lb && la > 0) {
+      --la;
+    } else if (lb > 0) {
+      --lb;
+    } else {
+      --la;
+    }
+  }
+  std::vector<int64_t> b(c_ids->begin(), c_ids->begin() + lb);
+  bool hit = false;
+  PrefixFor(text, b, /*query_side=*/false, /*position_offset=*/la + 2, &hit);
+  return true;
 }
 
 void MatcherEngine::Pause() {
@@ -204,7 +441,13 @@ void MatcherEngine::Shutdown() {
 }
 
 MetricsSnapshot MatcherEngine::Metrics() const {
-  return metrics_.Snapshot(queue_depth());
+  MetricsSnapshot s = metrics_.Snapshot(queue_depth());
+  s.token_cache_bytes =
+      cache_.resident_bytes() + entity_tokens_.resident_bytes();
+  s.token_cache_evictions = cache_.evictions() + entity_tokens_.evictions();
+  s.prefix_bytes = prefix_cache_.resident_bytes();
+  s.prefix_evictions = prefix_cache_.evictions();
+  return s;
 }
 
 std::string MatcherEngine::MetricsJson() const { return Metrics().ToJson(); }
@@ -222,6 +465,8 @@ void MatcherEngine::ExpireQueuedLocked(Clock::time_point now) {
       r.queue_us = ElapsedUs(it->enqueued, now);
       r.total_us = r.queue_us;
       r.cache_hit = it->cache_hit;
+      r.prefix_hit_query = it->prefix_hit_q;
+      r.prefix_hit_candidate = it->prefix_hit_c;
       metrics_.RecordTimeout();
       it->promise.set_value(std::move(r));
       it = queue_.erase(it);
@@ -286,6 +531,10 @@ void MatcherEngine::WorkerLoop(uint64_t worker_id) {
 }
 
 void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
+  if (split_enabled()) {
+    RunBatchSplit(std::move(batch), rng);
+    return;
+  }
   const Clock::time_point formed = Clock::now();
   const int64_t b = static_cast<int64_t>(batch.size());
   EMX_TRACE_SPAN("serve.batch", [&] {
@@ -342,6 +591,68 @@ void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
     result.total_us = ElapsedUs(r.enqueued, done);
     result.batch_size = b;
     result.cache_hit = r.cache_hit;
+    metrics_.RecordCompletion(result.total_us);
+    r.promise.set_value(std::move(result));
+  }
+}
+
+void MatcherEngine::RunBatchSplit(std::vector<Request> batch, Rng* rng) {
+  const Clock::time_point formed = Clock::now();
+  const int64_t b = static_cast<int64_t>(batch.size());
+  EMX_TRACE_SPAN("serve.batch_split", [&] {
+    return obs::KeyValues(
+        {{"size", b},
+         {"bucket", batch.empty() ? 0 : batch.front().bucket}});
+  });
+
+  // Pad to the bucket top like the pair path. Pad positions hold zero
+  // vectors instead of pad-token embeddings — both are blocked by the mask,
+  // so real rows (and the CLS logits) never see the difference.
+  int64_t longest = 1;
+  for (const Request& r : batch) {
+    longest = std::max(longest, r.len_q + r.len_c);
+  }
+  const int64_t target_len = std::min(
+      options_.max_seq_len,
+      (longest + options_.bucket_width - 1) / options_.bucket_width *
+          options_.bucket_width);
+
+  const int64_t h = matcher_->classifier()->config().hidden;
+  Tensor input = Tensor::Zeros({b, target_len, h});
+  std::vector<float> pad_flags(static_cast<size_t>(b * target_len), 1.0f);
+  for (int64_t i = 0; i < b; ++i) {
+    const Request& r = batch[static_cast<size_t>(i)];
+    float* row = input.data() + i * target_len * h;
+    std::memcpy(row, r.prefix_q->data(),
+                static_cast<size_t>(r.len_q * h) * sizeof(float));
+    std::memcpy(row + r.len_q * h, r.prefix_c->data(),
+                static_cast<size_t>(r.len_c * h) * sizeof(float));
+    std::fill(pad_flags.begin() + i * target_len,
+              pad_flags.begin() + i * target_len + r.len_q + r.len_c, 0.0f);
+  }
+  const Tensor mask = models::Batch::MakeMask(pad_flags, b, target_len);
+
+  NoGradGuard no_grad;
+  nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
+  Variable hidden = Variable::Constant(std::move(input));
+  Variable logits = matcher_->classifier()->LogitsFromHidden(
+      hidden, mask, options_.split_layer, /*train=*/false, rng);
+  Tensor probs = ops::Softmax(logits.value());
+  const Clock::time_point done = Clock::now();
+
+  metrics_.RecordBatch(b);
+  for (int64_t i = 0; i < b; ++i) {
+    Request& r = batch[static_cast<size_t>(i)];
+    MatchResult result;
+    result.status = Status::OK();
+    result.probability = probs[i * 2 + 1];
+    result.is_match = result.probability >= 0.5;
+    result.queue_us = ElapsedUs(r.enqueued, formed);
+    result.total_us = ElapsedUs(r.enqueued, done);
+    result.batch_size = b;
+    result.cache_hit = r.cache_hit;
+    result.prefix_hit_query = r.prefix_hit_q;
+    result.prefix_hit_candidate = r.prefix_hit_c;
     metrics_.RecordCompletion(result.total_us);
     r.promise.set_value(std::move(result));
   }

@@ -6,12 +6,15 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/entity_matcher.h"
+#include "serve/activation_cache.h"
 #include "serve/serving_metrics.h"
 #include "serve/token_cache.h"
 #include "util/rng.h"
@@ -62,7 +65,25 @@ struct EngineOptions {
   /// backends (see quant::QuantizeMatcher); construction aborts otherwise
   /// rather than silently serving fp32.
   Precision precision = Precision::kFp32;
+  /// Split-encoder prefix caching. -1 (default) disables it: every request
+  /// runs the full cross-encoder exactly as before. k >= 0 runs encoder
+  /// layers [0, k) per *entity* with segment-local attention, caches the
+  /// layer-k activations per entity text, and runs only layers [k, L) on
+  /// the concatenated pair. k = 0 caches the embedding layer and is
+  /// bit-identical to the full path; larger k trades accuracy for speed
+  /// (gated like quant — see bench_prefix_cache). Requires a backbone with
+  /// SupportsSplitEncode() (BERT/RoBERTa/DistilBERT; not XLNet) and
+  /// k < num_layers so at least one cross-attention layer remains.
+  int64_t split_layer = -1;
+  /// Byte budget for the activation (prefix) cache; <= 0 disables caching
+  /// (the split path still runs, recomputing prefixes every time).
+  int64_t activation_cache_bytes = 64ll << 20;
 };
+
+/// The split depth serving defaults to when a caller opts into prefix
+/// caching without choosing a layer: half the stack, the deepest point the
+/// ΔF1 ladder in bench_prefix_cache gates at |ΔF1| <= 0.1 pt.
+int64_t DefaultSplitLayer(int64_t num_layers);
 
 /// Checks every EngineOptions field at construction time: non-positive
 /// queue capacity, worker count, batch size, wait, bucket width or seq-len
@@ -85,8 +106,32 @@ struct MatchResult {
   double total_us = 0;
   /// Size of the micro-batch this request was served in.
   int64_t batch_size = 0;
-  /// Whether tokenization was served from the LRU cache.
+  /// Whether tokenization was served from the LRU cache (on the split path:
+  /// whether the candidate's entity tokenization was cached).
   bool cache_hit = false;
+  /// Split path only: whether each side's layer-k prefix came from the
+  /// activation cache (false on the pair path).
+  bool prefix_hit_query = false;
+  bool prefix_hit_candidate = false;
+};
+
+/// A query entity pinned for 1-vs-N re-ranking: the text is tokenized once
+/// at PinQuery time and its layer-k prefix is encoded once per distinct
+/// truncation length, instead of once per SubmitAgainst. Cheap to copy
+/// (shared state); valid for the lifetime of the engine that minted it.
+class PinnedQuery {
+ public:
+  PinnedQuery() = default;
+  bool valid() const { return state_ != nullptr; }
+  const std::string& text() const;
+
+ private:
+  friend class MatcherEngine;
+  struct State {
+    std::string text;
+    std::vector<int64_t> ids;  // raw entity tokens, untruncated
+  };
+  std::shared_ptr<const State> state_;
 };
 
 /// Batched, grad-free inference serving for a fine-tuned (or
@@ -132,6 +177,28 @@ class MatcherEngine {
   /// Convenience: Submit + wait.
   MatchResult Match(std::string text_a, std::string text_b);
 
+  /// Tokenizes `text` once for use as the query side of many SubmitAgainst
+  /// calls. Works with split caching disabled too (SubmitAgainst then
+  /// degrades to Submit(query.text(), candidate)).
+  PinnedQuery PinQuery(std::string text);
+
+  /// Enqueues (query, candidate) reusing the pinned query's tokenization
+  /// and cached layer-k prefix. `query` must come from this engine's
+  /// PinQuery.
+  std::future<MatchResult> SubmitAgainst(const PinnedQuery& query,
+                                         std::string candidate);
+  std::future<MatchResult> SubmitAgainst(const PinnedQuery& query,
+                                         std::string candidate,
+                                         int64_t timeout_us);
+
+  /// Pre-encodes the candidate-side layer-k prefix for `text`, assuming the
+  /// query side will occupy `query_segment_len` tokens (CLS + query + SEP).
+  /// Used to warm hot catalog entries at ingest; a no-op when split caching
+  /// is disabled. Returns true when the prefix is resident afterwards.
+  /// Requests whose actual query length differs still miss — warming is a
+  /// best-effort latency optimization, never a correctness dependency.
+  bool WarmCandidate(std::string_view text, int64_t query_segment_len);
+
   /// Stops/starts micro-batch formation; queued requests are held (their
   /// deadlines are only evaluated while running).
   void Pause();
@@ -147,14 +214,25 @@ class MatcherEngine {
 
   int64_t queue_depth() const;
   const TokenizationCache& cache() const { return cache_; }
+  const ActivationCache& prefix_cache() const { return prefix_cache_; }
   const EngineOptions& options() const { return options_; }
+  /// Whether this engine serves through the split-encoder prefix path.
+  bool split_enabled() const { return options_.split_layer >= 0; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Request {
     std::promise<MatchResult> promise;
-    CachedEncoding enc;
+    CachedEncoding enc;  // pair path only
+    // Split path only: per-entity layer-k prefixes ([1, len, H] tensors,
+    // shared with the activation cache so eviction cannot invalidate them).
+    std::shared_ptr<const Tensor> prefix_q;
+    std::shared_ptr<const Tensor> prefix_c;
+    int64_t len_q = 0;  // CLS + truncated query + SEP
+    int64_t len_c = 0;  // truncated candidate + SEP
+    bool prefix_hit_q = false;
+    bool prefix_hit_c = false;
     bool cache_hit = false;
     int64_t bucket = 0;
     Clock::time_point enqueued;
@@ -165,14 +243,37 @@ class MatcherEngine {
   /// Completes every queued request whose deadline has passed. Caller holds
   /// `mu_`; promises are fulfilled after collecting, outside the queue scan.
   void ExpireQueuedLocked(Clock::time_point now);
+  /// Takes the queue lock and either enqueues the prepared request or
+  /// fulfills its promise with Unavailable / ResourceExhausted.
+  void EnqueueOrReject(Request req);
+  bool ShutdownSeen() const;
   /// Runs one micro-batch (no lock held): bucket-padded batch build,
   /// grad-free forward, promise fulfillment.
   void RunBatch(std::vector<Request> batch, Rng* rng);
+  /// Split-path forward: concatenates cached prefixes into [B, T, H] and
+  /// runs layers [split_layer, L) plus the head.
+  void RunBatchSplit(std::vector<Request> batch, Rng* rng);
+
+  /// Shared split submission tail: truncates the pair, resolves both
+  /// prefixes through the activation cache (encoding misses on the caller
+  /// thread), and enqueues.
+  std::future<MatchResult> SubmitSplit(
+      const std::shared_ptr<const PinnedQuery::State>& query,
+      std::string_view candidate, int64_t timeout_us);
+  /// Returns the layer-k prefix for one entity segment, consulting the
+  /// activation cache and encoding on miss. `ids` are the truncated raw
+  /// entity tokens (no specials).
+  std::shared_ptr<const Tensor> PrefixFor(std::string_view text,
+                                          const std::vector<int64_t>& ids,
+                                          bool query_side,
+                                          int64_t position_offset, bool* hit);
 
   core::EntityMatcher* matcher_;
   const EngineOptions options_;
   TokenizationCache cache_;
   ServingMetrics metrics_;
+  EntityTokenCache entity_tokens_;
+  ActivationCache prefix_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -54,6 +54,13 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(&out, "cache_hits", cache_hits, &first);
   AppendField(&out, "cache_misses", cache_misses, &first);
   AppendField(&out, "cache_hit_rate", cache_hit_rate, &first);
+  AppendField(&out, "token_cache_bytes", token_cache_bytes, &first);
+  AppendField(&out, "token_cache_evictions", token_cache_evictions, &first);
+  AppendField(&out, "prefix_hits", prefix_hits, &first);
+  AppendField(&out, "prefix_misses", prefix_misses, &first);
+  AppendField(&out, "prefix_hit_rate", prefix_hit_rate, &first);
+  AppendField(&out, "prefix_evictions", prefix_evictions, &first);
+  AppendField(&out, "prefix_bytes", prefix_bytes, &first);
   AppendField(&out, "batches", batches, &first);
   AppendField(&out, "mean_batch_size", mean_batch_size, &first);
   AppendField(&out, "batch_overflow", batch_overflow, &first);
@@ -82,6 +89,9 @@ ServingMetrics::ServingMetrics(int64_t max_batch_size) {
   rejected_ = registry_.GetCounter("serve.rejected");
   cache_hits_ = registry_.GetCounter("serve.cache_hits");
   cache_misses_ = registry_.GetCounter("serve.cache_misses");
+  prefix_hits_ = registry_.GetCounter("serve.prefix_cache.hits");
+  prefix_misses_ = registry_.GetCounter("serve.prefix_cache.misses");
+  token_cache_bytes_ = registry_.GetGauge("serve.token_cache.bytes");
   max_queue_depth_ = registry_.GetGauge("serve.max_queue_depth");
   // Bounds {0, 1, ..., max_batch_size}: integer batch sizes land exactly on
   // a bound, so bucket s counts batches of exactly s requests; anything
@@ -120,6 +130,14 @@ void ServingMetrics::RecordCacheLookup(bool hit) {
   (hit ? cache_hits_ : cache_misses_)->Add(1);
 }
 
+void ServingMetrics::RecordPrefixLookup(bool hit) {
+  (hit ? prefix_hits_ : prefix_misses_)->Add(1);
+}
+
+void ServingMetrics::RecordTokenCacheBytes(int64_t bytes) {
+  token_cache_bytes_->Set(static_cast<double>(bytes));
+}
+
 MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
   MetricsSnapshot s;
   s.submitted = submitted_->Value();
@@ -131,6 +149,14 @@ MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
   const int64_t lookups = s.cache_hits + s.cache_misses;
   s.cache_hit_rate =
       lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0;
+  s.prefix_hits = prefix_hits_->Value();
+  s.prefix_misses = prefix_misses_->Value();
+  const int64_t prefix_lookups = s.prefix_hits + s.prefix_misses;
+  s.prefix_hit_rate =
+      prefix_lookups > 0 ? static_cast<double>(s.prefix_hits) / prefix_lookups
+                         : 0;
+  // prefix_bytes / prefix_evictions / token_cache_* are cache-resident
+  // state, filled in by MatcherEngine::Metrics() from the cache objects.
   s.batches = batch_hist_->count();
   s.mean_batch_size = batch_hist_->mean();
   s.batch_size_histogram.resize(batch_hist_->bounds().size());

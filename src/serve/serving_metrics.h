@@ -30,6 +30,22 @@ struct MetricsSnapshot {
   int64_t cache_misses = 0;
   /// hits / (hits + misses); 0 when no lookups happened.
   double cache_hit_rate = 0;
+  /// Tokenization-cache residency (pair cache + entity cache), for sizing
+  /// cache_capacity from a live snapshot.
+  int64_t token_cache_bytes = 0;
+  int64_t token_cache_evictions = 0;
+
+  /// Split-encoder prefix (activation) cache. Lookups are per entity
+  /// segment — two per request on the split path; zero when
+  /// EngineOptions::split_layer is disabled.
+  int64_t prefix_hits = 0;
+  int64_t prefix_misses = 0;
+  /// hits / (hits + misses); 0 when no lookups happened.
+  double prefix_hit_rate = 0;
+  int64_t prefix_evictions = 0;
+  /// Resident bytes of cached activations, for sizing
+  /// EngineOptions::activation_cache_bytes.
+  int64_t prefix_bytes = 0;
 
   int64_t batches = 0;
   double mean_batch_size = 0;
@@ -88,6 +104,11 @@ class ServingMetrics {
   /// One request finished OK, `total_us` after submission.
   void RecordCompletion(double total_us);
   void RecordCacheLookup(bool hit);
+  /// One activation-cache (prefix) lookup on the split path.
+  void RecordPrefixLookup(bool hit);
+  /// Publishes the tokenization caches' resident bytes as the
+  /// serve.token_cache.bytes gauge.
+  void RecordTokenCacheBytes(int64_t bytes);
 
   /// `queue_depth` is the current depth sampled by the caller.
   MetricsSnapshot Snapshot(int64_t queue_depth) const;
@@ -106,6 +127,9 @@ class ServingMetrics {
   obs::Counter* rejected_;
   obs::Counter* cache_hits_;
   obs::Counter* cache_misses_;
+  obs::Counter* prefix_hits_;
+  obs::Counter* prefix_misses_;
+  obs::Gauge* token_cache_bytes_;
   obs::Gauge* max_queue_depth_;
   obs::Histogram* batch_hist_;  // exact integer buckets [0, max_batch_size]
 

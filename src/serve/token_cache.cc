@@ -67,18 +67,109 @@ CachedEncoding TokenizationCache::Get(std::string_view a, std::string_view b,
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->value;
   }
-  lru_.push_front(Entry{std::move(key), fresh});
+  lru_.push_front(Entry{std::move(key), fresh, 0});
+  lru_.front().bytes = EntryBytes(lru_.front());
+  bytes_ += lru_.front().bytes;
   index_.emplace(lru_.front().key, lru_.begin());
   while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    bytes_ -= lru_.back().bytes;
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
   }
   return fresh;
+}
+
+int64_t TokenizationCache::EntryBytes(const Entry& e) {
+  constexpr int64_t kNodeOverhead = 160;
+  return static_cast<int64_t>(e.key.size()) +
+         static_cast<int64_t>(e.value.enc.ids.size() * sizeof(int64_t)) +
+         static_cast<int64_t>(e.value.enc.segment_ids.size() *
+                              sizeof(int64_t)) +
+         static_cast<int64_t>(e.value.enc.attention_mask.size() *
+                              sizeof(float)) +
+         kNodeOverhead;
 }
 
 int64_t TokenizationCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(lru_.size());
+}
+
+int64_t TokenizationCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t TokenizationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+EntityTokenCache::EntityTokenCache(const tokenizers::Tokenizer* tokenizer,
+                                   int64_t capacity)
+    : tokenizer_(tokenizer), capacity_(capacity) {
+  EMX_CHECK(tokenizer != nullptr);
+}
+
+std::shared_ptr<const std::vector<int64_t>> EntityTokenCache::Get(
+    std::string_view text, bool* hit) {
+  if (capacity_ <= 0) {
+    if (hit != nullptr) *hit = false;
+    return std::make_shared<const std::vector<int64_t>>(
+        tokenizer_->Encode(text));
+  }
+  std::string key(text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (hit != nullptr) *hit = true;
+      return it->second->value;
+    }
+  }
+  if (hit != nullptr) *hit = false;
+
+  auto fresh =
+      std::make_shared<const std::vector<int64_t>>(tokenizer_->Encode(text));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a race with another miss on the same key; keep the winner.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+  constexpr int64_t kNodeOverhead = 160;
+  const int64_t bytes =
+      static_cast<int64_t>(key.size()) +
+      static_cast<int64_t>(fresh->size() * sizeof(int64_t)) + kNodeOverhead;
+  lru_.push_front(Entry{std::move(key), fresh, bytes});
+  bytes_ += bytes;
+  index_.emplace(lru_.front().key, lru_.begin());
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return fresh;
+}
+
+int64_t EntityTokenCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t EntityTokenCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t EntityTokenCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace serve

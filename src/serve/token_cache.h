@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "tokenizers/tokenizer.h"
 
@@ -47,12 +49,21 @@ class TokenizationCache {
   int64_t capacity() const { return capacity_; }
   int64_t max_seq_len() const { return max_seq_len_; }
 
+  /// Approximate resident memory (keys + encodings + node overhead), so
+  /// operators can size the cache from MetricsJson() instead of guessing.
+  int64_t resident_bytes() const;
+  /// Entries dropped by LRU eviction since construction.
+  int64_t evictions() const;
+
  private:
   struct Entry {
     std::string key;
     CachedEncoding value;
+    int64_t bytes = 0;
   };
   using EntryList = std::list<Entry>;
+
+  static int64_t EntryBytes(const Entry& e);
 
   const tokenizers::Tokenizer* tokenizer_;
   const int64_t capacity_;
@@ -61,6 +72,47 @@ class TokenizationCache {
   mutable std::mutex mu_;
   EntryList lru_;  // front = most recently used
   std::unordered_map<std::string, EntryList::iterator> index_;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
+};
+
+/// Thread-safe LRU cache of *single-entity* tokenizations (raw
+/// Tokenizer::Encode output, no special symbols). The split-encoder
+/// serving path keys its activation cache per entity, so it needs each
+/// side's token ids independently — pair encodings from TokenizationCache
+/// cannot be reused because truncation couples the two sides. Same miss
+/// discipline as TokenizationCache: tokenize outside the lock, first
+/// insert wins.
+class EntityTokenCache {
+ public:
+  /// `capacity` is the max number of cached entities; zero or negative
+  /// disables caching.
+  EntityTokenCache(const tokenizers::Tokenizer* tokenizer, int64_t capacity);
+
+  /// Returns the token ids for `text`, tokenizing and caching on miss.
+  std::shared_ptr<const std::vector<int64_t>> Get(std::string_view text,
+                                                  bool* hit = nullptr);
+
+  int64_t size() const;
+  int64_t resident_bytes() const;
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::vector<int64_t>> value;
+    int64_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+
+  const tokenizers::Tokenizer* tokenizer_;
+  const int64_t capacity_;
+
+  mutable std::mutex mu_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace serve

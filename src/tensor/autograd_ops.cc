@@ -23,56 +23,65 @@ void AccumulateGrad(const Variable& parent, const Tensor& delta) {
 
 Variable Add(const Variable& a, const Variable& b) {
   Tensor value = ops::Add(a.value(), b.value());
-  return Variable::MakeOpResult(std::move(value), {a, b},
-                                [a, b](const Tensor& g) {
-                                  AccumulateGrad(a, g);
-                                  AccumulateGrad(b, g);
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {a, b},
+      [a, b](const Tensor& g) {
+        AccumulateGrad(a, g);
+        AccumulateGrad(b, g);
+      },
+      "add");
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   Tensor value = ops::Sub(a.value(), b.value());
-  return Variable::MakeOpResult(std::move(value), {a, b},
-                                [a, b](const Tensor& g) {
-                                  AccumulateGrad(a, g);
-                                  if (b.requires_grad()) {
-                                    Tensor neg = ops::MulScalar(g, -1.0f);
-                                    AccumulateGrad(b, neg);
-                                  }
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {a, b},
+      [a, b](const Tensor& g) {
+        AccumulateGrad(a, g);
+        if (b.requires_grad()) {
+          Tensor neg = ops::MulScalar(g, -1.0f);
+          AccumulateGrad(b, neg);
+        }
+      },
+      "sub");
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   Tensor value = ops::Mul(a.value(), b.value());
   return Variable::MakeOpResult(
-      std::move(value), {a, b}, [a, b](const Tensor& g) {
+      std::move(value), {a, b},
+      [a, b](const Tensor& g) {
         if (a.requires_grad()) AccumulateGrad(a, ops::Mul(g, b.value()));
         if (b.requires_grad()) AccumulateGrad(b, ops::Mul(g, a.value()));
-      });
+      },
+      "mul");
 }
 
 Variable MulScalar(const Variable& a, float s) {
   Tensor value = ops::MulScalar(a.value(), s);
-  return Variable::MakeOpResult(std::move(value), {a},
-                                [a, s](const Tensor& g) {
-                                  AccumulateGrad(a, ops::MulScalar(g, s));
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {a},
+      [a, s](const Tensor& g) { AccumulateGrad(a, ops::MulScalar(g, s)); },
+      "mul_scalar");
 }
 
 Variable AddScalar(const Variable& a, float s) {
   Tensor value = ops::AddScalar(a.value(), s);
   return Variable::MakeOpResult(
-      std::move(value), {a}, [a](const Tensor& g) { AccumulateGrad(a, g); });
+      std::move(value), {a}, [a](const Tensor& g) { AccumulateGrad(a, g); },
+      "add_scalar");
 }
 
 Variable AddBias(const Variable& x, const Variable& bias) {
   Tensor value = ops::AddBias(x.value(), bias.value());
   const int64_t h = bias.value().dim(0);
   return Variable::MakeOpResult(
-      std::move(value), {x, bias}, [x, bias, h](const Tensor& g) {
+      std::move(value), {x, bias},
+      [x, bias, h](const Tensor& g) {
         AccumulateGrad(x, g);
         if (bias.requires_grad()) AccumulateGrad(bias, ops::SumToBias(g, h));
-      });
+      },
+      "add_bias");
 }
 
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
@@ -124,10 +133,10 @@ Variable Reshape(const Variable& x, Shape shape) {
     return Variable::Constant(std::move(value));
   }
   const Shape orig = x.value().shape();
-  return Variable::MakeOpResult(value.Clone(), {x},
-                                [x, orig](const Tensor& g) {
-                                  AccumulateGrad(x, g.Reshape(orig));
-                                });
+  return Variable::MakeOpResult(
+      value.Clone(), {x},
+      [x, orig](const Tensor& g) { AccumulateGrad(x, g.Reshape(orig)); },
+      "reshape");
 }
 
 Variable Permute(const Variable& x, const std::vector<int64_t>& perm) {
@@ -136,10 +145,12 @@ Variable Permute(const Variable& x, const std::vector<int64_t>& perm) {
   for (size_t i = 0; i < perm.size(); ++i) {
     inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
   }
-  return Variable::MakeOpResult(std::move(value), {x},
-                                [x, inverse](const Tensor& g) {
-                                  AccumulateGrad(x, ops::Permute(g, inverse));
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {x},
+      [x, inverse](const Tensor& g) {
+        AccumulateGrad(x, ops::Permute(g, inverse));
+      },
+      "permute");
 }
 
 Variable PermuteReshape(const Variable& x, const std::vector<int64_t>& perm,
@@ -154,9 +165,11 @@ Variable PermuteReshape(const Variable& x, const std::vector<int64_t>& perm,
     inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
   }
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, mid_shape, inverse](const Tensor& g) {
+      std::move(value), {x},
+      [x, mid_shape, inverse](const Tensor& g) {
         AccumulateGrad(x, ops::Permute(g.Reshape(mid_shape), inverse));
-      });
+      },
+      "permute_reshape");
 }
 
 Variable FusedAttention(const Variable& q, const Variable& k,
@@ -203,10 +216,10 @@ Variable FusedAttention(const Variable& q, const Variable& k,
 
 Variable Relu(const Variable& x) {
   Tensor value = ops::Relu(x.value());
-  return Variable::MakeOpResult(std::move(value), {x},
-                                [x](const Tensor& g) {
-                                  AccumulateGrad(x, ops::ReluGrad(g, x.value()));
-                                });
+  return Variable::MakeOpResult(
+      std::move(value), {x},
+      [x](const Tensor& g) { AccumulateGrad(x, ops::ReluGrad(g, x.value())); },
+      "relu");
 }
 
 Variable Gelu(const Variable& x) {
@@ -221,9 +234,11 @@ Variable Tanh(const Variable& x) {
   Tensor value = ops::Tanh(x.value());
   Tensor saved = value;  // shares storage; value is not mutated afterwards.
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, saved](const Tensor& g) {
+      std::move(value), {x},
+      [x, saved](const Tensor& g) {
         AccumulateGrad(x, ops::TanhGradFromOutput(g, saved));
-      });
+      },
+      "tanh");
 }
 
 Variable Sigmoid(const Variable& x) {
@@ -242,7 +257,8 @@ Variable Sigmoid(const Variable& x) {
           }
         });
         AccumulateGrad(x, dx);
-      });
+      },
+      "sigmoid");
 }
 
 Variable Softmax(const Variable& x) {
@@ -280,10 +296,12 @@ Variable MaskedSoftmax(const Variable& x, const Tensor& mask, float penalty) {
   }
   Tensor saved = value;
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, saved](const Tensor& g) {
+      std::move(value), {x},
+      [x, saved](const Tensor& g) {
         // d(masked)/dx = identity, so the mask needs no backward handling.
         AccumulateGrad(x, ops::SoftmaxGradFromOutput(g, saved));
-      });
+      },
+      "masked_softmax");
 }
 
 Variable LogSoftmax(const Variable& x) {
@@ -309,7 +327,8 @@ Variable LogSoftmax(const Variable& x) {
           }
         });
         AccumulateGrad(x, dx);
-      });
+      },
+      "log_softmax");
 }
 
 Variable LayerNorm(const Variable& x, const Variable& gamma,
@@ -362,11 +381,13 @@ Variable EmbeddingLookup(const Variable& table, const std::vector<int64_t>& ids)
 Variable SelectTimeStep(const Variable& x, int64_t t) {
   Tensor value = ops::SelectTimeStep(x.value(), t);
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, t](const Tensor& g) {
+      std::move(value), {x},
+      [x, t](const Tensor& g) {
         if (x.requires_grad()) {
           ops::AddToTimeStep(g, t, &x.node()->EnsureGrad());
         }
-      });
+      },
+      "select_time_step");
 }
 
 Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
@@ -382,12 +403,14 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
   }
   Tensor value = ops::Concat(values, ax);
   return Variable::MakeOpResult(
-      std::move(value), parts, [parts, ax, sizes](const Tensor& g) {
+      std::move(value), parts,
+      [parts, ax, sizes](const Tensor& g) {
         std::vector<Tensor> grads = ops::SplitAxis(g, ax, sizes);
         for (size_t i = 0; i < parts.size(); ++i) {
           AccumulateGrad(parts[i], grads[i]);
         }
-      });
+      },
+      "concat");
 }
 
 Variable MeanAll(const Variable& x) {
@@ -395,18 +418,22 @@ Variable MeanAll(const Variable& x) {
   const float inv_n = 1.0f / static_cast<float>(x.size());
   const Shape shape = x.value().shape();
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, inv_n, shape](const Tensor& g) {
+      std::move(value), {x},
+      [x, inv_n, shape](const Tensor& g) {
         AccumulateGrad(x, Tensor::Full(shape, g[0] * inv_n));
-      });
+      },
+      "mean_all");
 }
 
 Variable SumAll(const Variable& x) {
   Tensor value = ops::SumAll(x.value());
   const Shape shape = x.value().shape();
   return Variable::MakeOpResult(
-      std::move(value), {x}, [x, shape](const Tensor& g) {
+      std::move(value), {x},
+      [x, shape](const Tensor& g) {
         AccumulateGrad(x, Tensor::Full(shape, g[0]));
-      });
+      },
+      "sum_all");
 }
 
 Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& targets,
@@ -481,7 +508,8 @@ Variable SoftCrossEntropy(const Variable& logits, const Tensor& soft_targets) {
           }
         }
         AccumulateGrad(logits, dx);
-      });
+      },
+      "soft_cross_entropy");
 }
 
 Variable CosineEmbeddingLoss(const Variable& x, const Tensor& target) {
@@ -538,7 +566,8 @@ Variable CosineEmbeddingLoss(const Variable& x, const Tensor& target) {
           }
         }
         AccumulateGrad(x, dx);
-      });
+      },
+      "cosine_embedding");
 }
 
 Variable StopGradient(const Variable& x) {

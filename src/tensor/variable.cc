@@ -142,6 +142,10 @@ void Backward(const Variable& root) {
   // Per-op backward time for this call, flushed into the Global registry
   // once at the end (named nodes only; see MakeOpResult's `op`).
   std::unordered_map<const char*, int64_t> op_ns;
+  // Nodes with a backward_fn but no op tag leak time out of the per-op
+  // attribution: counted here so tests can pin this at zero and the per-op
+  // backward_ns totals provably sum to the whole backward phase.
+  int64_t unnamed = 0;
 
   // `order` is post-order, so the root is last; walk backwards.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -152,16 +156,20 @@ void Backward(const Variable& root) {
       node->backward_fn(node->EnsureGrad());
       op_ns[node->op] += span.ElapsedNs();
     } else {
+      if (profiling) ++unnamed;
       node->backward_fn(node->EnsureGrad());
     }
   }
-  if (!op_ns.empty()) {
+  if (!op_ns.empty() || unnamed > 0) {
     obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
     for (const auto& [op, ns] : op_ns) {
       registry->GetCounter(std::string("autograd.") + op + ".backward_ns")
           ->Add(ns);
       registry->GetCounter(std::string("autograd.") + op + ".backward_calls")
           ->Add(1);
+    }
+    if (unnamed > 0) {
+      registry->GetCounter("autograd.unnamed.backward_calls")->Add(unnamed);
     }
   }
 

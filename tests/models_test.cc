@@ -278,6 +278,141 @@ TEST(XlnetTest, SlowerThanBertPerForward) {
             bert.NumParameters() - bert_cfg.max_seq_len * bert_cfg.hidden);
 }
 
+// ---- Split encoding (prefix reuse) ------------------------------------------
+
+/// A pair batch with genuine per-row padding: row 0 is full, row 1 pads the
+/// last `pad` positions. Segment 0 covers the first half of the real
+/// tokens, segment 1 the rest — the layout the serving split path feeds.
+Batch MakePaddedPairBatch(int64_t b, int64_t t, int64_t pad, Rng* rng) {
+  Batch batch;
+  batch.batch_size = b;
+  batch.seq_len = t;
+  std::vector<float> flat(static_cast<size_t>(b * t), 0.0f);
+  for (int64_t r = 0; r < b; ++r) {
+    const int64_t real = r == 0 ? t : t - pad;
+    for (int64_t j = 0; j < t; ++j) {
+      batch.ids.push_back(j < real ? rng->NextInt(5, 49) : 0);
+      batch.segment_ids.push_back(j < real / 2 ? 0 : 1);
+      if (j >= real) flat[static_cast<size_t>(r * t + j)] = 1.0f;
+    }
+  }
+  batch.attention_mask = Batch::MakeMask(flat, b, t);
+  return batch;
+}
+
+TEST(SplitEncodeTest, SegmentLocalMaskBlocksCrossSegmentAndPadding) {
+  // 1 row, 4 positions: seg ids 0,0,1,pad. Blocked = cross-segment or pad.
+  const std::vector<float> flat = {0, 0, 0, 1};
+  const std::vector<int64_t> seg = {0, 0, 1, 1};
+  Tensor mask = Batch::MakeSegmentLocalMask(flat, seg, 1, 4);
+  ASSERT_EQ(mask.shape(), (Shape{1, 1, 4, 4}));
+  auto at = [&](int64_t i, int64_t j) { return mask[i * 4 + j]; };
+  // Same-segment real pairs attend.
+  EXPECT_EQ(at(0, 0), 0.0f);
+  EXPECT_EQ(at(0, 1), 0.0f);
+  EXPECT_EQ(at(2, 2), 0.0f);
+  // Cross-segment pairs are blocked both ways.
+  EXPECT_EQ(at(0, 2), 1.0f);
+  EXPECT_EQ(at(2, 0), 1.0f);
+  // Padding is blocked as query and as key, even same-segment.
+  EXPECT_EQ(at(3, 2), 1.0f);
+  EXPECT_EQ(at(2, 3), 1.0f);
+  EXPECT_EQ(at(3, 3), 1.0f);
+}
+
+TEST(SplitEncodeTest, K0SegmentLocalIsBitIdenticalToEncodeBatch) {
+  // At split_layer = 0 no layer runs segment-local, so the "split" forward
+  // is the ordinary forward — bit-for-bit, padding included.
+  Rng rng(21);
+  TransformerConfig cfg = SmallConfig(Architecture::kBert);
+  EncoderModel model(cfg, &rng);
+  Batch batch = MakePaddedPairBatch(2, 8, 3, &rng);
+  Rng r1(5), r2(5);
+  Variable full = model.EncodeBatch(batch, false, &r1);
+  Variable split = model.EncodeBatchSegmentLocal(batch, 0, false, &r2);
+  ASSERT_EQ(full.shape(), split.shape());
+  for (int64_t i = 0; i < full.value().size(); ++i) {
+    ASSERT_EQ(full.value()[i], split.value()[i]) << "element " << i;
+  }
+}
+
+TEST(SplitEncodeTest, PerSegmentPrefixesConcatenateExactly) {
+  // The recurrence the serving cache relies on: encoding each segment alone
+  // (at its pair position offset) through layers [0, k), concatenating, and
+  // resuming at layer k reproduces the segment-local pair forward exactly —
+  // blocked keys contribute exactly zero, so the per-segment prefixes are
+  // bitwise the same rows the block-diagonal pair forward computes.
+  Rng rng(22);
+  TransformerConfig cfg = SmallConfig(Architecture::kBert);
+  EncoderModel model(cfg, &rng);
+  const int64_t k = 1;
+  const int64_t la = 4, lb = 4, t = la + lb;
+
+  Batch pair;
+  pair.batch_size = 1;
+  pair.seq_len = t;
+  for (int64_t j = 0; j < t; ++j) {
+    pair.ids.push_back(10 + j);
+    pair.segment_ids.push_back(j < la ? 0 : 1);
+  }
+  pair.attention_mask = Tensor({1, 1, 1, t});  // no padding
+
+  auto segment_batch = [&](int64_t begin, int64_t len, int64_t seg) {
+    Batch b;
+    b.batch_size = 1;
+    b.seq_len = len;
+    for (int64_t j = 0; j < len; ++j) {
+      b.ids.push_back(pair.ids[static_cast<size_t>(begin + j)]);
+      b.segment_ids.push_back(seg);
+    }
+    return b;
+  };
+  Rng r0(9);
+  Variable prefix_a =
+      model.EncodeSegmentPrefix(segment_batch(0, la, 0), k, 0, &r0);
+  Variable prefix_b =
+      model.EncodeSegmentPrefix(segment_batch(la, lb, 1), k, la, &r0);
+  ASSERT_EQ(prefix_a.shape(), (Shape{1, la, cfg.hidden}));
+  ASSERT_EQ(prefix_b.shape(), (Shape{1, lb, cfg.hidden}));
+
+  // Resuming from the concatenated prefixes finishes the forward
+  // identically to running the segment-local batch end to end.
+  Variable cat = ag::Concat({prefix_a, prefix_b}, 1);
+  Rng r2(9), r3(9);
+  Variable resumed =
+      model.EncodeFromLayer(cat, pair.attention_mask, k, false, &r2);
+  Variable direct = model.EncodeBatchSegmentLocal(pair, k, false, &r3);
+  for (int64_t i = 0; i < resumed.value().size(); ++i) {
+    ASSERT_EQ(resumed.value()[i], direct.value()[i]) << "element " << i;
+  }
+}
+
+TEST(SplitEncodeTest, LogitsSplitMatchesLogitsAtK0) {
+  Rng rng(23);
+  auto backbone = CreateTransformer(SmallConfig(Architecture::kBert), &rng);
+  SequencePairClassifier cls(std::move(backbone), &rng);
+  Batch batch = MakePaddedPairBatch(3, 8, 2, &rng);
+  Rng r1(4), r2(4);
+  Variable logits = cls.Logits(batch, false, &r1);
+  Variable split = cls.LogitsSplit(batch, 0, false, &r2);
+  ASSERT_EQ(logits.shape(), split.shape());
+  for (int64_t i = 0; i < logits.value().size(); ++i) {
+    EXPECT_EQ(logits.value()[i], split.value()[i]) << "logit " << i;
+  }
+}
+
+TEST(SplitEncodeTest, OnlyEncoderFamilySupportsSplit) {
+  Rng rng(24);
+  for (auto arch : {Architecture::kBert, Architecture::kRoberta,
+                    Architecture::kDistilBert}) {
+    auto model = CreateTransformer(SmallConfig(arch), &rng);
+    EXPECT_TRUE(model->SupportsSplitEncode()) << ArchitectureName(arch);
+  }
+  auto xlnet = CreateTransformer(SmallConfig(Architecture::kXlnet), &rng);
+  EXPECT_FALSE(xlnet->SupportsSplitEncode())
+      << "XLNet's two-stream relative attention has no per-segment prefix";
+}
+
 // ---- Factory --------------------------------------------------------------------
 
 TEST(FactoryTest, CreatesCorrectTypes) {

@@ -302,6 +302,56 @@ TEST(QGramIndexTest, RecallAtKBeatsTokenBlocking) {
   EXPECT_GE(index_recall, 0.95);
 }
 
+// ---- Max-score (WAND) pruning ----------------------------------------------
+
+TEST(QGramIndexTest, PrunedTopKIsBitIdenticalToUnpruned) {
+  // The pruning contract: identical ids, identical order, identical
+  // *scores* — survivors accumulate in the same feature order, so even
+  // float associativity cannot diverge.
+  data::CatalogSpec spec;
+  spec.num_records = 1500;
+  spec.num_queries = 40;
+  data::Catalog cat = data::GenerateCatalog(spec);
+
+  IndexOptions pruned_opts;
+  pruned_opts.prune_topk = true;
+  IndexOptions exhaustive_opts;
+  exhaustive_opts.prune_topk = false;
+  QGramIndex pruned(pruned_opts);
+  QGramIndex exhaustive(exhaustive_opts);
+  pruned.AddBatch(cat.records);
+  exhaustive.AddBatch(cat.records);
+
+  for (int64_t k : {1, 5, 50}) {
+    for (const std::string& q : cat.queries) {
+      auto a = pruned.TopK(q, k);
+      auto b = exhaustive.TopK(q, k);
+      ASSERT_EQ(a.size(), b.size()) << "k=" << k << " q=" << q;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id) << "k=" << k << " rank " << i;
+        EXPECT_EQ(a[i].score, b[i].score) << "k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(QGramIndexTest, PrunedTopKHandlesEdgeCases) {
+  IndexOptions opts;
+  opts.prune_topk = true;
+  QGramIndex index(opts);
+  // Empty index, k = 0, and k far beyond the corpus.
+  EXPECT_TRUE(index.TopK("anything", 5).empty());
+  index.AddRecord("acer zen zx55 laptop");
+  index.AddRecord("acer zen zx56 laptop");
+  EXPECT_TRUE(index.TopK("acer", 0).empty());
+  auto all = index.TopK("acer zen", 100);
+  EXPECT_EQ(all.size(), 2u);
+  // A query repeated verbatim still ranks its own record first.
+  auto exact = index.TopK("acer zen zx55 laptop", 1);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].id, 0);
+}
+
 // ---- CatalogMatcher (end-to-end with the serving engine) -------------------
 
 class CatalogMatcherTest : public ::testing::Test {
@@ -429,6 +479,51 @@ TEST_F(CatalogMatcherTest, SaveLoadPreservesResults) {
     }
   }
   std::filesystem::remove(path);
+}
+
+TEST_F(CatalogMatcherTest, SplitEngineWithWarmingAgreesWithPlainEngine) {
+  // The same catalog served through a split-encoder engine (k = 0, warmed
+  // at ingest) must return the same matches with the same probabilities as
+  // the plain cross-encoder engine: k = 0 is exact, and warming only moves
+  // encode work to ingest time.
+  data::CatalogSpec spec;
+  spec.num_records = 16;
+  spec.num_queries = 3;
+  data::Catalog cat = data::GenerateCatalog(spec);
+
+  serve::MatcherEngine plain_engine(Matcher(), EngineOpts());
+  CatalogOptions copts;
+  copts.retrieve_k = 8;
+  copts.rerank_k = 4;
+  copts.top_k = 2;
+  CatalogMatcher plain(&plain_engine, copts);
+  plain.AddBatch(cat.records);
+
+  serve::EngineOptions split_opts = EngineOpts();
+  split_opts.split_layer = 0;
+  serve::MatcherEngine split_engine(Matcher(), split_opts);
+  CatalogOptions warm_opts = copts;
+  // Queries in the generated catalog vary in length, so warming at one
+  // assumed length only helps some of them — which is exactly the contract:
+  // a latency hint, never a correctness dependency.
+  warm_opts.warm_query_segment_len = 12;
+  CatalogMatcher warmed(&split_engine, warm_opts);
+  warmed.AddBatch(cat.records);
+  EXPECT_GT(split_engine.prefix_cache().Stats().entries, 0)
+      << "ingest-time warming should have pre-encoded candidate prefixes";
+
+  for (const std::string& q : cat.queries) {
+    auto a = plain.FindMatches(q);
+    auto b = warmed.FindMatches(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a.value().size(), b.value().size());
+    for (size_t i = 0; i < a.value().size(); ++i) {
+      EXPECT_EQ(a.value()[i].id, b.value()[i].id);
+      EXPECT_EQ(a.value()[i].probability, b.value()[i].probability)
+          << "k=0 split must be bit-identical";
+    }
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "obs/json.h"
 #include "pretrain/model_zoo.h"
 #include "quant/quantize_matcher.h"
+#include "serve/activation_cache.h"
 #include "serve/matcher_engine.h"
 #include "serve/serving_metrics.h"
 #include "serve/token_cache.h"
@@ -701,6 +702,293 @@ TEST_F(ServeFixture, ConcurrentSubmittersHammer) {
   EXPECT_EQ(m.queue_depth, 0);
   EXPECT_GT(m.mean_batch_size, 1.0);  // batching actually happened
   EXPECT_GT(m.cache_hits, 0);
+}
+
+// ---- Split-encoder prefix cache --------------------------------------------
+
+TEST_F(ServeFixture, SplitK0BitIdenticalToFullPathFp32) {
+  // The tentpole golden test: split_layer = 0 caches per-entity *embeddings*
+  // and must reproduce the unsplit cross-encoder's probabilities exactly —
+  // not approximately — because masked attention contributes exactly zero
+  // from blocked keys and the GEMMs are row-independent.
+  EngineOptions plain = BaseOptions();
+  plain.max_wait_us = 1000;
+  MatcherEngine full(Matcher(), plain);
+
+  EngineOptions split_opts = plain;
+  split_opts.split_layer = 0;
+  MatcherEngine split(Matcher(), split_opts);
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"apple macbook pro 14 m3", "macbook pro 14 inch m3 chip"},
+      {"apple macbook pro 14 m3", "dyson v11 cordless vacuum"},
+      {"rayban aviator sunglasses gold", "ray-ban aviator classic gold 58mm"},
+      {"a", "b"},  // degenerate one-token entities
+  };
+  for (const auto& [a, b] : pairs) {
+    MatchResult rf = full.Match(a, b);
+    MatchResult rs = split.Match(a, b);
+    ASSERT_TRUE(rf.status.ok()) << rf.status.ToString();
+    ASSERT_TRUE(rs.status.ok()) << rs.status.ToString();
+    EXPECT_EQ(rf.probability, rs.probability) << a << " / " << b;
+    EXPECT_EQ(rf.is_match, rs.is_match);
+  }
+  // Repeats hit the activation cache and still agree bit-for-bit.
+  MatchResult again = split.Match(pairs[0].first, pairs[0].second);
+  EXPECT_TRUE(again.prefix_hit_query);
+  EXPECT_TRUE(again.prefix_hit_candidate);
+  EXPECT_EQ(again.probability, full.Match(pairs[0].first, pairs[0].second)
+                                   .probability);
+}
+
+TEST_F(ServeFixture, SplitDefaultLayerBitIdenticalWhenPrefixCached) {
+  // At k > 0 the split path is a different function than the full
+  // cross-encoder (segment-local attention below k), but it must be
+  // *self*-consistent: cached and recomputed prefixes give identical
+  // logits, and the same pair always scores the same.
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  opts.split_layer = DefaultSplitLayer(
+      Matcher()->classifier()->config().num_layers);
+  EXPECT_EQ(opts.split_layer, 1);  // scaled BERT is 2 layers
+  MatcherEngine engine(Matcher(), opts);
+
+  MatchResult first = engine.Match("bose qc45 headphones", "bose quietcomfort 45");
+  MatchResult second = engine.Match("bose qc45 headphones", "bose quietcomfort 45");
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.prefix_hit_query);
+  EXPECT_TRUE(second.prefix_hit_query);
+  EXPECT_TRUE(second.prefix_hit_candidate);
+  EXPECT_EQ(first.probability, second.probability);
+  EXPECT_GT(engine.prefix_cache().Stats().hits, 0);
+}
+
+TEST_F(ServeFixture, SplitK0BitIdenticalInt8) {
+  // int8 activation scales are frozen after calibration, so the quantized
+  // forward is also row-independent: k=0 split must be bit-identical under
+  // int8 serving too.
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, Zoo());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  core::EntityMatcher matcher(std::move(bundle).value());
+  matcher.set_eval_max_seq_len(kSeqLen);
+  quant::CalibrationData calib;
+  for (int i = 0; i < 8; ++i) {
+    calib.texts_a.push_back("garmin forerunner " + std::to_string(i));
+    calib.texts_b.push_back("garmin watch model " + std::to_string(i % 3));
+  }
+  ASSERT_TRUE(quant::QuantizeMatcher(&matcher, calib).ok());
+
+  EngineOptions plain = BaseOptions();
+  plain.max_wait_us = 1000;
+  plain.precision = Precision::kInt8;
+  MatcherEngine full(&matcher, plain);
+  EngineOptions split_opts = plain;
+  split_opts.split_layer = 0;
+  MatcherEngine split(&matcher, split_opts);
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"garmin forerunner 255", "forerunner 255 gps watch"},
+      {"garmin forerunner 255", "weber spirit gas grill"},
+  };
+  for (const auto& [a, b] : pairs) {
+    MatchResult rf = full.Match(a, b);
+    MatchResult rs = split.Match(a, b);
+    ASSERT_TRUE(rf.status.ok());
+    ASSERT_TRUE(rs.status.ok());
+    EXPECT_EQ(rf.probability, rs.probability) << a << " / " << b;
+  }
+}
+
+TEST_F(ServeFixture, SubmitAgainstReusesPinnedQueryPrefix) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  opts.split_layer = 0;
+  MatcherEngine engine(Matcher(), opts);
+
+  PinnedQuery pinned = engine.PinQuery("sony wh-1000xm5 wireless headphones");
+  ASSERT_TRUE(pinned.valid());
+  EXPECT_EQ(pinned.text(), "sony wh-1000xm5 wireless headphones");
+
+  std::vector<std::string> candidates = {
+      "sony wh1000xm5 noise cancelling headphones",
+      "sony wf-1000xm4 earbuds", "anker soundcore q30"};
+  std::vector<std::future<MatchResult>> futures;
+  for (const std::string& c : candidates) {
+    futures.push_back(engine.SubmitAgainst(pinned, c));
+  }
+  int query_hits = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    MatchResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    query_hits += r.prefix_hit_query ? 1 : 0;
+    // Must equal the plain Submit answer for the same strings.
+    MatchResult direct = engine.Match(pinned.text(), candidates[i]);
+    EXPECT_EQ(r.probability, direct.probability) << candidates[i];
+  }
+  // All candidates truncate the query to the same length here, so only the
+  // very first submission can miss the query prefix.
+  EXPECT_GE(query_hits, static_cast<int>(candidates.size()) - 1);
+}
+
+TEST_F(ServeFixture, WarmCandidateMakesFirstRequestHit) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  opts.split_layer = 1;
+  MatcherEngine engine(Matcher(), opts);
+
+  const std::string query = "lego technic 42115 lamborghini";
+  const std::string candidate = "lego 42115 lamborghini sian technic set";
+  PinnedQuery pinned = engine.PinQuery(query);
+  // The query occupies CLS + tokens + SEP on the wire; replicate that length.
+  const std::vector<int64_t> q_ids = Matcher()->tokenizer().Encode(query);
+  const int64_t query_segment_len = static_cast<int64_t>(q_ids.size()) + 2;
+  ASSERT_TRUE(engine.WarmCandidate(candidate, query_segment_len));
+
+  MatchResult r = engine.SubmitAgainst(pinned, candidate).get();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.prefix_hit_candidate) << "warmed prefix should be resident";
+}
+
+TEST_F(ServeFixture, SplitMetricsJsonCarriesPrefixCounters) {
+  EngineOptions opts = BaseOptions();
+  opts.max_wait_us = 1000;
+  opts.split_layer = 0;
+  MatcherEngine engine(Matcher(), opts);
+  ASSERT_TRUE(engine.Match("fitbit charge 6", "fitbit charge6 tracker")
+                  .status.ok());
+  ASSERT_TRUE(engine.Match("fitbit charge 6", "fitbit charge6 tracker")
+                  .status.ok());
+
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.prefix_misses, 2);  // one per side on the first request
+  EXPECT_EQ(m.prefix_hits, 2);    // both sides on the second
+  EXPECT_GT(m.prefix_bytes, 0);
+  EXPECT_GT(m.token_cache_bytes, 0);
+  const std::string json = m.ToJson();
+  for (const char* key :
+       {"\"prefix_hits\"", "\"prefix_misses\"", "\"prefix_hit_rate\"",
+        "\"prefix_evictions\"", "\"prefix_bytes\"", "\"token_cache_bytes\"",
+        "\"token_cache_evictions\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ActivationCacheTest, EvictsLruUnderBytePressure) {
+  // Budget for roughly two of the three entries: inserting the third must
+  // evict the least recently used, byte accounting staying exact.
+  const int64_t entry = 4 * 8 * static_cast<int64_t>(sizeof(float)) +
+                        /*key*/ 2 + /*overhead*/ 160;
+  ActivationCache cache(2 * entry + entry / 2);
+
+  auto p1 = cache.Put("k1", Tensor::Full({1, 4, 8}, 1.0f));
+  auto p2 = cache.Put("k2", Tensor::Full({1, 4, 8}, 2.0f));
+  ASSERT_TRUE(p1 != nullptr);
+  EXPECT_EQ(cache.Stats().entries, 2);
+  EXPECT_EQ(cache.Stats().evictions, 0);
+
+  EXPECT_TRUE(cache.Get("k1") != nullptr);  // promote k1; k2 is now LRU
+  auto p3 = cache.Put("k3", Tensor::Full({1, 4, 8}, 3.0f));
+  ActivationCacheStats s = cache.Stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_TRUE(cache.Get("k2") == nullptr) << "LRU entry must be gone";
+  EXPECT_TRUE(cache.Get("k1") != nullptr);
+  EXPECT_TRUE(cache.Get("k3") != nullptr);
+  // The evicted entry's shared_ptr (held by a hypothetical in-flight
+  // request) stays valid after eviction.
+  EXPECT_EQ((*p2)[0], 2.0f);
+  EXPECT_LE(s.resident_bytes, cache.max_bytes());
+}
+
+TEST(ActivationCacheTest, ZeroBudgetDisablesStorageNotCorrectness) {
+  ActivationCache cache(0);
+  auto p = cache.Put("k", Tensor::Full({1, 2, 2}, 5.0f));
+  ASSERT_TRUE(p != nullptr);       // caller still gets its tensor back
+  EXPECT_EQ((*p)[0], 5.0f);
+  EXPECT_TRUE(cache.Get("k") == nullptr);  // nothing was stored
+  EXPECT_EQ(cache.Stats().entries, 0);
+}
+
+TEST(ActivationCacheTest, FirstInsertWinsOnRacingPuts) {
+  ActivationCache cache(1 << 20);
+  auto first = cache.Put("k", Tensor::Full({1, 2, 2}, 1.0f));
+  auto second = cache.Put("k", Tensor::Full({1, 2, 2}, 2.0f));
+  // The loser of the race is handed the winner's tensor so every caller
+  // computes on the same bits.
+  EXPECT_EQ((*second)[0], 1.0f);
+  EXPECT_EQ(cache.Stats().entries, 1);
+}
+
+TEST_F(ServeFixture, SplitConcurrentHammer) {
+  // Concurrent pinned re-ranking over a hot candidate set: exercises the
+  // activation cache's hit/miss/eviction paths under real thread pressure.
+  // Runs in the CI thread-sanitizer job like ConcurrentSubmittersHammer.
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 8;
+  opts.max_wait_us = 500;
+  opts.queue_capacity = 4096;
+  opts.num_workers = 2;
+  opts.split_layer = 1;
+  // Tight budget so evictions happen mid-flight.
+  opts.activation_cache_bytes = 64 * 1024;
+  MatcherEngine engine(Matcher(), opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+  std::atomic<int> ok{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PinnedQuery pinned =
+          engine.PinQuery("query entity number " + std::to_string(t % 2));
+      std::vector<std::future<MatchResult>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        const int slot = (t * 5 + i) % 12;  // hot candidate set
+        futures.push_back(engine.SubmitAgainst(
+            pinned, "candidate entity " + std::to_string(slot)));
+      }
+      for (auto& f : futures) {
+        if (f.get().status.ok()) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(failed.load(), 0);
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.completed, kThreads * kPerThread);
+  EXPECT_GT(m.prefix_hits, 0);
+  // Deterministic result under concurrency: the same pair re-scored
+  // serially gives the same answer as during the hammer.
+  PinnedQuery pinned = engine.PinQuery("query entity number 0");
+  MatchResult a = engine.SubmitAgainst(pinned, "candidate entity 3").get();
+  MatchResult b = engine.SubmitAgainst(pinned, "candidate entity 3").get();
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.probability, b.probability);
+}
+
+TEST_F(ServeFixture, CreateRejectsBadSplitOptions) {
+  EngineOptions opts = BaseOptions();
+  opts.split_layer = 2;  // scaled BERT has 2 layers; k must be < L
+  auto too_deep = MatcherEngine::Create(Matcher(), opts);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kInvalidArgument);
+
+  opts.split_layer = -2;
+  auto negative = MatcherEngine::Create(Matcher(), opts);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  opts.split_layer = 1;
+  auto good = MatcherEngine::Create(Matcher(), opts);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
 }
 
 // ---- EngineOptions validation ----------------------------------------------
