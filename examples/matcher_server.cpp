@@ -8,7 +8,20 @@
 //   ./matcher_server [--finetune] [--precision=int8] [--clients N]
 //                    [--requests N] [--trace=out.json] [--port=N]
 //                    [--serve-seconds=S] [--split-layer=N]
-//                    [--activation-cache-mb=M] [cache_dir]
+//                    [--activation-cache-mb=M] [--save-model=PATH]
+//                    [--model=PATH] [--reload] [cache_dir]
+//
+// --save-model=PATH writes the finished matcher (after --finetune and/or
+// --precision=int8) to an EMXM1 container: fp32 parameters plus, when
+// quantized, the packed int8 weight images and their scales.
+// --model=PATH maps an EMXM1 container into the matcher instead of
+// fine-tuning: parameters are copied from the mapping and packed int8
+// weights are served zero-copy from the mapped file. A container that
+// carries int8 sections makes --precision=int8 serving start without any
+// calibration pass.
+// --reload (socket mode) watches --model's mtime and hot-swaps the engine
+// onto a freshly mapped copy whenever the file changes; in-flight batches
+// finish on the old mapping and the swap drops no requests.
 //
 // --split-layer=N serves through the split-encoder prefix cache: the first
 // N encoder layers run per entity segment (cached, keyed by entity text)
@@ -39,11 +52,15 @@
 // held-out validation slice) and serves the simulated traffic through BOTH
 // engines — fp32 and int8 — printing their metrics side by side.
 
+#include <sys/stat.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +73,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "pretrain/model_zoo.h"
+#include "quant/model_file.h"
 #include "quant/quantize_matcher.h"
 #include "serve/matcher_engine.h"
 
@@ -65,16 +83,34 @@ std::atomic<bool> g_stop{false};
 
 void HandleStopSignal(int) { g_stop.store(true); }
 
+/// Mtime of `path` at nanosecond granularity, or 0 when it cannot be
+/// stat'ed (missing file, permission).
+int64_t FileMtimeNs(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
 /// Socket mode: exposes `matcher` on 127.0.0.1:`port` over the wire
 /// protocol, answers a loopback self-check through a FleetRouter, then
 /// serves until SIGINT/SIGTERM (or for `serve_seconds` when > 0). Returns
 /// the process exit code; bind/listen failures are printed with their
 /// errno text.
-int ServeSocket(emx::core::EntityMatcher* matcher, uint16_t port,
-                int64_t serve_seconds, int64_t split_layer,
-                int64_t activation_cache_bytes) {
+///
+/// With `reload` set, a watcher thread polls `model_path`'s mtime twice a
+/// second; when the file changes, `make_matcher` maps the new container
+/// and the engine hot-swaps onto it without dropping in-flight requests.
+int ServeSocket(
+    emx::core::EntityMatcher* matcher, emx::serve::Precision precision,
+    uint16_t port, int64_t serve_seconds, int64_t split_layer,
+    int64_t activation_cache_bytes, const std::string& model_path, bool reload,
+    const std::function<
+        emx::Result<std::shared_ptr<emx::core::EntityMatcher>>()>&
+        make_matcher) {
   using namespace emx;
   serve::EngineOptions eopts;
+  eopts.precision = precision;
   eopts.max_batch_size = 16;
   eopts.max_wait_us = 2000;
   eopts.queue_capacity = 1024;
@@ -82,6 +118,41 @@ int ServeSocket(emx::core::EntityMatcher* matcher, uint16_t port,
   eopts.split_layer = split_layer;
   eopts.activation_cache_bytes = activation_cache_bytes;
   serve::MatcherEngine engine(matcher, eopts);
+
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (reload && !model_path.empty()) {
+    watcher = std::thread([&] {
+      int64_t last_mtime = FileMtimeNs(model_path);
+      while (!watch_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        const int64_t mtime = FileMtimeNs(model_path);
+        if (mtime == 0 || mtime == last_mtime) continue;
+        last_mtime = mtime;
+        auto next = make_matcher();
+        if (!next.ok()) {
+          std::printf("reload: %s\n", next.status().ToString().c_str());
+          continue;
+        }
+        if (Status s = engine.SwapModel(next.value()); !s.ok()) {
+          std::printf("reload: swap rejected: %s\n", s.ToString().c_str());
+          continue;
+        }
+        std::printf("reload: %s -> model v%llu\n", model_path.c_str(),
+                    static_cast<unsigned long long>(engine.model_version()));
+      }
+    });
+    std::printf("watching %s for hot-swap (500 ms poll)\n",
+                model_path.c_str());
+  }
+  struct WatcherJoin {
+    std::atomic<bool>* stop;
+    std::thread* t;
+    ~WatcherJoin() {
+      stop->store(true, std::memory_order_release);
+      if (t->joinable()) t->join();
+    }
+  } watcher_join{&watch_stop, &watcher};
 
   net::ServerOptions sopts;
   sopts.port = port;
@@ -239,6 +310,9 @@ int main(int argc, char** argv) {
   int64_t requests = 200;
   int64_t split_layer = -1;
   int64_t activation_cache_mb = 64;
+  bool reload = false;
+  std::string model_path;
+  std::string save_model_path;
   std::string trace_path;
   std::string cache_dir = "/tmp/emx_zoo_bench";
   for (int i = 1; i < argc; ++i) {
@@ -268,6 +342,12 @@ int main(int argc, char** argv) {
                     static_cast<long long>(activation_cache_mb));
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--save-model=", 13) == 0) {
+      save_model_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--model=", 8) == 0) {
+      model_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--reload") == 0) {
+      reload = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--precision=int8") == 0) {
@@ -302,6 +382,28 @@ int main(int argc, char** argv) {
   core::EntityMatcher matcher(std::move(bundle).value());
   matcher.set_eval_max_seq_len(48);
 
+  // --model replaces training entirely: map the container's fp32 weights
+  // into the matcher and, when the file carries int8 sections, attach the
+  // packed weights zero-copy from the mapping (no calibration needed).
+  bool model_supplied_int8 = false;
+  if (!model_path.empty()) {
+    auto info = quant::LoadModelFileMapped(&matcher, model_path);
+    if (!info.ok()) {
+      std::printf("error: --model=%s: %s\n", model_path.c_str(),
+                  info.status().ToString().c_str());
+      return 1;
+    }
+    model_supplied_int8 = info.value().has_int8;
+    std::printf("mapped %s: %lld fp32 params%s\n", model_path.c_str(),
+                static_cast<long long>(info.value().fp32_params),
+                model_supplied_int8 ? " + packed int8 weights (zero-copy)"
+                                    : "");
+    if (finetune) {
+      std::printf("note: --model supplies the weights; skipping --finetune\n");
+      finetune = false;
+    }
+  }
+
   data::GeneratorOptions gen;
   gen.scale = 0.04;
   auto dataset = data::GenerateDataset(data::DatasetId::kWalmartAmazon, gen);
@@ -320,8 +422,10 @@ int main(int argc, char** argv) {
   }
 
   // 2. Optional post-training quantization, calibrated on the held-out
-  //    validation slice (never part of fine-tuning).
-  if (int8) {
+  //    validation slice (never part of fine-tuning). A --model container
+  //    that already carries int8 sections makes this a no-op.
+  if (model_supplied_int8) int8 = true;
+  if (int8 && !model_supplied_int8) {
     quant::CalibrationData calib;
     const auto& held_out = dataset.valid;
     for (size_t i = 0; i < held_out.size() && i < 64; ++i) {
@@ -340,11 +444,42 @@ int main(int argc, char** argv) {
                 static_cast<long long>(report.value().calibration_pairs));
   }
 
+  if (!save_model_path.empty()) {
+    if (Status s = quant::SaveModelFile(&matcher, save_model_path); !s.ok()) {
+      std::printf("error: --save-model=%s: %s\n", save_model_path.c_str(),
+                  s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved EMXM1 container to %s%s\n", save_model_path.c_str(),
+                int8 ? " (fp32 + packed int8)" : "");
+  }
+
   // 3. Socket mode: expose the engine on a TCP port instead of simulating
-  //    in-process traffic.
+  //    in-process traffic. With --model + --reload, a watcher hot-swaps
+  //    the engine whenever the container file changes; each fresh matcher
+  //    is rebuilt from the (cached) zoo bundle so the tokenizer is
+  //    identical, then mapped from the new file.
   if (socket_mode) {
-    return ServeSocket(&matcher, static_cast<uint16_t>(port), serve_seconds,
-                       split_layer, activation_cache_mb << 20);
+    auto make_matcher =
+        [&]() -> Result<std::shared_ptr<core::EntityMatcher>> {
+      auto b = pretrain::GetPretrained(models::Architecture::kRoberta, zoo);
+      if (!b.ok()) return b.status();
+      auto m = std::make_shared<core::EntityMatcher>(std::move(b).value());
+      m->set_eval_max_seq_len(48);
+      EMX_ASSIGN_OR_RETURN(const quant::ModelFileInfo info,
+                           quant::LoadModelFileMapped(m.get(), model_path));
+      if (int8 && !info.has_int8) {
+        return Status::InvalidArgument(
+            model_path + " lost its int8 sections; refusing to swap an "
+                         "int8 engine onto an fp32-only container");
+      }
+      return m;
+    };
+    return ServeSocket(&matcher,
+                       int8 ? serve::Precision::kInt8 : serve::Precision::kFp32,
+                       static_cast<uint16_t>(port), serve_seconds, split_layer,
+                       activation_cache_mb << 20, model_path, reload,
+                       make_matcher);
   }
 
   // 4. A few interactive-style requests. With int8 enabled, show both

@@ -1,0 +1,50 @@
+#include "io/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace emx {
+namespace io {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    open_status_ =
+        Status::IoError("cannot open " + tmp_path_ + " for writing");
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    if (out_.is_open()) out_.close();
+    if (open_status_.ok()) std::remove(tmp_path_.c_str());
+  }
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!open_status_.ok()) return open_status_;
+  if (committed_) return Status::Internal("Commit called twice");
+  out_.flush();
+  const bool good = out_.good();
+  out_.close();
+  if (!good || !out_.good()) {
+    std::remove(tmp_path_.c_str());
+    committed_ = true;  // nothing left to clean up
+    return Status::IoError("write to " + tmp_path_ + " failed");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const Status s = Status::IoError("rename(" + tmp_path_ + ", " + path_ +
+                                     "): " + std::strerror(errno));
+    std::remove(tmp_path_.c_str());
+    committed_ = true;
+    return s;
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace emx

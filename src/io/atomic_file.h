@@ -1,0 +1,51 @@
+#ifndef EMX_IO_ATOMIC_FILE_H_
+#define EMX_IO_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace emx {
+namespace io {
+
+/// Atomic publish for file artifacts: writes to `path + ".tmp"` and
+/// rename(2)s onto `path` at Commit. A crash, an ENOSPC, or an early
+/// return mid-write leaves at worst a stale .tmp sibling — the previous
+/// artifact at `path` stays intact byte for byte, which is also what lets
+/// a hot-swap watcher treat "the file changed" as "the file is complete".
+/// The destructor removes the .tmp of a writer that never committed.
+///
+/// This guards against torn files from process death, not against power
+/// loss (Commit does not fsync; the rename itself is still atomic).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The stream to write through. Only valid when status().ok().
+  std::ofstream& stream() { return out_; }
+
+  /// Open failure, if any (check before writing).
+  const Status& status() const { return open_status_; }
+
+  /// Flushes, closes, verifies the stream survived every write, and
+  /// renames the temporary onto the destination. After an error the
+  /// temporary is removed and the destination is untouched.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  Status open_status_;
+  bool committed_ = false;
+};
+
+}  // namespace io
+}  // namespace emx
+
+#endif  // EMX_IO_ATOMIC_FILE_H_

@@ -1,0 +1,97 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace emx {
+namespace io {
+namespace {
+
+std::string ErrnoText(const char* call, const std::string& path) {
+  return std::string(call) + "(" + path + "): " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(ErrnoText("open", path));
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::IoError(ErrnoText("fstat", path));
+    ::close(fd);
+    return s;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+
+  MmapFile file;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status s = Status::IoError(ErrnoText("mmap", path));
+      ::close(fd);
+      return s;
+    }
+    file.addr_ = addr;
+  }
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  return file;
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+Status MmapFile::Advise(MapAdvice advice) const {
+  if (addr_ == nullptr) return Status::OK();
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case MapAdvice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case MapAdvice::kSequential:
+      native = MADV_SEQUENTIAL;
+      break;
+    case MapAdvice::kRandom:
+      native = MADV_RANDOM;
+      break;
+    case MapAdvice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+  }
+  if (::madvise(addr_, size_, native) != 0) {
+    return Status::IoError(ErrnoText("madvise", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace emx

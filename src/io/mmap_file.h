@@ -1,0 +1,56 @@
+#ifndef EMX_IO_MMAP_FILE_H_
+#define EMX_IO_MMAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace emx {
+namespace io {
+
+/// Access-pattern hint forwarded to madvise(2). kColdStart is the model
+/// container's opening move: kWillNeed for the whole mapping would fault
+/// every page up front (exactly the O(model bytes) cost the container
+/// exists to avoid), so the default is kRandom — pages fault in as the
+/// first forward touches them.
+enum class MapAdvice { kNormal, kSequential, kRandom, kWillNeed };
+
+/// RAII read-only mapping of an entire file. Open stats the file, maps it
+/// PROT_READ/MAP_SHARED (so every replica process mapping the same file
+/// shares one copy of the page cache), and closes the descriptor — the
+/// mapping keeps the inode alive, and an atomic rename(2) onto the path
+/// does not disturb readers of the old version. Movable, not copyable;
+/// the destructor unmaps.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to {data = nullptr,
+  /// size = 0}, which is valid (the EMXM reader rejects it for being
+  /// shorter than a header, with a Status rather than a fault).
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Forwards the hint to madvise(2); a no-op for an empty mapping.
+  Status Advise(MapAdvice advice) const;
+
+ private:
+  MmapFile() = default;
+
+  void* addr_ = nullptr;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace io
+}  // namespace emx
+
+#endif  // EMX_IO_MMAP_FILE_H_

@@ -1,9 +1,12 @@
 #include "nn/module.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <map>
 
+#include "io/atomic_file.h"
+#include "io/emxm.h"
 #include "util/logging.h"
 
 namespace emx {
@@ -11,6 +14,13 @@ namespace nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x454d5850;  // "EMXP"
+
+// More parameters than any model this repo can hold in memory; a count
+// beyond this is a corrupt header, not a big model.
+constexpr uint64_t kMaxParamCount = 1ull << 20;
+
+/// prefix for fp32 parameter sections inside an EMXM container.
+std::string ParamSectionName(const std::string& name) { return "p:" + name; }
 
 }  // namespace
 
@@ -21,8 +31,9 @@ std::string JoinName(const std::string& prefix, const std::string& leaf) {
 
 Status SaveParameters(const std::string& path,
                       const std::vector<NamedParam>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  io::AtomicFileWriter writer(path);
+  EMX_RETURN_IF_ERROR(writer.status());
+  std::ofstream& out = writer.stream();
   const uint32_t magic = kMagic;
   const uint64_t count = params.size();
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
@@ -41,14 +52,25 @@ Status SaveParameters(const std::string& path,
     out.write(reinterpret_cast<const char*>(t.data()),
               static_cast<std::streamsize>(t.size() * sizeof(float)));
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return writer.Commit();
 }
 
 Status LoadParameters(const std::string& path,
                       const std::vector<NamedParam>& params) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open " + path);
+  // Every length field below is checked against the bytes actually left
+  // in the file *before* anything is allocated, so a corrupt or hostile
+  // header cannot request a multi-GB buffer the payload can never fill.
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  uint64_t consumed = 0;
+  auto remaining = [&] { return file_bytes - consumed; };
+  auto corrupt = [&](const std::string& what) {
+    return Status::InvalidArgument("corrupt parameter file " + path + ": " +
+                                   what);
+  };
+
   uint32_t magic = 0;
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -56,25 +78,47 @@ Status LoadParameters(const std::string& path,
   if (!in || magic != kMagic) {
     return Status::InvalidArgument(path + " is not an emx parameter file");
   }
+  consumed += sizeof(magic) + sizeof(count);
+  if (count > kMaxParamCount) {
+    return corrupt("implausible parameter count " + std::to_string(count));
+  }
   std::map<std::string, Tensor> loaded;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
     in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > (1u << 20)) {
-      return Status::InvalidArgument("corrupt parameter file " + path);
+    consumed += sizeof(name_len);
+    if (!in || name_len > (1u << 20) || name_len > remaining()) {
+      return corrupt("bad name length");
     }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
+    consumed += name_len;
     uint64_t ndim = 0;
     in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
-    if (!in || ndim > 8) {
-      return Status::InvalidArgument("corrupt parameter file " + path);
+    consumed += sizeof(ndim);
+    if (!in || ndim > 8 || ndim * sizeof(int64_t) > remaining()) {
+      return corrupt("bad ndim for '" + name + "'");
     }
     Shape shape(ndim);
-    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    uint64_t numel = 1;
+    for (auto& d : shape) {
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      consumed += sizeof(d);
+      if (!in || d <= 0) return corrupt("bad dim for '" + name + "'");
+      // Overflow-checked product: a pair of plausible-looking dims can
+      // wrap uint64 and make the byte count below look tiny.
+      if (numel > remaining() / static_cast<uint64_t>(d)) {
+        return corrupt("dims overflow for '" + name + "'");
+      }
+      numel *= static_cast<uint64_t>(d);
+    }
+    if (numel * sizeof(float) > remaining()) {
+      return corrupt("payload for '" + name + "' exceeds file size");
+    }
     Tensor t(shape);
     in.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(t.size() * sizeof(float)));
+    consumed += numel * sizeof(float);
     if (!in) return Status::IoError("truncated parameter file " + path);
     loaded.emplace(std::move(name), std::move(t));
   }
@@ -89,10 +133,85 @@ Status LoadParameters(const std::string& path,
           ShapeToString(it->second.shape()) + ", model expects " +
           ShapeToString(p.var.value().shape()));
     }
-    // Copy into the existing buffer so optimizer state stays attached.
-    Tensor& dst = const_cast<Variable&>(p.var).mutable_value();
-    std::copy(it->second.data(), it->second.data() + it->second.size(),
-              dst.data());
+    // Assign the staged tensor wholesale: optimizer state lives on the
+    // Variable (slots re-fetch mutable_value() each step), and assignment
+    // also restores a mutable heap buffer over a previously mapped
+    // (read-only external) value.
+    const_cast<Variable&>(p.var).mutable_value() = std::move(it->second);
+  }
+  return Status::OK();
+}
+
+Status AppendParametersEmxm(io::EmxmWriter* writer,
+                            const std::vector<NamedParam>& params) {
+  for (const auto& p : params) {
+    const Tensor& t = p.var.value();
+    if (t.ndim() > 5) {
+      return Status::InvalidArgument("parameter '" + p.name + "' has " +
+                                     std::to_string(t.ndim()) +
+                                     " dims; EMXM sections carry at most 5");
+    }
+    std::array<uint64_t, 6> aux{};
+    aux[0] = static_cast<uint64_t>(t.ndim());
+    for (int64_t i = 0; i < t.ndim(); ++i) {
+      aux[1 + i] = static_cast<uint64_t>(t.shape()[i]);
+    }
+    writer->AddSection(ParamSectionName(p.name), io::SectionKind::kF32Tensor,
+                       aux, t.data(), t.size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status LoadParametersMapped(std::shared_ptr<const io::EmxmReader> reader_sp,
+                            const std::vector<NamedParam>& params) {
+  const io::EmxmReader& reader = *reader_sp;
+  // Validate every parameter before attaching any, so a bad container
+  // leaves the model untouched (the same all-or-nothing contract as
+  // LoadParameters, which stages the whole file into a map first).
+  std::vector<const io::Section*> resolved;
+  resolved.reserve(params.size());
+  for (const auto& p : params) {
+    const io::Section* s = reader.Find(ParamSectionName(p.name));
+    if (s == nullptr) {
+      return Status::NotFound("parameter '" + p.name + "' missing in " +
+                              reader.path());
+    }
+    if (s->kind != io::SectionKind::kF32Tensor) {
+      return Status::InvalidArgument("parameter '" + p.name + "' in " +
+                                     reader.path() +
+                                     " is not an fp32 tensor section");
+    }
+    const Tensor& dst_t = p.var.value();
+    const uint64_t ndim = s->aux[0];
+    bool shape_ok = ndim == static_cast<uint64_t>(dst_t.ndim());
+    uint64_t numel = 1;
+    for (uint64_t i = 0; shape_ok && i < ndim; ++i) {
+      shape_ok = s->aux[1 + i] == static_cast<uint64_t>(dst_t.shape()[i]);
+      numel *= s->aux[1 + i];
+    }
+    if (!shape_ok) {
+      return Status::InvalidArgument(
+          "parameter '" + p.name + "' shape mismatch in " + reader.path() +
+          ": model expects " + ShapeToString(dst_t.shape()));
+    }
+    if (s->bytes != numel * sizeof(float)) {
+      return Status::InvalidArgument("parameter '" + p.name + "' in " +
+                                     reader.path() + " has " +
+                                     std::to_string(s->bytes) +
+                                     " payload bytes for " +
+                                     std::to_string(numel) + " elements");
+    }
+    resolved.push_back(s);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    // Zero-copy: the value becomes a read-only view of the mapped payload
+    // (64-byte aligned by the EMXM layout), with the reader held alive by
+    // every view. Nothing is read from disk here — pages fault in lazily
+    // as forwards touch them, and stay shared across processes.
+    const_cast<Variable&>(params[i].var).mutable_value() =
+        Tensor::FromExternal(params[i].var.value().shape(),
+                             reinterpret_cast<const float*>(resolved[i]->data),
+                             reader_sp);
   }
   return Status::OK();
 }

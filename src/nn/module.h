@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/emxm.h"
 #include "tensor/variable.h"
 #include "util/status.h"
 
@@ -86,6 +87,24 @@ Status SaveParameters(const std::string& path,
 /// Fails if any parameter is missing from the file.
 Status LoadParameters(const std::string& path,
                       const std::vector<NamedParam>& params);
+
+/// Adds one "p:<name>" fp32 tensor section per parameter to an EMXM
+/// container under construction. The tensors are borrowed, not copied —
+/// keep the model alive until EmxmWriter::WriteFile returns.
+Status AppendParametersEmxm(io::EmxmWriter* writer,
+                            const std::vector<NamedParam>& params);
+
+/// Loads parameters by name from a mapped EMXM container into existing
+/// Variables; shapes must match and every parameter must be present.
+/// Zero-copy: each Variable's value becomes a read-only view of the
+/// mapped payload (holding `reader` alive), so the load costs O(sections)
+/// regardless of model size and N processes mapping the same container
+/// share one physical copy of the weights. The model must be treated as
+/// read-only afterwards — fine-tuning or re-quantizing a mapped model is
+/// undefined behavior (the mapping is PROT_READ). LoadParameters restores
+/// mutable heap tensors.
+Status LoadParametersMapped(std::shared_ptr<const io::EmxmReader> reader,
+                            const std::vector<NamedParam>& params);
 
 /// Copies parameter values from `src` into `dst`, matching by name for all
 /// names present in both (used to initialize a student from a teacher).

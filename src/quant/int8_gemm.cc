@@ -35,11 +35,12 @@ int64_t PackedIndex(int64_t k_padded, int64_t k, int64_t j) {
 /// fresh-quantize and checkpoint-load constructors, so both produce the
 /// same derived state bit for bit).
 void FinalizeDerived(PackedWeights* w) {
+  const int8_t* packed = w->packed_data();
   w->col_sums.assign(static_cast<size_t>(w->out), 0);
   for (int64_t j = 0; j < w->out; ++j) {
     int32_t s = 0;
     for (int64_t k = 0; k < w->in; ++k) {
-      s += w->data[static_cast<size_t>(PackedIndex(w->k_padded, k, j))];
+      s += packed[PackedIndex(w->k_padded, k, j)];
     }
     w->col_sums[static_cast<size_t>(j)] = s;
   }
@@ -118,14 +119,61 @@ PackedWeights PackQuantizedWeights(int64_t in, int64_t out,
 }
 
 std::vector<int8_t> UnpackQuantizedWeights(const PackedWeights& w) {
+  const int8_t* packed = w.packed_data();
   std::vector<int8_t> qw(static_cast<size_t>(w.in * w.out));
   for (int64_t k = 0; k < w.in; ++k) {
     for (int64_t j = 0; j < w.out; ++j) {
       qw[static_cast<size_t>(k * w.out + j)] =
-          w.data[static_cast<size_t>(PackedIndex(w.k_padded, k, j))];
+          packed[PackedIndex(w.k_padded, k, j)];
     }
   }
   return qw;
+}
+
+Result<PackedWeights> ViewPackedWeights(int64_t in, int64_t out,
+                                        const int8_t* packed,
+                                        uint64_t packed_bytes,
+                                        std::shared_ptr<const void> owner,
+                                        std::vector<float> w_scales,
+                                        std::vector<float> bias,
+                                        std::vector<int32_t> col_sums,
+                                        const QuantParams& act) {
+  if (in <= 0 || out <= 0) {
+    return Status::InvalidArgument("packed weights need in > 0 and out > 0");
+  }
+  PackedWeights w;
+  w.in = in;
+  w.out = out;
+  w.k_padded = RoundUp(in, kKGroup);
+  w.n_padded = RoundUp(out, kColBlock);
+  if (packed_bytes !=
+      static_cast<uint64_t>(w.k_padded) * static_cast<uint64_t>(w.n_padded)) {
+    return Status::InvalidArgument(
+        "packed image is " + std::to_string(packed_bytes) + " bytes; " +
+        std::to_string(in) + "x" + std::to_string(out) + " packs to " +
+        std::to_string(w.k_padded * w.n_padded));
+  }
+  if (static_cast<int64_t>(w_scales.size()) != out ||
+      static_cast<int64_t>(bias.size()) != out ||
+      static_cast<int64_t>(col_sums.size()) != out) {
+    return Status::InvalidArgument(
+        "per-channel arrays do not match out=" + std::to_string(out));
+  }
+  w.view = packed;
+  w.owner = std::move(owner);
+  w.act = act;
+  w.w_scales = std::move(w_scales);
+  w.bias = std::move(bias);
+  // col_sums come from the container rather than FinalizeDerived: summing
+  // them here would touch every weight byte and reintroduce the
+  // O(model-size) cold start the mapping exists to avoid.
+  w.col_sums = std::move(col_sums);
+  w.fused_scale.resize(static_cast<size_t>(w.out));
+  for (int64_t j = 0; j < w.out; ++j) {
+    w.fused_scale[static_cast<size_t>(j)] =
+        w.act.scale * w.w_scales[static_cast<size_t>(j)];
+  }
+  return w;
 }
 
 void QuantizeActivations(const float* x, int64_t m, int64_t k,
@@ -154,7 +202,7 @@ void Int8GemmRowRangeScalar(const uint8_t* qa, int64_t i0, int64_t i1,
     int32_t* acc_row = acc + i * w.n_padded;
     for (int64_t nb = 0; nb < nb_count; ++nb) {
       const int8_t* tile =
-          w.data.data() + nb * kg_count * kColBlock * kKGroup;
+          w.packed_data() + nb * kg_count * kColBlock * kKGroup;
       int32_t sums[kColBlock] = {0};
       for (int64_t kg = 0; kg < kg_count; ++kg) {
         const int8_t* wrow = tile + kg * kColBlock * kKGroup;
@@ -195,7 +243,7 @@ void Int8GemmRowRangeVnni(const uint8_t* qa, int64_t i0, int64_t i1,
     const uint8_t* a3 = qa + (i + 3) * w.k_padded;
     for (int64_t nb = 0; nb < nb_count; ++nb) {
       const int8_t* tile =
-          w.data.data() + nb * kg_count * kColBlock * kKGroup;
+          w.packed_data() + nb * kg_count * kColBlock * kKGroup;
       __m512i s0 = _mm512_setzero_si512();
       __m512i s1 = _mm512_setzero_si512();
       __m512i s2 = _mm512_setzero_si512();

@@ -2,10 +2,12 @@
 #define EMX_QUANT_INT8_GEMM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "quant/observer.h"
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace emx {
 namespace quant {
@@ -36,12 +38,24 @@ struct PackedWeights {
   int64_t k_padded = 0;  // in rounded up to kKGroup
   int64_t n_padded = 0;  // out rounded up to kColBlock
 
-  std::vector<int8_t> data;        // n_padded * k_padded, interleaved
+  /// Packed bytes live in exactly one of two places: `data` when the
+  /// weights were quantized or parsed into this process, or `view` when
+  /// they are served zero-copy out of a read-only EMXM mapping. `owner`
+  /// keeps whatever backs `view` (the mapped container) alive for as long
+  /// as this struct exists; kernels always go through packed_data().
+  std::vector<int8_t> data;          // n_padded * k_padded, interleaved
+  const int8_t* view = nullptr;      // borrowed packed image (mapped mode)
+  std::shared_ptr<const void> owner; // keepalive for `view`
+
   std::vector<int32_t> col_sums;   // [out]; sum_k qw[k][j]
   std::vector<float> w_scales;     // [out]; per-channel symmetric scales
   std::vector<float> bias;         // [out]; fp32 bias, applied in epilogue
   std::vector<float> fused_scale;  // [out]; act.scale * w_scales[j]
   QuantParams act;                 // input-activation grid (u8 affine)
+
+  const int8_t* packed_data() const {
+    return view != nullptr ? view : data.data();
+  }
 };
 
 /// Quantizes fp32 weights [in, out] per output channel and packs them.
@@ -58,6 +72,22 @@ PackedWeights PackQuantizedWeights(int64_t in, int64_t out,
                                    const std::vector<float>& w_scales,
                                    const std::vector<float>& bias,
                                    const QuantParams& act);
+
+/// Builds a PackedWeights that serves the kernel directly from an
+/// already-packed weight image (an EMXM section still inside its mmap) —
+/// the zero-copy load path. Nothing is repacked or summed: `packed` is
+/// aliased, and the derived arrays come from the container verbatim, with
+/// only fused_scale recomputed exactly as FinalizeDerived does, so mapped
+/// and parsed models produce bit-identical logits. `owner` must keep
+/// `packed` valid for the lifetime of the returned struct.
+Result<PackedWeights> ViewPackedWeights(int64_t in, int64_t out,
+                                        const int8_t* packed,
+                                        uint64_t packed_bytes,
+                                        std::shared_ptr<const void> owner,
+                                        std::vector<float> w_scales,
+                                        std::vector<float> bias,
+                                        std::vector<int32_t> col_sums,
+                                        const QuantParams& act);
 
 /// Extracts the logical row-major int8 weights back out of the packed
 /// layout (for checkpoint save).

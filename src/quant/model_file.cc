@@ -1,0 +1,280 @@
+#include "quant/model_file.h"
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "io/emxm.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "quant/int8_gemm.h"
+#include "quant/quantize_matcher.h"
+#include "quant/quantized_linear.h"
+
+namespace emx {
+namespace quant {
+namespace {
+
+constexpr char kManifestName[] = "emxm:manifest";
+
+/// Same flattening as QuantizeMatcher: standalone linears plus the
+/// fc1/fc2 of every FFN, under the fused block's name scheme.
+struct FlatQuantTargets {
+  std::vector<std::pair<std::string, nn::Linear*>> linears;
+  std::vector<std::pair<std::string, nn::FeedForward*>> ffns;
+};
+
+FlatQuantTargets FlattenTargets(core::EntityMatcher* matcher) {
+  nn::QuantTargets targets;
+  matcher->classifier()->CollectQuantTargets("", &targets);
+  FlatQuantTargets flat;
+  flat.linears = targets.linears;
+  flat.ffns = targets.ffns;
+  for (auto& [name, ffn] : targets.ffns) {
+    flat.linears.emplace_back(nn::JoinName(name, "fc1"), ffn->fc1());
+    flat.linears.emplace_back(nn::JoinName(name, "fc2"), ffn->fc2());
+  }
+  return flat;
+}
+
+std::shared_ptr<Int8LinearBackend> GetInt8Backend(const nn::Linear* layer) {
+  return std::static_pointer_cast<Int8LinearBackend>(layer->backend());
+}
+
+std::string QwName(const std::string& name) { return "q:" + name + ":qw"; }
+std::string WsName(const std::string& name) { return "q:" + name + ":ws"; }
+std::string BiasName(const std::string& name) {
+  return "q:" + name + ":bias";
+}
+std::string CsName(const std::string& name) { return "q:" + name + ":cs"; }
+std::string FfnName(const std::string& name) { return "q:" + name + ":ffn"; }
+
+/// Fetches a section and checks kind + element count in one step.
+Result<const io::Section*> VecSection(const io::EmxmReader& reader,
+                                      const std::string& name,
+                                      io::SectionKind kind,
+                                      uint64_t expect_count,
+                                      uint64_t elem_bytes) {
+  const io::Section* s = reader.Find(name);
+  if (s == nullptr) {
+    return Status::NotFound("section '" + name + "' missing in " +
+                            reader.path());
+  }
+  if (s->kind != kind || s->aux[0] != expect_count ||
+      s->bytes != expect_count * elem_bytes) {
+    return Status::InvalidArgument("section '" + name + "' in " +
+                                   reader.path() +
+                                   " has the wrong kind or element count");
+  }
+  return s;
+}
+
+}  // namespace
+
+Status SaveModelFile(core::EntityMatcher* matcher, const std::string& path) {
+  io::EmxmWriter writer;
+
+  // fp32 first: always present, and enough to rebuild everything else.
+  std::vector<nn::NamedParam> params = matcher->classifier()->Parameters();
+  EMX_RETURN_IF_ERROR(nn::AppendParametersEmxm(&writer, params));
+
+  FlatQuantTargets flat = FlattenTargets(matcher);
+  const bool quantized = IsQuantized(matcher);
+  uint64_t linear_count = 0;
+  uint64_t ffn_count = 0;
+  if (quantized) {
+    for (auto& [name, layer] : flat.linears) {
+      if (layer->backend() == nullptr || !layer->backend()->ready()) {
+        return Status::InvalidArgument(
+            "SaveModelFile: layer '" + name +
+            "' is not quantized; quantize fully or clear quantization");
+      }
+      const PackedWeights& w = GetInt8Backend(layer)->packed();
+      std::array<uint64_t, 6> aux{};
+      aux[0] = static_cast<uint64_t>(w.in);
+      aux[1] = static_cast<uint64_t>(w.out);
+      aux[2] = static_cast<uint64_t>(w.k_padded);
+      aux[3] = static_cast<uint64_t>(w.n_padded);
+      aux[4] = io::AuxFromF32(w.act.scale);
+      aux[5] = static_cast<uint64_t>(w.act.zero_point);
+      // The packed kernel image verbatim — including col_sums below, so
+      // the mapped loader never has to touch the weight bytes.
+      writer.AddSection(
+          QwName(name), io::SectionKind::kInt8Packed, aux, w.packed_data(),
+          static_cast<uint64_t>(w.k_padded) * static_cast<uint64_t>(w.n_padded));
+      std::array<uint64_t, 6> count_aux{};
+      count_aux[0] = static_cast<uint64_t>(w.out);
+      writer.AddSection(WsName(name), io::SectionKind::kF32Vec, count_aux,
+                        w.w_scales.data(), w.w_scales.size() * sizeof(float));
+      writer.AddSection(BiasName(name), io::SectionKind::kF32Vec, count_aux,
+                        w.bias.data(), w.bias.size() * sizeof(float));
+      writer.AddSection(CsName(name), io::SectionKind::kI32Vec, count_aux,
+                        w.col_sums.data(),
+                        w.col_sums.size() * sizeof(int32_t));
+      ++linear_count;
+    }
+    for (auto& [name, ffn] : flat.ffns) {
+      if (ffn->backend() == nullptr || !ffn->backend()->ready()) {
+        return Status::InvalidArgument("SaveModelFile: FFN '" + name +
+                                       "' has no fused backend");
+      }
+      const auto* be =
+          static_cast<const Int8FfnBackend*>(ffn->backend().get());
+      const QuantParams mid = be->mid_in();
+      std::array<uint64_t, 6> aux{};
+      aux[0] = static_cast<uint64_t>(be->activation());
+      aux[1] = io::AuxFromF32(mid.scale);
+      aux[2] = static_cast<uint64_t>(mid.zero_point);
+      writer.AddSection(FfnName(name), io::SectionKind::kFfnMeta, aux,
+                        nullptr, 0);
+      ++ffn_count;
+    }
+  }
+
+  const std::string arch = matcher->arch_name();
+  std::array<uint64_t, 6> manifest_aux{};
+  manifest_aux[0] = params.size();
+  manifest_aux[1] = linear_count;
+  manifest_aux[2] = ffn_count;
+  writer.AddSection(kManifestName, io::SectionKind::kManifest, manifest_aux,
+                    arch.data(), arch.size());
+
+  return writer.WriteFile(path);
+}
+
+Result<ModelFileInfo> LoadModelFileMapped(core::EntityMatcher* matcher,
+                                          const std::string& path) {
+  EMX_ASSIGN_OR_RETURN(std::shared_ptr<const io::EmxmReader> reader,
+                       io::EmxmReader::Open(path));
+
+  const io::Section* manifest = reader->Find(kManifestName);
+  if (manifest == nullptr || manifest->kind != io::SectionKind::kManifest) {
+    return Status::InvalidArgument(path + " has no model manifest");
+  }
+  const std::string arch(reinterpret_cast<const char*>(manifest->data),
+                         manifest->bytes);
+  if (arch != matcher->arch_name()) {
+    return Status::InvalidArgument(
+        path + " holds a " + arch + " model; this matcher is " +
+        matcher->arch_name());
+  }
+
+  ModelFileInfo info;
+  info.fp32_params = static_cast<int64_t>(manifest->aux[0]);
+  info.int8_linears = static_cast<int64_t>(manifest->aux[1]);
+  info.int8_ffns = static_cast<int64_t>(manifest->aux[2]);
+  info.has_int8 = manifest->aux[1] > 0;
+
+  FlatQuantTargets flat = FlattenTargets(matcher);
+  std::map<std::string, std::shared_ptr<Int8LinearBackend>> backends;
+  std::map<std::string, std::shared_ptr<Int8FfnBackend>> ffn_backends;
+  if (info.has_int8) {
+    // Build every backend before attaching any (and before the fp32 copy
+    // below), so a bad container cannot leave a half-swapped matcher.
+    for (auto& [name, layer] : flat.linears) {
+      const io::Section* qw = reader->Find(QwName(name));
+      if (qw == nullptr) {
+        return Status::InvalidArgument(path + " does not cover layer '" +
+                                       name + "'");
+      }
+      if (qw->kind != io::SectionKind::kInt8Packed) {
+        return Status::InvalidArgument("section '" + QwName(name) + "' in " +
+                                       path + " is not a packed int8 image");
+      }
+      const int64_t in = static_cast<int64_t>(qw->aux[0]);
+      const int64_t out = static_cast<int64_t>(qw->aux[1]);
+      if (in != layer->in_features() || out != layer->out_features()) {
+        return Status::InvalidArgument(
+            "quantized layer '" + name + "' shape mismatch: file has [" +
+            std::to_string(in) + ", " + std::to_string(out) +
+            "], model expects [" + std::to_string(layer->in_features()) +
+            ", " + std::to_string(layer->out_features()) + "]");
+      }
+      QuantParams act;
+      act.scale = io::F32FromAux(qw->aux[4]);
+      act.zero_point = static_cast<int32_t>(qw->aux[5]);
+
+      const uint64_t out_u = static_cast<uint64_t>(out);
+      EMX_ASSIGN_OR_RETURN(
+          const io::Section* ws,
+          VecSection(*reader, WsName(name), io::SectionKind::kF32Vec, out_u,
+                     sizeof(float)));
+      EMX_ASSIGN_OR_RETURN(
+          const io::Section* bias,
+          VecSection(*reader, BiasName(name), io::SectionKind::kF32Vec,
+                     out_u, sizeof(float)));
+      EMX_ASSIGN_OR_RETURN(
+          const io::Section* cs,
+          VecSection(*reader, CsName(name), io::SectionKind::kI32Vec, out_u,
+                     sizeof(int32_t)));
+
+      // The O(out) epilogue arrays are copied (they are cheap and keep
+      // the struct layout uniform); only the O(in*out) packed image is
+      // aliased, with the reader as keepalive.
+      std::vector<float> w_scales(out_u), bias_v(out_u);
+      std::vector<int32_t> col_sums(out_u);
+      std::memcpy(w_scales.data(), ws->data, ws->bytes);
+      std::memcpy(bias_v.data(), bias->data, bias->bytes);
+      std::memcpy(col_sums.data(), cs->data, cs->bytes);
+      EMX_ASSIGN_OR_RETURN(
+          PackedWeights packed,
+          ViewPackedWeights(in, out,
+                            reinterpret_cast<const int8_t*>(qw->data),
+                            qw->bytes, reader, std::move(w_scales),
+                            std::move(bias_v), std::move(col_sums), act));
+      if (static_cast<int64_t>(qw->aux[2]) != packed.k_padded ||
+          static_cast<int64_t>(qw->aux[3]) != packed.n_padded) {
+        return Status::InvalidArgument("section '" + QwName(name) + "' in " +
+                                       path +
+                                       " declares inconsistent padding");
+      }
+      auto backend = std::make_shared<Int8LinearBackend>();
+      backend->FreezeFromPacked(std::move(packed));
+      backends[name] = backend;
+    }
+    for (auto& [name, ffn] : flat.ffns) {
+      const io::Section* meta = reader->Find(FfnName(name));
+      if (meta == nullptr || meta->kind != io::SectionKind::kFfnMeta) {
+        return Status::InvalidArgument(path + " does not cover FFN '" +
+                                       name + "'");
+      }
+      if (meta->aux[0] != static_cast<uint64_t>(ffn->activation())) {
+        return Status::InvalidArgument("quantized FFN '" + name +
+                                       "' activation mismatch in " + path);
+      }
+      QuantParams mid;
+      mid.scale = io::F32FromAux(meta->aux[1]);
+      mid.zero_point = static_cast<int32_t>(meta->aux[2]);
+      auto fc1 = backends.find(nn::JoinName(name, "fc1"));
+      auto fc2 = backends.find(nn::JoinName(name, "fc2"));
+      if (fc1 == backends.end() || fc2 == backends.end()) {
+        return Status::InvalidArgument("FFN '" + name + "' in " + path +
+                                       " is missing its fc1/fc2 entries");
+      }
+      ffn_backends[name] = std::make_shared<Int8FfnBackend>(
+          fc1->second->packed(), fc2->second->packed(), mid,
+          ffn->activation());
+    }
+  }
+
+  // fp32 is itself all-or-nothing (validate-then-attach), so this is the
+  // first mutation and the last fallible step.
+  std::vector<nn::NamedParam> params = matcher->classifier()->Parameters();
+  EMX_RETURN_IF_ERROR(nn::LoadParametersMapped(reader, params));
+
+  if (info.has_int8) {
+    for (auto& [name, layer] : flat.linears) {
+      layer->set_backend(backends[name]);
+    }
+    for (auto& [name, ffn] : flat.ffns) {
+      ffn->set_backend(ffn_backends[name]);
+    }
+  }
+  return info;
+}
+
+}  // namespace quant
+}  // namespace emx

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "io/atomic_file.h"
 #include "nn/layers.h"
 #include "quant/int8_gemm.h"
 #include "quant/quantized_linear.h"
@@ -151,8 +152,9 @@ Status SaveQuantized(core::EntityMatcher* matcher, const std::string& path) {
           "' is not quantized; run QuantizeMatcher first");
     }
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  io::AtomicFileWriter writer(path);
+  EMX_RETURN_IF_ERROR(writer.status());
+  std::ofstream& out = writer.stream();
   WriteBytes(out, &kMagic, sizeof(kMagic));
   WriteBytes(out, &kVersion, sizeof(kVersion));
 
@@ -186,8 +188,7 @@ Status SaveQuantized(core::EntityMatcher* matcher, const std::string& path) {
     WriteBytes(out, &mid.scale, sizeof(mid.scale));
     WriteBytes(out, &mid.zero_point, sizeof(mid.zero_point));
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return writer.Commit();
 }
 
 Status LoadQuantized(core::EntityMatcher* matcher, const std::string& path) {
@@ -197,8 +198,10 @@ Status LoadQuantized(core::EntityMatcher* matcher, const std::string& path) {
   std::map<std::string, nn::FeedForward*> ffn_by_name;
   for (auto& [name, ffn] : flat.ffns) ffn_by_name[name] = ffn;
 
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open " + path);
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
   uint32_t magic = 0, version = 0;
   if (!ReadBytes(in, &magic, sizeof(magic)) ||
       !ReadBytes(in, &version, sizeof(version)) || magic != kMagic) {
@@ -241,6 +244,25 @@ Status LoadQuantized(core::EntityMatcher* matcher, const std::string& path) {
           std::to_string(in_dim) + ", " + std::to_string(out_dim) +
           "], model expects [" + std::to_string(it->second->in_features()) +
           ", " + std::to_string(it->second->out_features()) + "]");
+    }
+    // Cross-check the byte counts this entry implies against what is left
+    // of the file before allocating: the dims were range-checked as
+    // positive, but a corrupt pair like [2^40, 2^20] would otherwise ask
+    // for an exabyte of vectors the payload can never fill.
+    const uint64_t remaining = file_bytes - static_cast<uint64_t>(in.tellg());
+    const uint64_t in_u = static_cast<uint64_t>(in_dim);
+    const uint64_t out_u = static_cast<uint64_t>(out_dim);
+    if (out_u > remaining || in_u > remaining) {
+      return Status::InvalidArgument("corrupt quantized checkpoint " + path +
+                                     ": dims for '" + name +
+                                     "' exceed file size");
+    }
+    const uint64_t scale_bytes = out_u * 2 * sizeof(float);
+    if (scale_bytes > remaining ||
+        in_u > (remaining - scale_bytes) / out_u) {
+      return Status::InvalidArgument("corrupt quantized checkpoint " + path +
+                                     ": payload for '" + name +
+                                     "' exceeds file size");
     }
     std::vector<float> w_scales(static_cast<size_t>(out_dim));
     std::vector<float> bias(static_cast<size_t>(out_dim));

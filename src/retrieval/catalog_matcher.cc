@@ -7,6 +7,7 @@
 #include <future>
 #include <utility>
 
+#include "io/atomic_file.h"
 #include "obs/trace.h"
 
 namespace emx {
@@ -170,10 +171,9 @@ Result<std::vector<CatalogMatch>> CatalogMatcher::FindMatches(
 }
 
 Status CatalogMatcher::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+  io::AtomicFileWriter writer(path);
+  EMX_RETURN_IF_ERROR(writer.status());
+  std::ofstream& out = writer.stream();
   std::shared_lock<std::shared_mutex> lock(texts_mu_);
   out.write(kMagic, sizeof(kMagic));
   WriteI64(out, static_cast<int64_t>(texts_.size()));
@@ -182,9 +182,7 @@ Status CatalogMatcher::Save(const std::string& path) const {
     out.write(t.data(), static_cast<std::streamsize>(t.size()));
   }
   EMX_RETURN_IF_ERROR(index_.SaveTo(out));
-  out.close();
-  if (!out.good()) return Status::IoError("write to " + path + " failed");
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<std::unique_ptr<CatalogMatcher>> CatalogMatcher::Load(

@@ -8,6 +8,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "io/atomic_file.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -375,14 +376,10 @@ Status QGramIndex::SaveTo(std::ostream& out) const {
 }
 
 Status QGramIndex::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  EMX_RETURN_IF_ERROR(SaveTo(out));
-  out.close();
-  if (!out.good()) return Status::IoError("write to " + path + " failed");
-  return Status::OK();
+  io::AtomicFileWriter writer(path);
+  EMX_RETURN_IF_ERROR(writer.status());
+  EMX_RETURN_IF_ERROR(SaveTo(writer.stream()));
+  return writer.Commit();
 }
 
 Result<QGramIndex> QGramIndex::LoadFrom(std::istream& in) {

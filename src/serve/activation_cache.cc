@@ -56,6 +56,14 @@ std::shared_ptr<const Tensor> ActivationCache::Put(const std::string& key,
   return shared;
 }
 
+void ActivationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  if (bytes_gauge_ != nullptr) bytes_gauge_->Set(0);
+}
+
 void ActivationCache::EvictToBudgetLocked() {
   int64_t evicted = 0;
   while (bytes_ > max_bytes_ && !lru_.empty()) {

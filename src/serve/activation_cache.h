@@ -56,6 +56,11 @@ class ActivationCache {
   /// budget is returned to the caller but not kept.
   std::shared_ptr<const Tensor> Put(const std::string& key, Tensor value);
 
+  /// Drops every entry (hot-swap: cached prefixes belong to the previous
+  /// model version). Checked-out shared_ptrs stay valid; hit/miss/eviction
+  /// counters are cumulative and unaffected.
+  void Clear();
+
   ActivationCacheStats Stats() const;
   int64_t size() const;
   int64_t resident_bytes() const;

@@ -21,6 +21,11 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/// Length buckets occupy the low bits of Request::bucket; the model
+/// version is folded into the high bits so a micro-batch (formed by exact
+/// bucket equality) can never span a hot swap.
+constexpr int64_t kVersionBucketStride = 1ll << 32;
+
 /// True when any quant target of the model carries a frozen int8 backend
 /// (checked via the nn hooks only, so serve stays independent of emx_quant).
 bool HasReadyInt8Backends(core::EntityMatcher* matcher) {
@@ -158,6 +163,13 @@ MatcherEngine::MatcherEngine(core::EntityMatcher* matcher,
     EMX_CHECK_LT(options_.split_layer, backbone->config().num_layers)
         << "split_layer must leave at least one cross-attention layer";
   }
+  // Version 1: the caller-owned matcher behind a no-op deleter, so the
+  // initial model flows through the same snapshot path as swapped ones.
+  model_.store(std::make_shared<const VersionedModel>(VersionedModel{
+                   std::shared_ptr<core::EntityMatcher>(
+                       matcher, [](core::EntityMatcher*) {}),
+                   1}),
+               std::memory_order_release);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back(&MatcherEngine::WorkerLoop, this,
@@ -212,8 +224,11 @@ std::future<MatchResult> MatcherEngine::Submit(std::string text_a,
   metrics_.RecordCacheLookup(hit);
   metrics_.RecordTokenCacheBytes(cache_.resident_bytes() +
                                  entity_tokens_.resident_bytes());
-  req.bucket = std::max<int64_t>(
-      1, (req.enc.length + options_.bucket_width - 1) / options_.bucket_width);
+  req.model = CurrentModel();
+  req.bucket =
+      std::max<int64_t>(1, (req.enc.length + options_.bucket_width - 1) /
+                               options_.bucket_width) +
+      static_cast<int64_t>(req.model->version) * kVersionBucketStride;
   EnqueueOrReject(std::move(req));
   return fut;
 }
@@ -323,27 +338,38 @@ std::future<MatchResult> MatcherEngine::SubmitSplit(
   req.len_q = static_cast<int64_t>(a.size()) + 2;  // [CLS] a [SEP]
   req.len_c = static_cast<int64_t>(b.size()) + 1;  // b [SEP]
 
-  req.prefix_q = PrefixFor(query->text, a, /*query_side=*/true,
+  // One snapshot covers both prefixes and the upper-layer forward, so a
+  // swap landing mid-submit cannot feed version-N prefixes into version-
+  // N+1 cross-attention layers.
+  req.model = CurrentModel();
+  req.prefix_q = PrefixFor(*req.model, query->text, a, /*query_side=*/true,
                            /*position_offset=*/0, &req.prefix_hit_q);
-  req.prefix_c = PrefixFor(candidate, b, /*query_side=*/false,
+  req.prefix_c = PrefixFor(*req.model, candidate, b, /*query_side=*/false,
                            /*position_offset=*/req.len_q, &req.prefix_hit_c);
 
-  req.bucket = std::max<int64_t>(
-      1, (req.len_q + req.len_c + options_.bucket_width - 1) /
-             options_.bucket_width);
+  req.bucket =
+      std::max<int64_t>(1, (req.len_q + req.len_c + options_.bucket_width - 1) /
+                               options_.bucket_width) +
+      static_cast<int64_t>(req.model->version) * kVersionBucketStride;
   EnqueueOrReject(std::move(req));
   return fut;
 }
 
 std::shared_ptr<const Tensor> MatcherEngine::PrefixFor(
-    std::string_view text, const std::vector<int64_t>& ids, bool query_side,
-    int64_t position_offset, bool* hit) {
+    const VersionedModel& model, std::string_view text,
+    const std::vector<int64_t>& ids, bool query_side, int64_t position_offset,
+    bool* hit) {
   // The key carries everything the activation depends on besides the
-  // engine-constant split_layer and precision: which side the segment
-  // embeds as, the text, the truncated token count, and (candidate side)
-  // the absolute position offset imposed by the query's length.
+  // engine-constant split_layer and precision: the model version that
+  // produced it (the cache is also cleared on swap; the tag makes
+  // staleness structurally impossible rather than timing-dependent),
+  // which side the segment embeds as, the text, the truncated token
+  // count, and (candidate side) the absolute position offset imposed by
+  // the query's length.
   std::string key;
-  key.reserve(text.size() + 16);
+  key.reserve(text.size() + 24);
+  key += std::to_string(model.version);
+  key.push_back('\x1f');
   key.push_back(query_side ? 'q' : 'c');
   key.push_back('\x1f');
   key.append(text);
@@ -365,7 +391,7 @@ std::shared_ptr<const Tensor> MatcherEngine::PrefixFor(
         {{"tokens", static_cast<int64_t>(ids.size())},
          {"query_side", query_side ? int64_t{1} : int64_t{0}}});
   });
-  const auto& specials = matcher_->tokenizer().specials();
+  const auto& specials = model.matcher->tokenizer().specials();
   models::Batch seg;
   seg.batch_size = 1;
   if (query_side) {
@@ -385,8 +411,9 @@ std::shared_ptr<const Tensor> MatcherEngine::PrefixFor(
   NoGradGuard no_grad;
   nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
   Rng rng(0);  // never drawn: the prefix forward runs dropout-free
-  Variable prefix = matcher_->classifier()->backbone()->EncodeSegmentPrefix(
-      seg, options_.split_layer, position_offset, &rng);
+  Variable prefix =
+      model.matcher->classifier()->backbone()->EncodeSegmentPrefix(
+          seg, options_.split_layer, position_offset, &rng);
   return prefix_cache_.Put(key, prefix.value());
 }
 
@@ -414,8 +441,63 @@ bool MatcherEngine::WarmCandidate(std::string_view text,
   }
   std::vector<int64_t> b(c_ids->begin(), c_ids->begin() + lb);
   bool hit = false;
-  PrefixFor(text, b, /*query_side=*/false, /*position_offset=*/la + 2, &hit);
+  PrefixFor(*CurrentModel(), text, b, /*query_side=*/false,
+            /*position_offset=*/la + 2, &hit);
   return true;
+}
+
+Status MatcherEngine::SwapModel(std::shared_ptr<core::EntityMatcher> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("SwapModel: next model must not be null");
+  }
+  // The version bump is read-modify-write over model_, so concurrent
+  // swappers are serialized; Submit/RunBatch never take this lock.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  const std::shared_ptr<const VersionedModel> cur = CurrentModel();
+  core::EntityMatcher* old = cur->matcher.get();
+  if (next->arch() != old->arch()) {
+    return Status::InvalidArgument(
+        std::string("SwapModel: architecture mismatch: serving ") +
+        old->arch_name() + ", next is " + next->arch_name());
+  }
+  const models::TransformerConfig& nc =
+      next->classifier()->backbone()->config();
+  const models::TransformerConfig& oc =
+      old->classifier()->backbone()->config();
+  if (nc.hidden != oc.hidden || nc.num_layers != oc.num_layers) {
+    return Status::InvalidArgument(
+        "SwapModel: model geometry mismatch: serving hidden=" +
+        std::to_string(oc.hidden) + "/layers=" +
+        std::to_string(oc.num_layers) + ", next has hidden=" +
+        std::to_string(nc.hidden) + "/layers=" +
+        std::to_string(nc.num_layers));
+  }
+  if (options_.precision == Precision::kInt8 &&
+      !HasReadyInt8Backends(next.get())) {
+    return Status::InvalidArgument(
+        "SwapModel: engine serves kInt8 but the next model has no frozen "
+        "int8 backends");
+  }
+  if (split_enabled() &&
+      !next->classifier()->backbone()->SupportsSplitEncode()) {
+    return Status::InvalidArgument(
+        "SwapModel: engine uses split encoding but the next model's "
+        "backbone does not support it");
+  }
+
+  auto fresh = std::make_shared<const VersionedModel>(
+      VersionedModel{std::move(next), cur->version + 1});
+  model_.store(fresh, std::memory_order_release);
+  // Drop old-version prefixes now rather than letting them age out of the
+  // LRU: they can never be hit again (version-tagged keys) and would
+  // otherwise squat on the byte budget.
+  prefix_cache_.Clear();
+  metrics_.RecordModelSwap(static_cast<int64_t>(fresh->version));
+  return Status::OK();
+}
+
+uint64_t MatcherEngine::model_version() const {
+  return CurrentModel()->version;
 }
 
 void MatcherEngine::Pause() {
@@ -572,11 +654,15 @@ void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
   }
   mb.attention_mask = models::Batch::MakeMask(pad_flags, b, target_len);
 
+  // Every member snapshotted the same model (version is part of the
+  // bucket); the batch holds it alive even if a swap lands mid-forward.
+  const VersionedModel& model = *batch.front().model;
   NoGradGuard no_grad;
   // QuantMode is thread-local, so each worker pins the engine's precision
   // for the duration of its own forward.
   nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
-  Variable logits = matcher_->classifier()->Logits(mb, /*train=*/false, rng);
+  Variable logits =
+      model.matcher->classifier()->Logits(mb, /*train=*/false, rng);
   Tensor probs = ops::Softmax(logits.value());
   const Clock::time_point done = Clock::now();
 
@@ -591,6 +677,7 @@ void MatcherEngine::RunBatch(std::vector<Request> batch, Rng* rng) {
     result.total_us = ElapsedUs(r.enqueued, done);
     result.batch_size = b;
     result.cache_hit = r.cache_hit;
+    result.model_version = model.version;
     metrics_.RecordCompletion(result.total_us);
     r.promise.set_value(std::move(result));
   }
@@ -617,7 +704,8 @@ void MatcherEngine::RunBatchSplit(std::vector<Request> batch, Rng* rng) {
       (longest + options_.bucket_width - 1) / options_.bucket_width *
           options_.bucket_width);
 
-  const int64_t h = matcher_->classifier()->config().hidden;
+  const VersionedModel& model = *batch.front().model;
+  const int64_t h = model.matcher->classifier()->config().hidden;
   Tensor input = Tensor::Zeros({b, target_len, h});
   std::vector<float> pad_flags(static_cast<size_t>(b * target_len), 1.0f);
   for (int64_t i = 0; i < b; ++i) {
@@ -635,7 +723,7 @@ void MatcherEngine::RunBatchSplit(std::vector<Request> batch, Rng* rng) {
   NoGradGuard no_grad;
   nn::QuantModeGuard quant(options_.precision == Precision::kInt8);
   Variable hidden = Variable::Constant(std::move(input));
-  Variable logits = matcher_->classifier()->LogitsFromHidden(
+  Variable logits = model.matcher->classifier()->LogitsFromHidden(
       hidden, mask, options_.split_layer, /*train=*/false, rng);
   Tensor probs = ops::Softmax(logits.value());
   const Clock::time_point done = Clock::now();
@@ -653,6 +741,7 @@ void MatcherEngine::RunBatchSplit(std::vector<Request> batch, Rng* rng) {
     result.cache_hit = r.cache_hit;
     result.prefix_hit_query = r.prefix_hit_q;
     result.prefix_hit_candidate = r.prefix_hit_c;
+    result.model_version = model.version;
     metrics_.RecordCompletion(result.total_us);
     r.promise.set_value(std::move(result));
   }

@@ -1,6 +1,7 @@
 #ifndef EMX_SERVE_MATCHER_ENGINE_H_
 #define EMX_SERVE_MATCHER_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -113,6 +114,10 @@ struct MatchResult {
   /// activation cache (false on the pair path).
   bool prefix_hit_query = false;
   bool prefix_hit_candidate = false;
+  /// Which model version served this request (1 = the construction-time
+  /// model; incremented by every SwapModel). 0 on requests rejected or
+  /// expired before reaching a model.
+  uint64_t model_version = 0;
 };
 
 /// A query entity pinned for 1-vs-N re-ranking: the text is tokenized once
@@ -199,6 +204,28 @@ class MatcherEngine {
   /// best-effort latency optimization, never a correctness dependency.
   bool WarmCandidate(std::string_view text, int64_t query_segment_len);
 
+  /// Atomically publishes `next` as the serving model. The swap is a
+  /// single shared_ptr store: requests submitted afterwards run on `next`,
+  /// while requests already queued or mid-batch finish on the version that
+  /// was current when they were submitted (each request snapshots its
+  /// model, so nothing is dropped, re-run, or mixed across versions within
+  /// a batch) — the old model and any mmap it serves from are released
+  /// when the last such request completes. The prefix (activation) cache
+  /// is cleared, since cached layer-k activations belong to the old
+  /// weights; prefix keys are also version-tagged, so even a checked-out
+  /// stale entry can never satisfy a new-version lookup.
+  ///
+  /// `next` must match the engine's configuration — same architecture,
+  /// hidden size and layer count as the current model, int8 backends when
+  /// the engine serves kInt8, split support when split_layer is set — and
+  /// must tokenize identically to the construction-time matcher (the
+  /// tokenization caches are keyed on raw text and survive the swap).
+  /// Returns InvalidArgument and keeps serving the old model otherwise.
+  Status SwapModel(std::shared_ptr<core::EntityMatcher> next);
+
+  /// The version new submissions are served by (1 until the first swap).
+  uint64_t model_version() const;
+
   /// Stops/starts micro-batch formation; queued requests are held (their
   /// deadlines are only evaluated while running).
   void Pause();
@@ -222,6 +249,14 @@ class MatcherEngine {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// One published model. The initial version wraps the constructor's raw
+  /// pointer with a no-op deleter (the caller owns it, per the constructor
+  /// contract); swapped-in versions own their matcher outright.
+  struct VersionedModel {
+    std::shared_ptr<core::EntityMatcher> matcher;
+    uint64_t version = 1;
+  };
+
   struct Request {
     std::promise<MatchResult> promise;
     CachedEncoding enc;  // pair path only
@@ -235,6 +270,11 @@ class MatcherEngine {
     bool prefix_hit_c = false;
     bool cache_hit = false;
     int64_t bucket = 0;
+    /// The model snapshot this request runs on, taken at submit time. The
+    /// version is folded into `bucket`, so a micro-batch never mixes
+    /// models, and the shared_ptr keeps an already-swapped-out model (and
+    /// its mmap) alive until the request completes.
+    std::shared_ptr<const VersionedModel> model;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // Clock::time_point::max() when none
   };
@@ -260,15 +300,27 @@ class MatcherEngine {
   std::future<MatchResult> SubmitSplit(
       const std::shared_ptr<const PinnedQuery::State>& query,
       std::string_view candidate, int64_t timeout_us);
-  /// Returns the layer-k prefix for one entity segment, consulting the
-  /// activation cache and encoding on miss. `ids` are the truncated raw
-  /// entity tokens (no specials).
-  std::shared_ptr<const Tensor> PrefixFor(std::string_view text,
+  /// Returns the layer-k prefix for one entity segment under `model`,
+  /// consulting the activation cache (keys are version-tagged) and
+  /// encoding on miss. `ids` are the truncated raw entity tokens (no
+  /// specials).
+  std::shared_ptr<const Tensor> PrefixFor(const VersionedModel& model,
+                                          std::string_view text,
                                           const std::vector<int64_t>& ids,
                                           bool query_side,
                                           int64_t position_offset, bool* hit);
+  /// The model new submissions snapshot.
+  std::shared_ptr<const VersionedModel> CurrentModel() const {
+    return model_.load(std::memory_order_acquire);
+  }
 
+  /// The construction-time matcher. Tokenization (cache_, entity_tokens_)
+  /// stays bound to its tokenizer across swaps; forwards go through the
+  /// per-request model snapshot instead.
   core::EntityMatcher* matcher_;
+  std::atomic<std::shared_ptr<const VersionedModel>> model_;
+  /// Serializes SwapModel callers (the version bump is read-modify-write).
+  std::mutex swap_mu_;
   const EngineOptions options_;
   TokenizationCache cache_;
   ServingMetrics metrics_;

@@ -66,6 +66,8 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(&out, "batch_overflow", batch_overflow, &first);
   AppendField(&out, "queue_depth", queue_depth, &first);
   AppendField(&out, "max_queue_depth", max_queue_depth, &first);
+  AppendField(&out, "model_swaps", model_swaps, &first);
+  AppendField(&out, "model_version", model_version, &first);
   AppendField(&out, "uptime_seconds", uptime_seconds, &first);
   AppendField(&out, "throughput_pairs_per_sec", throughput_pairs_per_sec,
               &first);
@@ -93,6 +95,9 @@ ServingMetrics::ServingMetrics(int64_t max_batch_size) {
   prefix_misses_ = registry_.GetCounter("serve.prefix_cache.misses");
   token_cache_bytes_ = registry_.GetGauge("serve.token_cache.bytes");
   max_queue_depth_ = registry_.GetGauge("serve.max_queue_depth");
+  model_swaps_ = registry_.GetCounter("serve.model_swaps");
+  model_version_ = registry_.GetGauge("serve.model_version");
+  model_version_->Set(1);
   // Bounds {0, 1, ..., max_batch_size}: integer batch sizes land exactly on
   // a bound, so bucket s counts batches of exactly s requests; anything
   // larger is overflow, not clamped into the top slot.
@@ -138,6 +143,11 @@ void ServingMetrics::RecordTokenCacheBytes(int64_t bytes) {
   token_cache_bytes_->Set(static_cast<double>(bytes));
 }
 
+void ServingMetrics::RecordModelSwap(int64_t new_version) {
+  model_swaps_->Add(1);
+  model_version_->Set(static_cast<double>(new_version));
+}
+
 MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
   MetricsSnapshot s;
   s.submitted = submitted_->Value();
@@ -166,6 +176,8 @@ MetricsSnapshot ServingMetrics::Snapshot(int64_t queue_depth) const {
   s.batch_overflow = batch_hist_->overflow();
   s.queue_depth = queue_depth;
   s.max_queue_depth = static_cast<int64_t>(max_queue_depth_->Value());
+  s.model_swaps = model_swaps_->Value();
+  s.model_version = static_cast<int64_t>(model_version_->Value());
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.throughput_pairs_per_sec =
       s.uptime_seconds > 0 ? s.completed / s.uptime_seconds : 0;

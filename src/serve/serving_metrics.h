@@ -60,6 +60,11 @@ struct MetricsSnapshot {
   int64_t queue_depth = 0;
   int64_t max_queue_depth = 0;
 
+  /// Hot-swap state: how many times SwapModel has published a new model,
+  /// and the version currently serving (1 = the construction-time model).
+  int64_t model_swaps = 0;
+  int64_t model_version = 1;
+
   double uptime_seconds = 0;
   /// completed / uptime.
   double throughput_pairs_per_sec = 0;
@@ -109,6 +114,8 @@ class ServingMetrics {
   /// Publishes the tokenization caches' resident bytes as the
   /// serve.token_cache.bytes gauge.
   void RecordTokenCacheBytes(int64_t bytes);
+  /// One SwapModel publish; `new_version` becomes the serving version.
+  void RecordModelSwap(int64_t new_version);
 
   /// `queue_depth` is the current depth sampled by the caller.
   MetricsSnapshot Snapshot(int64_t queue_depth) const;
@@ -131,6 +138,8 @@ class ServingMetrics {
   obs::Counter* prefix_misses_;
   obs::Gauge* token_cache_bytes_;
   obs::Gauge* max_queue_depth_;
+  obs::Counter* model_swaps_;
+  obs::Gauge* model_version_;
   obs::Histogram* batch_hist_;  // exact integer buckets [0, max_batch_size]
 
   /// Lock-free latency ring: slot i of the k-th completion is k %

@@ -85,6 +85,21 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
       << "value count does not match shape " << ShapeToString(shape_);
 }
 
+Tensor Tensor::FromExternal(Shape shape, const float* data,
+                            std::shared_ptr<const void> keepalive) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = NumElements(t.shape_);
+  for (int64_t d : t.shape_) EMX_CHECK_GE(d, 0);
+  EMX_CHECK(data != nullptr || t.size_ == 0)
+      << "external tensor of " << ShapeToString(t.shape_)
+      << " needs a data pointer";
+  t.data_.reset();
+  t.ext_ = data;
+  t.keepalive_ = std::move(keepalive);
+  return t;
+}
+
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
@@ -142,18 +157,18 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
 }
 
 float& Tensor::At(std::initializer_list<int64_t> idx) {
-  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+  return data()[FlatIndex(idx)];
 }
 
 float Tensor::At(std::initializer_list<int64_t> idx) const {
-  return (*data_)[static_cast<size_t>(FlatIndex(idx))];
+  return data()[FlatIndex(idx)];
 }
 
 Tensor Tensor::Clone() const {
   Tensor out;
   out.shape_ = shape_;
   out.size_ = size_;
-  out.data_ = TrackedBuffer(std::vector<float>(*data_));
+  out.data_ = TrackedBuffer(std::vector<float>(data(), data() + size_));
   return out;
 }
 
@@ -180,11 +195,14 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   out.shape_ = std::move(new_shape);
   out.size_ = size_;
   out.data_ = data_;
+  out.ext_ = ext_;
+  out.keepalive_ = keepalive_;
   return out;
 }
 
 void Tensor::Fill(float value) {
-  for (auto& v : *data_) v = value;
+  float* p = data();
+  for (int64_t i = 0; i < size_; ++i) p[i] = value;
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -197,10 +215,13 @@ void Tensor::AddInPlace(const Tensor& other) {
 }
 
 void Tensor::ScaleInPlace(float scalar) {
-  for (auto& v : *data_) v *= scalar;
+  float* p = data();
+  for (int64_t i = 0; i < size_; ++i) p[i] *= scalar;
 }
 
-std::vector<float> Tensor::ToVector() const { return *data_; }
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + size_);
+}
 
 std::string Tensor::ToString(int64_t max_per_dim) const {
   std::ostringstream out;
@@ -209,7 +230,7 @@ std::string Tensor::ToString(int64_t max_per_dim) const {
   const int64_t limit = std::min<int64_t>(size_, max_per_dim * max_per_dim);
   for (int64_t i = 0; i < limit; ++i) {
     if (i > 0) out << ", ";
-    out << (*data_)[static_cast<size_t>(i)];
+    out << data()[i];
   }
   if (limit < size_) out << ", ...";
   out << "]";

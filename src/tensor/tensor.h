@@ -44,6 +44,13 @@ std::string ShapeToString(const Shape& shape);
 /// Copying a Tensor is cheap: copies share the underlying buffer (like
 /// arrow::Buffer or torch tensors). Use Clone() for a deep copy. All math
 /// lives in tensor_ops.h; the class itself only manages storage and shape.
+///
+/// A tensor can also *view* external read-only storage (FromExternal) —
+/// e.g. fp32 payloads inside a mapped EMXM container. Views are full
+/// tensors for every read path, but writing through one is undefined
+/// behavior (a PROT_READ mapping faults); Clone() materializes a mutable
+/// heap copy. Views hold a keepalive reference so the storage outlives
+/// every copy and Reshape of the view.
 class Tensor {
  public:
   /// An empty rank-1 tensor of size 0.
@@ -54,6 +61,13 @@ class Tensor {
 
   /// Wraps existing values; `values.size()` must equal NumElements(shape).
   Tensor(Shape shape, std::vector<float> values);
+
+  /// Views existing read-only storage without copying. `data` must hold
+  /// NumElements(shape) floats and stay valid while `keepalive` is held.
+  /// The view is not counted by the tensor-memory accounting (it owns no
+  /// buffer). Pre-condition: data != nullptr unless the shape is empty.
+  static Tensor FromExternal(Shape shape, const float* data,
+                             std::shared_ptr<const void> keepalive);
 
   Tensor(const Tensor&) = default;
   Tensor& operator=(const Tensor&) = default;
@@ -82,19 +96,29 @@ class Tensor {
   int64_t dim(int64_t i) const;
   int64_t size() const { return size_; }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() {
+    return ext_ != nullptr ? const_cast<float*>(ext_) : data_->data();
+  }
+  const float* data() const {
+    return ext_ != nullptr ? ext_ : data_->data();
+  }
+
+  /// True for a FromExternal view; writing through such a tensor is UB.
+  bool is_external() const { return ext_ != nullptr; }
 
   /// Flat element access. Pre-condition: 0 <= i < size().
-  float& operator[](int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data()[i]; }
+  float operator[](int64_t i) const { return data()[i]; }
 
   /// Multi-dimensional access, e.g. t.At({b, t, h}).
   float& At(std::initializer_list<int64_t> idx);
   float At(std::initializer_list<int64_t> idx) const;
 
   /// True when two tensors share the same buffer.
-  bool SharesDataWith(const Tensor& other) const { return data_ == other.data_; }
+  bool SharesDataWith(const Tensor& other) const {
+    return ext_ != nullptr || other.ext_ != nullptr ? ext_ == other.ext_
+                                                    : data_ == other.data_;
+  }
 
   // ---- Storage-level operations --------------------------------------
 
@@ -127,6 +151,9 @@ class Tensor {
   Shape shape_;
   int64_t size_ = 0;
   std::shared_ptr<std::vector<float>> data_;
+  /// External read-only storage (FromExternal); data_ is unused when set.
+  const float* ext_ = nullptr;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace emx

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <memory>
 
+#include "file_fuzz.h"
 #include "nn/attention.h"
 #include "tensor/tensor.h"
 #include "nn/layers.h"
@@ -442,7 +443,55 @@ TEST(SerializationTest, TruncatedFileFails) {
   a.CollectParameters("m", &pb);
   Status s = LoadParameters(path, pb);
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The bounds checks reject a short payload before the read can fail, so
+  // either code is a correct refusal.
+  EXPECT_TRUE(s.code() == StatusCode::kInvalidArgument ||
+              s.code() == StatusCode::kIoError)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EveryTruncationBoundaryFails) {
+  Rng rng(24);
+  Linear a(6, 4, &rng);
+  std::string path = "/tmp/emx_nn_test_params_matrix.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+  emx::testing::ExpectAllTruncationsFail(
+      path,
+      [&](const std::string& p) { return LoadParameters(p, pa); },
+      /*stride=*/1);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, HostileDimsDoNotAllocate) {
+  Rng rng(25);
+  Linear a(4, 4, &rng);
+  std::string path = "/tmp/emx_nn_test_params_dims.bin";
+  std::vector<NamedParam> pa;
+  a.CollectParameters("m", &pa);
+  ASSERT_TRUE(SaveParameters(path, pa).ok());
+  // Layout: magic u32 | count u64 | name_len u64 | name | ndim u64 | dims.
+  // The first parameter is the [4, 4] weight ("m.weight", 8 name bytes).
+  const size_t ndim_off = 4 + 8 + 8 + 8;
+  const size_t dim0_off = ndim_off + 8;
+  auto fails = [&](const std::string& patched) {
+    Status s = LoadParameters(patched, pa);
+    EXPECT_FALSE(s.ok()) << "accepted " << patched;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  };
+  // Negative and zero dims.
+  emx::testing::WithPatchedField<int64_t>(path, dim0_off, -4, fails);
+  emx::testing::WithPatchedField<int64_t>(path, dim0_off, 0, fails);
+  // A dim pair whose product wraps uint64 to something tiny — the
+  // overflow-checked product must reject it before any allocation.
+  emx::testing::WithPatchedField<int64_t>(path, dim0_off,
+                                          static_cast<int64_t>(1) << 62,
+                                          fails);
+  // Implausible ndim and parameter count.
+  emx::testing::WithPatchedField<uint64_t>(path, ndim_off, 1u << 20, fails);
+  emx::testing::WithPatchedField<uint64_t>(path, 4, ~0ull, fails);
   std::remove(path.c_str());
 }
 

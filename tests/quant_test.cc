@@ -10,10 +10,13 @@
 #include <vector>
 
 #include "core/entity_matcher.h"
+#include "file_fuzz.h"
+#include "io/emxm.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "pretrain/model_zoo.h"
 #include "quant/int8_gemm.h"
+#include "quant/model_file.h"
 #include "quant/observer.h"
 #include "quant/quantize_matcher.h"
 #include "quant/quantized_linear.h"
@@ -476,7 +479,11 @@ TEST_F(QuantMatcherTest, LoadQuantizedRejectsTruncatedFile) {
   auto fresh = MakeMatcher();
   Status s = LoadQuantized(fresh.get(), path);
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The bounds checks reject a short payload before the read can fail, so
+  // either code is a correct refusal.
+  EXPECT_TRUE(s.code() == StatusCode::kInvalidArgument ||
+              s.code() == StatusCode::kIoError)
+      << s.ToString();
   // A failed load leaves the matcher untouched.
   EXPECT_FALSE(IsQuantized(fresh.get()));
   std::filesystem::remove(path);
@@ -510,6 +517,152 @@ TEST_F(QuantMatcherTest, LoadQuantizedRejectsUnknownLayerName) {
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_FALSE(IsQuantized(matcher.get()));
+  std::filesystem::remove(path);
+}
+
+// ---- EMXM1 model container --------------------------------------------------
+
+TEST_F(QuantMatcherTest, ModelFileFp32RoundTripIsBitIdentical) {
+  const std::string path = "/tmp/emx_quant_test_fp32.emxm";
+  const std::vector<std::string> as = {"lenovo thinkpad x1 carbon",
+                                       "kitchenaid stand mixer"};
+  const std::vector<std::string> bs = {"thinkpad x1 carbon gen 9",
+                                       "kitchen aid artisan mixer"};
+  auto original = MakeMatcher();
+  std::vector<double> expected = original->MatchProbabilities(as, bs);
+  ASSERT_TRUE(SaveModelFile(original.get(), path).ok());
+
+  auto mapped = MakeMatcher();
+  auto info = LoadModelFileMapped(mapped.get(), path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info.value().has_int8);
+  EXPECT_GT(info.value().fp32_params, 0);
+  EXPECT_FALSE(IsQuantized(mapped.get()));
+
+  std::vector<double> got = mapped->MatchProbabilities(as, bs);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "pair " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, ModelFileInt8RoundTripIsBitIdentical) {
+  const std::string path = "/tmp/emx_quant_test_int8.emxm";
+  const std::vector<std::string> as = {"lenovo thinkpad x1 carbon",
+                                       "kitchenaid stand mixer"};
+  const std::vector<std::string> bs = {"thinkpad x1 carbon gen 9",
+                                       "kitchen aid artisan mixer"};
+  auto original = MakeMatcher();
+  auto report = QuantizeMatcher(original.get(), Calib());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  std::vector<double> expected = original->MatchProbabilities(as, bs);
+  ASSERT_TRUE(SaveModelFile(original.get(), path).ok());
+
+  // One container, no calibration, int8 kernels reading straight from the
+  // mapping: logits must match the freshly quantized model bit for bit.
+  auto mapped = MakeMatcher();
+  auto info = LoadModelFileMapped(mapped.get(), path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info.value().has_int8);
+  EXPECT_GT(info.value().int8_linears, 0);
+  EXPECT_TRUE(IsQuantized(mapped.get()));
+
+  std::vector<double> got = mapped->MatchProbabilities(as, bs);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "pair " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, ModelFileEveryTruncationFailsCleanly) {
+  const std::string path = "/tmp/emx_quant_test_trunc.emxm";
+  auto original = MakeMatcher();
+  auto report = QuantizeMatcher(original.get(), Calib());
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(SaveModelFile(original.get(), path).ok());
+
+  auto fresh = MakeMatcher();
+  const size_t bytes = emx::testing::ReadFileBytes(path).size();
+  emx::testing::ExpectAllTruncationsFail(
+      path,
+      [&](const std::string& p) {
+        return LoadModelFileMapped(fresh.get(), p).status();
+      },
+      /*stride=*/std::max<size_t>(1, bytes / 97),
+      /*boundaries=*/{8, 12, 16, 24, 32, 40, 48, 56, 63, 64, 65});
+  EXPECT_FALSE(IsQuantized(fresh.get())) << "failed load mutated the matcher";
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, ModelFileRejectsForeignArchitecture) {
+  const std::string path = "/tmp/emx_quant_test_arch.emxm";
+  auto original = MakeMatcher();
+  ASSERT_TRUE(SaveModelFile(original.get(), path).ok());
+
+  // Flip one byte of the manifest's architecture string in place.
+  size_t arch_off = 0;
+  {
+    auto r = io::EmxmReader::Open(path);
+    ASSERT_TRUE(r.ok());
+    const io::Section* m = r.value()->Find("emxm:manifest");
+    ASSERT_NE(m, nullptr);
+    ASSERT_GT(m->bytes, 0u);
+    arch_off = static_cast<size_t>(m->data - r.value()->mapping().data());
+  }
+  auto fresh = MakeMatcher();
+  emx::testing::WithPatchedField<uint8_t>(
+      path, arch_off, static_cast<uint8_t>('x'),
+      [&](const std::string& patched) {
+        auto info = LoadModelFileMapped(fresh.get(), patched);
+        EXPECT_FALSE(info.ok());
+        EXPECT_EQ(info.status().code(), StatusCode::kInvalidArgument);
+      });
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, ModelFileMissingSectionLeavesMatcherUntouched) {
+  const std::string path = "/tmp/emx_quant_test_missing.emxm";
+  auto original = MakeMatcher();
+  auto report = QuantizeMatcher(original.get(), Calib());
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(SaveModelFile(original.get(), path).ok());
+
+  // Rename the first fp32 parameter section by flipping its leading 'p'
+  // in the string table: every int8 section still validates, but the
+  // fp32 attach must fail NotFound *before* any backend is installed.
+  std::vector<uint8_t> bytes = emx::testing::ReadFileBytes(path);
+  uint64_t strtab_off = 0;
+  std::memcpy(&strtab_off, bytes.data() + 32, sizeof(strtab_off));
+  ASSERT_EQ(bytes[strtab_off], 'p') << "expected a p:<param> name first";
+  auto fresh = MakeMatcher();
+  emx::testing::WithPatchedField<uint8_t>(
+      path, static_cast<size_t>(strtab_off), static_cast<uint8_t>('x'),
+      [&](const std::string& patched) {
+        auto info = LoadModelFileMapped(fresh.get(), patched);
+        EXPECT_FALSE(info.ok());
+        EXPECT_EQ(info.status().code(), StatusCode::kNotFound);
+        EXPECT_FALSE(IsQuantized(fresh.get()));
+      });
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantMatcherTest, QuantizedCheckpointEveryTruncationFailsCleanly) {
+  const std::string path = "/tmp/emx_quant_test_qtrunc.bin";
+  auto original = MakeMatcher();
+  auto report = QuantizeMatcher(original.get(), Calib());
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(SaveQuantized(original.get(), path).ok());
+
+  auto fresh = MakeMatcher();
+  const size_t bytes = emx::testing::ReadFileBytes(path).size();
+  emx::testing::ExpectAllTruncationsFail(
+      path,
+      [&](const std::string& p) { return LoadQuantized(fresh.get(), p); },
+      /*stride=*/std::max<size_t>(1, bytes / 97),
+      /*boundaries=*/{4, 8, 16, 24, 25, 32});
+  EXPECT_FALSE(IsQuantized(fresh.get())) << "failed load mutated the matcher";
   std::filesystem::remove(path);
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/entity_matcher.h"
 #include "data/blocking.h"
+#include "file_fuzz.h"
 #include "data/generators.h"
 #include "data/record.h"
 #include "pretrain/model_zoo.h"
@@ -171,6 +172,25 @@ TEST(QGramIndexTest, LoadRejectsGarbageAndTruncation) {
   const std::string bytes = full.str();
   std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
   EXPECT_FALSE(QGramIndex::LoadFrom(truncated).ok());
+}
+
+TEST(QGramIndexTest, SaveIsAtomicAndEveryTruncationFails) {
+  const std::string path = "/tmp/emx_retrieval_test_atomic.bin";
+  QGramIndex index;
+  index.AddRecord("acer aspire 5");
+  index.AddRecord("asus zenbook 14");
+  index.AddRecord("dell xps 13");
+  ASSERT_TRUE(index.Save(path).ok());
+  // The atomic writer must leave no staging sibling behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const size_t bytes = emx::testing::ReadFileBytes(path).size();
+  emx::testing::ExpectAllTruncationsFail(
+      path,
+      [](const std::string& p) { return QGramIndex::Load(p).status(); },
+      /*stride=*/std::max<size_t>(1, bytes / 97),
+      /*boundaries=*/{4, 8, 12, 16, 24, 32});
+  std::filesystem::remove(path);
 }
 
 // ---- Streaming ingest ------------------------------------------------------
@@ -478,6 +498,32 @@ TEST_F(CatalogMatcherTest, SaveLoadPreservesResults) {
       EXPECT_NEAR(a.value()[i].probability, b.value()[i].probability, 1e-4);
     }
   }
+  std::filesystem::remove(path);
+}
+
+TEST_F(CatalogMatcherTest, SaveIsAtomicAndEveryTruncationFails) {
+  const std::string path = "/tmp/emx_retrieval_test_catalog_atomic.bin";
+  serve::MatcherEngine engine(Matcher(), EngineOpts());
+  CatalogOptions copts;
+  copts.retrieve_k = 4;
+  copts.rerank_k = 2;
+  CatalogMatcher catalog(&engine, copts);
+  data::CatalogSpec spec;
+  spec.num_records = 12;
+  spec.num_queries = 1;
+  data::Catalog cat = data::GenerateCatalog(spec);
+  catalog.AddBatch(cat.records);
+  ASSERT_TRUE(catalog.Save(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const size_t bytes = emx::testing::ReadFileBytes(path).size();
+  emx::testing::ExpectAllTruncationsFail(
+      path,
+      [&](const std::string& p) {
+        return CatalogMatcher::Load(p, &engine, copts).status();
+      },
+      /*stride=*/std::max<size_t>(1, bytes / 97),
+      /*boundaries=*/{4, 8, 12, 16, 24, 32});
   std::filesystem::remove(path);
 }
 

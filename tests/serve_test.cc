@@ -12,7 +12,10 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/entity_matcher.h"
+#include "models/encoder.h"
 #include "nn/layers.h"
 #include "obs/json.h"
 #include "pretrain/model_zoo.h"
@@ -22,6 +25,7 @@
 #include "serve/serving_metrics.h"
 #include "serve/token_cache.h"
 #include "tensor/variable.h"
+#include "util/rng.h"
 
 namespace emx {
 namespace serve {
@@ -1094,6 +1098,136 @@ TEST_F(ServeFixture, CreateRejectsInt8WithoutQuantizedBackends) {
   auto engine = MatcherEngine::Create(Matcher(), opts);
   ASSERT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Model hot-swap --------------------------------------------------------
+
+/// A fresh matcher from the same (cached) zoo bundle as the fixture's:
+/// identical geometry and tokenizer, independent weights object — a valid
+/// swap target.
+std::shared_ptr<core::EntityMatcher> FreshMatcher() {
+  pretrain::ZooOptions zoo;
+  zoo.cache_dir = "/tmp/emx_zoo_serve_test";
+  zoo.vocab_size = 500;
+  zoo.corpus.num_documents = 150;
+  zoo.skip_pretraining = true;
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, zoo);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  auto m = std::make_shared<core::EntityMatcher>(std::move(bundle).value());
+  m->set_eval_max_seq_len(32);
+  return m;
+}
+
+TEST_F(ServeFixture, SwapModelBumpsVersionAndTagsResults) {
+  MatcherEngine engine(Matcher(), BaseOptions());
+  EXPECT_EQ(engine.model_version(), 1u);
+  MatchResult before = engine.Match("acer aspire 5", "acer aspire5");
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.model_version, 1u);
+
+  ASSERT_TRUE(engine.SwapModel(FreshMatcher()).ok());
+  EXPECT_EQ(engine.model_version(), 2u);
+  MatchResult after = engine.Match("acer aspire 5", "acer aspire5");
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.model_version, 2u);
+
+  MetricsSnapshot m = engine.Metrics();
+  EXPECT_EQ(m.model_swaps, 1);
+  EXPECT_EQ(m.model_version, 2);
+}
+
+TEST_F(ServeFixture, SwapModelRejectsNullAndBadGeometry) {
+  MatcherEngine engine(Matcher(), BaseOptions());
+  Status null_s = engine.SwapModel(nullptr);
+  EXPECT_EQ(null_s.code(), StatusCode::kInvalidArgument);
+
+  // A half-width model: right architecture enum, wrong geometry.
+  pretrain::ZooOptions zoo;
+  zoo.cache_dir = "/tmp/emx_zoo_serve_test";
+  zoo.vocab_size = 500;
+  zoo.corpus.num_documents = 150;
+  zoo.skip_pretraining = true;
+  auto bundle = pretrain::GetPretrained(models::Architecture::kBert, zoo);
+  ASSERT_TRUE(bundle.ok());
+  const models::TransformerConfig& served =
+      Matcher()->classifier()->backbone()->config();
+  models::TransformerConfig cfg = served;
+  cfg.hidden = served.hidden / 2;
+  cfg.num_heads = std::max<int64_t>(1, served.num_heads / 2);
+  cfg.intermediate = cfg.hidden * 4;
+  Rng rng(7);
+  pretrain::PretrainedBundle narrow;
+  narrow.model = std::make_unique<models::EncoderModel>(cfg, &rng);
+  narrow.tokenizer = std::move(bundle.value().tokenizer);
+  auto bad = std::make_shared<core::EntityMatcher>(std::move(narrow));
+  Status geom_s = engine.SwapModel(bad);
+  EXPECT_EQ(geom_s.code(), StatusCode::kInvalidArgument);
+
+  // Both rejections leave the original model serving at version 1.
+  EXPECT_EQ(engine.model_version(), 1u);
+  EXPECT_TRUE(engine.Match("acer aspire 5", "acer aspire5").status.ok());
+}
+
+TEST_F(ServeFixture, ConcurrentSwapHammerDropsNoRequests) {
+  // The TSan-facing test: clients submit while a swapper rotates models.
+  // Every request must complete OK and carry a version the engine actually
+  // served; in-flight batches finish on their old model.
+  EngineOptions opts = BaseOptions();
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 200;
+  MatcherEngine engine(Matcher(), opts);
+
+  // Pre-build the rotation so the swapper's loop is tight.
+  std::vector<std::shared_ptr<core::EntityMatcher>> generations = {
+      FreshMatcher(), FreshMatcher()};
+
+  constexpr int kClients = 3;
+  constexpr int kMinPerClient = 20;
+  constexpr int kTargetSwaps = 3;
+  std::atomic<int> swaps{0};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_seen{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kMinPerClient ||
+                      (swaps.load(std::memory_order_acquire) < kTargetSwaps &&
+                       i < kMinPerClient * 100);
+           ++i) {
+        MatchResult r = engine.Match("canon eos r6 camera", "canon eosr6");
+        if (!r.status.ok() || r.model_version == 0) {
+          failures.fetch_add(1);
+        } else {
+          uint64_t seen = max_seen.load(std::memory_order_relaxed);
+          while (seen < r.model_version &&
+                 !max_seen.compare_exchange_weak(seen, r.model_version)) {
+          }
+        }
+      }
+    });
+  }
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Status s = engine.SwapModel(generations[swaps.load() % 2]);
+      if (s.ok()) {
+        swaps.fetch_add(1, std::memory_order_release);
+      } else {
+        failures.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& c : clients) c.join();
+  done.store(true, std::memory_order_release);
+  swapper.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(swaps.load(), kTargetSwaps);
+  EXPECT_EQ(engine.model_version(), 1u + static_cast<uint64_t>(swaps.load()));
+  EXPECT_GE(max_seen.load(), 2u) << "no request was ever served post-swap";
+  EXPECT_LE(max_seen.load(), engine.model_version());
+  EXPECT_EQ(engine.Metrics().model_swaps, swaps.load());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -90,6 +92,60 @@ TEST(TensorTest, InPlaceOps) {
   EXPECT_EQ(a[0], 5.5f);
   a.Fill(7.0f);
   EXPECT_EQ(a[1], 7.0f);
+}
+
+// ---- External (mapped) views ---------------------------------------------
+
+TEST(TensorTest, FromExternalReadsBorrowedBuffer) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  Tensor v = Tensor::FromExternal({2, 3}, backing->data(), backing);
+  EXPECT_TRUE(v.is_external());
+  EXPECT_EQ(v.size(), 6);
+  EXPECT_EQ(v.At({1, 2}), 6.0f);
+  EXPECT_EQ(v.data(), backing->data()) << "view copied instead of aliasing";
+}
+
+TEST(TensorTest, FromExternalKeepaliveOutlivesCreatorHandle) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{42.0f, 43.0f});
+  float* raw = backing->data();
+  Tensor v = Tensor::FromExternal({2}, raw, backing);
+  backing.reset();  // the view now holds the only reference
+  EXPECT_EQ(v[0], 42.0f);
+  Tensor copy = v;  // copies share the keepalive too
+  EXPECT_EQ(copy[1], 43.0f);
+}
+
+TEST(TensorTest, FromExternalCloneMaterializesOwnedCopy) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{7.0f, 8.0f});
+  Tensor v = Tensor::FromExternal({2}, backing->data(), backing);
+  Tensor c = v.Clone();
+  EXPECT_FALSE(c.is_external());
+  EXPECT_FALSE(c.SharesDataWith(v));
+  c.Fill(0.0f);  // a clone is mutable even when the source view is not
+  EXPECT_EQ(v[0], 7.0f);
+  EXPECT_EQ(c[0], 0.0f);
+}
+
+TEST(TensorTest, FromExternalReshapeStaysAView) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor v = Tensor::FromExternal({2, 3}, backing->data(), backing);
+  Tensor r = v.Reshape({3, 2});
+  EXPECT_TRUE(r.is_external());
+  EXPECT_TRUE(r.SharesDataWith(v));
+  EXPECT_EQ(r.At({2, 1}), 6.0f);
+}
+
+TEST(TensorTest, ExternalViewsDoNotCountAsHeapTensorMemory) {
+  auto backing =
+      std::make_shared<std::vector<float>>(std::vector<float>(1024, 1.0f));
+  const int64_t before = GetTensorMemStats().live_bytes;
+  Tensor v = Tensor::FromExternal({1024}, backing->data(), backing);
+  EXPECT_EQ(GetTensorMemStats().live_bytes, before)
+      << "mapped views must not inflate heap-tensor accounting";
 }
 
 // ---- Elementwise kernels ------------------------------------------------
